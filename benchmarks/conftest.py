@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark in this directory regenerates one artefact of the paper's
+evaluation (a row of Table 1 or one of the figure-style series indexed in
+DESIGN.md) using the experiment registry, and additionally asserts that the
+measured *shape* matches the paper's claim, so that running
+
+    pytest benchmarks/ --benchmark-only
+
+both times the reproduction and validates it.  Benchmarks use the ``quick``
+experiment scale; the ``full`` scale (used for EXPERIMENTS.md) is available by
+setting the ``REPRO_BENCH_SCALE`` environment variable to ``full``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def bench_scale() -> str:
+    """Experiment scale used by the benchmarks (``quick`` unless overridden)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture
+def run_registered_experiment(benchmark):
+    """Benchmark one registered experiment and return its result.
+
+    The experiment runs once per benchmark iteration; pytest-benchmark is
+    configured for a single round because each experiment is itself an
+    aggregate over hundreds of stochastic trajectories (timing noise across
+    repeated rounds is dominated by Monte-Carlo workload, not by measurement
+    jitter).
+    """
+
+    def _run(identifier: str, *, seed: int = 0):
+        scale = bench_scale()
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(identifier,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["experiment"] = identifier
+        benchmark.extra_info["scale"] = scale
+        benchmark.extra_info["shape_matches_paper"] = result.shape_matches_paper
+        return result
+
+    return _run

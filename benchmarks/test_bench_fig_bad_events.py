@@ -1,0 +1,20 @@
+"""Benchmark `FIG-BAD`: bad non-competitive events and nice-chain statistics.
+
+Regenerates the J(S) / B(n) / E(n) series behind Theorem 13b and Lemmas 5–7:
+the number of gap-shrinking individual events stays polylogarithmic while the
+total event count is linear, and the dominating nice chain goes extinct in
+Θ(n) steps with only a logarithmic number of births.
+"""
+
+from __future__ import annotations
+
+
+def test_fig_bad_events(run_registered_experiment):
+    result = run_registered_experiment("FIG-BAD")
+    assert result.rows
+    for row in result.rows:
+        # J(S) is polylogarithmic: far below n (which is at least 64 here).
+        assert row["mean J(S)"] < row["n"] / 4
+        # The nice chain's extinction time is Theta(n).
+        assert row["mean E(n) / n"] < 20.0
+    assert result.shape_matches_paper, result.render_text()

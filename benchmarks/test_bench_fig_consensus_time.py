@@ -1,0 +1,16 @@
+"""Benchmark `FIG-TIME`: consensus-time scaling (Theorem 13a).
+
+Regenerates the T(S)-versus-n series and checks that the number of events to
+consensus stays linear in n for both mechanisms.
+"""
+
+from __future__ import annotations
+
+
+def test_fig_consensus_time(run_registered_experiment):
+    result = run_registered_experiment("FIG-TIME")
+    assert result.rows
+    for row in result.rows:
+        # O(n) events: the normalised mean stays below a small constant.
+        assert row["mean T(S) / n"] < 10.0
+    assert result.shape_matches_paper, result.render_text()

@@ -1,0 +1,19 @@
+"""Benchmark `FIG-GAP`: ρ versus initial gap for both competition mechanisms.
+
+Regenerates the ρ-vs-Δ curves at fixed population size and checks that the
+self-destructive mechanism visibly outperforms the non-self-destructive one in
+the intermediate gap range — the "exponential separation" of Sections 6–7.
+"""
+
+from __future__ import annotations
+
+
+def test_fig_gap_curves(run_registered_experiment):
+    result = run_registered_experiment("FIG-GAP")
+    assert result.rows
+    # rho must be monotone-ish: the largest probed gap always succeeds more
+    # often than the smallest one, for both mechanisms.
+    first, last = result.rows[0], result.rows[-1]
+    assert last["rho SD"] >= first["rho SD"]
+    assert last["rho NSD"] >= first["rho NSD"]
+    assert result.shape_matches_paper, result.render_text()

@@ -1,0 +1,18 @@
+"""Benchmark `FIG-THRESH`: empirical threshold Ψ(n) versus population size.
+
+Regenerates the threshold-scaling series for both mechanisms and checks the
+headline separation: the NSD/SD threshold ratio grows with n.
+"""
+
+from __future__ import annotations
+
+
+def test_fig_threshold_scaling(run_registered_experiment):
+    result = run_registered_experiment("FIG-THRESH")
+    assert result.rows
+    for row in result.rows:
+        assert row["threshold SD"] is not None
+        assert row["threshold NSD"] is not None
+        # The SD threshold never exceeds the NSD threshold at the same n.
+        assert row["threshold SD"] <= row["threshold NSD"]
+    assert result.shape_matches_paper, result.render_text()

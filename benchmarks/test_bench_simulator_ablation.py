@@ -1,0 +1,69 @@
+"""Ablation benchmark: specialised LV simulator versus the generic CRN stack.
+
+DESIGN.md calls out the two-tier simulator design (a generic Gillespie/CRN
+stack plus a specialised two-species jump-chain simulator).  This benchmark
+quantifies the speed difference on identical workloads and checks that the two
+tiers agree statistically on the majority-consensus probability, which is the
+property the experiments rely on when they use the fast path exclusively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crn.builders import build_lv_network
+from repro.kinetics import ConsensusReached, JumpChainSimulator
+from repro.lv.params import LVParams
+from repro.lv.simulator import LVJumpChainSimulator
+from repro.lv.state import LVState
+
+_PARAMS = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+_STATE = LVState(96, 64)
+_RUNS = 100
+
+
+def _fast_success_rate(seed: int) -> float:
+    simulator = LVJumpChainSimulator(_PARAMS)
+    return simulator.majority_success_count(_STATE, _RUNS, rng=seed) / _RUNS
+
+
+def _generic_success_rate(seed: int) -> float:
+    network = build_lv_network(
+        beta=_PARAMS.beta,
+        delta=_PARAMS.delta,
+        alpha0=_PARAMS.alpha0,
+        alpha1=_PARAMS.alpha1,
+    )
+    x0, x1 = network.species
+    simulator = JumpChainSimulator(network)
+    stop = ConsensusReached(x0, x1)
+    rng = np.random.default_rng(seed)
+    wins = 0
+    for _ in range(_RUNS):
+        trajectory = simulator.run({x0: _STATE.x0, x1: _STATE.x1}, stop=stop, rng=rng)
+        final = trajectory.final_mapping()
+        wins += int(final[x0] > 0 and final[x1] == 0)
+    return wins / _RUNS
+
+
+def test_specialised_simulator(benchmark):
+    rate = benchmark.pedantic(_fast_success_rate, args=(7,), rounds=1, iterations=1)
+    benchmark.extra_info["success_rate"] = rate
+    assert rate > 0.9
+
+
+def test_generic_crn_simulator(benchmark):
+    rate = benchmark.pedantic(_generic_success_rate, args=(7,), rounds=1, iterations=1)
+    benchmark.extra_info["success_rate"] = rate
+    assert rate > 0.9
+
+
+def test_tiers_agree_statistically(benchmark):
+    """The two tiers estimate the same rho (within Monte-Carlo tolerance)."""
+
+    def compare():
+        return _fast_success_rate(11), _generic_success_rate(11)
+
+    fast_rate, generic_rate = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert fast_rate == pytest.approx(generic_rate, abs=0.12)

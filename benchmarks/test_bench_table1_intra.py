@@ -1,0 +1,28 @@
+"""Benchmarks `T1R2`, `T1R3`, `T1R5`: Table 1 rows with intraspecific or no competition.
+
+* `T1R2` — balanced inter+intraspecific competition: ρ(a, b) = a/(a+b) exactly
+  (Theorems 20 and 23), so the threshold is n − 1.
+* `T1R3` — intraspecific competition only: no threshold exists (Theorem 25).
+* `T1R5` — no competition at all: ρ = a/(a+b) (prior work, Table 1 row 5).
+"""
+
+from __future__ import annotations
+
+
+def test_table1_row2_balanced_intra(run_registered_experiment):
+    result = run_registered_experiment("T1R2")
+    assert all(row["consistent"] for row in result.rows), result.render_text()
+    assert result.shape_matches_paper
+
+
+def test_table1_row3_intraspecific_only(run_registered_experiment):
+    result = run_registered_experiment("T1R3")
+    # No row may meet the 1 - 1/n target even at the maximal gap.
+    assert not any(row["meets target"] for row in result.rows), result.render_text()
+    assert result.shape_matches_paper
+
+
+def test_table1_row5_no_competition(run_registered_experiment):
+    result = run_registered_experiment("T1R5")
+    assert all(row["consistent"] for row in result.rows), result.render_text()
+    assert result.shape_matches_paper

@@ -1,0 +1,14 @@
+"""Benchmark `T1R1-NSD`: Table 1, row 1, non-self-destructive competition.
+
+Regenerates the empirical thresholds for the neutral non-self-destructive LV
+system and checks that they scale polynomially (Θ~(√n), Theorems 18 and 19).
+"""
+
+from __future__ import annotations
+
+
+def test_table1_row1_non_self_destructive(run_registered_experiment):
+    result = run_registered_experiment("T1R1-NSD")
+    assert result.rows
+    assert all(row["threshold gap"] is not None for row in result.rows)
+    assert result.shape_matches_paper, result.render_text()

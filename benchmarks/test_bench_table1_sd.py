@@ -1,0 +1,16 @@
+"""Benchmark `T1R1-SD`: Table 1, row 1, self-destructive competition.
+
+Regenerates the empirical majority-consensus thresholds for the neutral
+self-destructive LV system over a grid of population sizes and checks that the
+measured thresholds grow sub-polynomially (the paper proves a polylogarithmic
+range, Theorems 14 and 17).
+"""
+
+from __future__ import annotations
+
+
+def test_table1_row1_self_destructive(run_registered_experiment):
+    result = run_registered_experiment("T1R1-SD")
+    assert result.rows, "the threshold sweep produced no rows"
+    assert all(row["threshold gap"] is not None for row in result.rows)
+    assert result.shape_matches_paper, result.render_text()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Synthetic-consortium scenario: majority consensus as a differential signal amplifier.
+
+The paper's motivation (Section 1.1) is a signalling primitive for engineered
+microbial consortia: an upstream, noisy sub-circuit produces two populations
+whose *difference* encodes a bit, and an interference-competition module must
+amplify that difference into an all-or-nothing readout (only one species
+survives).
+
+This example simulates that pipeline for three sensor qualities (strong, weak,
+borderline) and both competition mechanisms.  The headline result of the paper
+shows up directly: the self-destructive amplifier reads out weak signals
+(differences of order log^2 n) reliably, while the non-self-destructive one
+needs differences of order sqrt(n).
+
+Run it with::
+
+    python examples/consortium_signal_amplifier.py
+"""
+
+from __future__ import annotations
+
+from repro import LVJumpChainSimulator, LVParams
+from repro.analysis.statistics import binomial_estimate
+from repro.analysis.tables import format_table
+from repro.experiments.workloads import consortium_scenarios
+from repro.rng import spawn_generators
+
+
+def amplifier_success_rate(params, scenario, *, trials: int, seed: int) -> tuple[float, float, float]:
+    """Fraction of end-to-end trials where the surviving species encodes the true bit.
+
+    Each trial samples a fresh noisy sensor output (so failures can come from
+    the sensor flipping the sign of the difference or from the amplifier
+    failing to track the majority) and then runs the LV amplifier to consensus.
+    Returns (success rate, CI low, CI high).
+    """
+    simulator = LVJumpChainSimulator(params)
+    generators = spawn_generators(seed, trials)
+    successes = 0
+    for generator in generators:
+        # The upstream circuit encodes the "true" bit in species 0.
+        state = scenario.sample_initial_state(rng=generator)
+        result = simulator.run(state, rng=generator)
+        if result.winner == 0:
+            successes += 1
+    estimate = binomial_estimate(successes, trials)
+    return estimate.estimate, estimate.lower, estimate.upper
+
+
+def main() -> None:
+    trials = 200
+    mechanisms = {
+        "SD": LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0),
+        "NSD": LVParams.non_self_destructive(beta=1.0, delta=1.0, alpha=1.0),
+    }
+
+    print("=== Consortium signal amplification (end-to-end, sensor + amplifier) ===\n")
+    rows = []
+    for scenario in consortium_scenarios():
+        for label, params in mechanisms.items():
+            rate, low, high = amplifier_success_rate(
+                params, scenario, trials=trials, seed=hash(scenario.name) % (2**31)
+            )
+            rows.append(
+                {
+                    "scenario": scenario.name,
+                    "n": scenario.population_size,
+                    "signal gap": scenario.expected_gap,
+                    "sensor noise (std)": scenario.gap_noise,
+                    "amplifier": label,
+                    "readout accuracy": round(rate, 3),
+                    "CI low": round(low, 3),
+                    "CI high": round(high, 3),
+                }
+            )
+    print(format_table(rows))
+    print()
+    print("Reading the table:")
+    print(" - strong-sensor: both amplifiers read the signal correctly;")
+    print(" - weak-sensor: the gap (~28 cells out of 512) is far above log^2 n but far")
+    print("   below sqrt(n)*log n, so the self-destructive amplifier is reliable while")
+    print("   the non-self-destructive one degrades, matching Table 1 row 1;")
+    print(" - borderline-sensor: the gap is within the noise floor, so neither mechanism")
+    print("   (nor any other protocol) can amplify it reliably -- the paper's lower bounds.")
+
+
+if __name__ == "__main__":
+    main()

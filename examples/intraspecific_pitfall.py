@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The intraspecific-competition pitfall: when the amplifier stops amplifying.
+
+Sections 8.1 and 8.2 of the paper show that intraspecific interference (cells
+of the *same* species killing each other) can destroy the majority-consensus
+primitive:
+
+* if intraspecific competition is as strong as interspecific competition, the
+  win probability collapses to the initial proportion a/(a+b) (Theorems 20 and
+  23) — no amplification at all;
+* with intraspecific competition only, the system fails with constant
+  probability no matter how large the initial difference is (Theorem 25).
+
+This example demonstrates both effects and cross-checks the first against the
+exact a/(a+b) formula, which is what a circuit designer would need to know
+before adding a self-limiting (quorum-style) kill switch to their strains.
+
+Run it with::
+
+    python examples/intraspecific_pitfall.py
+"""
+
+from __future__ import annotations
+
+from repro import LVParams, LVState, estimate_majority_probability, proportional_win_probability
+from repro.analysis.tables import format_table
+from repro.chains import exact_majority_probability
+
+
+def balanced_competition_demo() -> None:
+    print("=== 1. Balanced intra- and interspecific competition (Theorems 20/23) ===\n")
+    params = {
+        "SD, gamma = 2*alpha": LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0, gamma=2.0),
+        "NSD, gamma = 2*alpha": LVParams.non_self_destructive(
+            beta=1.0, delta=1.0, alpha=1.0, gamma=2.0
+        ),
+    }
+    states = [(12, 8), (30, 10), (45, 15)]
+    rows = []
+    for label, p in params.items():
+        for a, b in states:
+            exact = exact_majority_probability(p, (a, b), max_count=3 * (a + b), dead_heat_value=0.5)
+            simulated = estimate_majority_probability(p, LVState(a, b), num_runs=600, rng=a * b)
+            rows.append(
+                {
+                    "system": label,
+                    "(a, b)": f"({a}, {b})",
+                    "a/(a+b)": round(proportional_win_probability((a, b)), 3),
+                    "exact rho": round(exact.win_probability, 3),
+                    "simulated rho": round(simulated.majority_probability, 3),
+                }
+            )
+    print(format_table(rows))
+    print()
+    print("The win probability equals the initial proportion: the circuit performs no")
+    print("better than reading a single random cell, i.e. the amplifier is gone.")
+    print("(For the self-destructive system the simulated value sits slightly below")
+    print("a/(a+b): runs that end with BOTH species extinct count as failures under the")
+    print("paper's strict definition; the exact column scores such dead heats as 1/2,")
+    print("which is the convention under which Theorem 20 is an exact identity.)\n")
+
+
+def intraspecific_only_demo() -> None:
+    print("=== 2. Intraspecific competition only (Theorem 25) ===\n")
+    params = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=0.0, gamma=1.0)
+    rows = []
+    for n in (64, 128, 256):
+        gap = n - 2  # the most extreme input difference possible
+        estimate = estimate_majority_probability(
+            params, LVState.from_gap(n, gap), num_runs=600, rng=n
+        )
+        rows.append(
+            {
+                "n": n,
+                "gap": gap,
+                "rho": round(estimate.majority_probability, 3),
+                "failure probability": round(1 - estimate.majority_probability, 3),
+                "1 - 1/n target": round(1 - 1 / n, 3),
+            }
+        )
+    print(format_table(rows))
+    print()
+    print("Even with the minority reduced to a single cell, the failure probability stays")
+    print("at a constant level as n grows: no initial difference makes this system a")
+    print("'with high probability' majority-consensus primitive.")
+
+
+def main() -> None:
+    balanced_competition_demo()
+    intraspecific_only_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate majority-consensus probabilities for both LV mechanisms.
+
+This example walks through the library's core workflow:
+
+1. define a two-species competitive Lotka-Volterra system (rates + mechanism),
+2. pick an initial configuration (total population n and gap Delta),
+3. estimate the majority-consensus probability rho(S) by Monte-Carlo
+   simulation of the jump chain, with confidence intervals,
+4. compare against the paper's theoretical threshold predictions (Table 1) and
+   against the exact first-step solution on a small instance.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LVParams,
+    LVState,
+    classify_regime,
+    estimate_majority_probability,
+    predicted_threshold,
+)
+from repro.analysis.tables import format_table
+from repro.chains import exact_majority_probability
+
+
+def main() -> None:
+    population_size = 256
+    gaps = [2, 8, 16, 32, 64]
+
+    systems = {
+        "self-destructive": LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0),
+        "non-self-destructive": LVParams.non_self_destructive(beta=1.0, delta=1.0, alpha=1.0),
+    }
+
+    print("=== Majority consensus in competitive Lotka-Volterra systems ===\n")
+    for label, params in systems.items():
+        classification = classify_regime(params)
+        prediction = predicted_threshold(params)
+        print(f"[{label}] {params.describe()}")
+        print(f"  Table 1 regime: {classification.row.value}")
+        print(
+            f"  predicted threshold range: {prediction.lower_label} ... {prediction.upper_label}"
+        )
+
+        rows = []
+        for gap in gaps:
+            state = LVState.from_gap(population_size, gap)
+            estimate = estimate_majority_probability(params, state, num_runs=300, rng=gap)
+            rows.append(
+                {
+                    "gap": gap,
+                    "rho": round(estimate.majority_probability, 3),
+                    "CI low": round(estimate.success.lower, 3),
+                    "CI high": round(estimate.success.upper, 3),
+                    "mean T(S)": round(estimate.mean_consensus_time, 1),
+                    "mean J(S)": round(estimate.mean_bad_events, 2),
+                }
+            )
+        print(format_table(rows, title=f"  n = {population_size}"))
+        print()
+
+    print("=== Exact versus simulated on a small instance ===\n")
+    params = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    state = LVState(12, 6)
+    exact = exact_majority_probability(params, state.counts, max_count=60)
+    simulated = estimate_majority_probability(params, state, num_runs=2000, rng=0)
+    print(f"initial state {state}: exact rho = {exact.win_probability:.4f}, "
+          f"simulated rho = {simulated.majority_probability:.4f} "
+          f"[{simulated.success.lower:.4f}, {simulated.success.upper:.4f}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment in the paper-reproduction index and write the report.
+
+This is the driver behind ``EXPERIMENTS.md``: it runs every registered
+experiment (all Table-1 rows and all figure-style series listed in DESIGN.md),
+saves the raw results as JSON, and renders the markdown report comparing the
+paper's claims with the measured shapes.
+
+Run it with::
+
+    python examples/reproduce_paper.py --scale quick               # minutes
+    python examples/reproduce_paper.py --scale full                # longer, used for EXPERIMENTS.md
+    python examples/reproduce_paper.py --only T1R2 FIG-NOISE       # a subset
+
+Results are written next to the repository root by default
+(``experiment_results.<scale>.json`` and ``EXPERIMENTS.generated.md``) so that
+re-running never silently overwrites the checked-in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    list_experiments,
+    render_report,
+    run_experiment,
+    save_results,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="experiment identifiers to run (default: all)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory for the JSON results and the generated report",
+    )
+    arguments = parser.parse_args(argv)
+
+    identifiers = arguments.only or [spec.identifier for spec in list_experiments()]
+    results = []
+    json_path = arguments.output_dir / f"experiment_results.{arguments.scale}.json"
+    report_path = arguments.output_dir / "EXPERIMENTS.generated.md"
+
+    for identifier in identifiers:
+        started = time.perf_counter()
+        result = run_experiment(identifier, scale=arguments.scale, seed=arguments.seed)
+        elapsed = time.perf_counter() - started
+        verdict = (
+            "n/a"
+            if result.shape_matches_paper is None
+            else ("match" if result.shape_matches_paper else "MISMATCH")
+        )
+        print(f"[{identifier:>10}] {elapsed:8.1f}s  shape: {verdict}", flush=True)
+        results.append(result)
+        # Persist incrementally so partial sweeps are never lost.
+        save_results(results, json_path)
+        report_path.write_text(render_report(results))
+
+    print(f"\nwrote {json_path}")
+    print(f"wrote {report_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` can fall back to the legacy editable-install path on
+environments that lack the ``wheel`` package (PEP 660 editable installs with
+setuptools < 70 require it).
+"""
+
+from setuptools import setup
+
+setup()

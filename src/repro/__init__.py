@@ -1,0 +1,149 @@
+"""Reproduction of "Majority consensus thresholds in competitive Lotka–Volterra populations".
+
+The :mod:`repro` package implements the discrete, stochastic two-species
+Lotka–Volterra models of Függer, Nowak and Rybicki (PODC 2024) together with
+the machinery needed to reproduce the paper's results: general chemical
+reaction networks and Gillespie-style simulators, single-species birth–death
+and dominating chains, Monte-Carlo and exact majority-consensus analysis,
+baseline protocols from prior work, and the experiment harness regenerating
+every row of the paper's Table 1.
+
+Quickstart
+----------
+>>> from repro import LVParams, LVState, estimate_majority_probability
+>>> params = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+>>> estimate = estimate_majority_probability(params, LVState(70, 30), num_runs=100, rng=0)
+>>> estimate.majority_probability > 0.8
+True
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
+per-experiment index, and ``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    ReproError,
+    ModelError,
+    InvalidReactionError,
+    InvalidConfigurationError,
+    SimulationError,
+    BudgetExceededError,
+    AbsorptionError,
+    EstimationError,
+    ThresholdSearchError,
+    ExperimentError,
+)
+from repro.rng import as_generator, spawn_generators, spawn_seeds, stable_seed
+from repro.crn import (
+    Species,
+    Reaction,
+    ReactionNetwork,
+    build_lv_network,
+    build_birth_death_network,
+)
+from repro.kinetics import (
+    DirectMethodSimulator,
+    NextReactionSimulator,
+    JumpChainSimulator,
+    TauLeapingSimulator,
+    Trajectory,
+    ConsensusReached,
+    ExtinctionReached,
+    MaxEvents,
+    EventKind,
+)
+from repro.chains import (
+    BirthDeathChain,
+    certify_nice,
+    lv_dominating_birth_death,
+    simulate_extinction,
+    check_domination,
+    PseudoCoupling,
+    compare_domination,
+    exact_majority_probability,
+)
+from repro.lv import (
+    CompetitionMechanism,
+    LVParams,
+    LVState,
+    LVModel,
+    LVJumpChainSimulator,
+    DeterministicLV,
+    classify_regime,
+    Table1Row,
+)
+from repro.consensus import (
+    MajorityConsensusEstimator,
+    estimate_majority_probability,
+    find_threshold,
+    ThresholdSearch,
+    predicted_threshold,
+    high_probability_target,
+    proportional_win_probability,
+    applies_proportional_rule,
+    decompose_noise,
+)
+
+__all__ = [
+    "__version__",
+    # Exceptions
+    "ReproError",
+    "ModelError",
+    "InvalidReactionError",
+    "InvalidConfigurationError",
+    "SimulationError",
+    "BudgetExceededError",
+    "AbsorptionError",
+    "EstimationError",
+    "ThresholdSearchError",
+    "ExperimentError",
+    # RNG
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "stable_seed",
+    # CRN
+    "Species",
+    "Reaction",
+    "ReactionNetwork",
+    "build_lv_network",
+    "build_birth_death_network",
+    # Kinetics
+    "DirectMethodSimulator",
+    "NextReactionSimulator",
+    "JumpChainSimulator",
+    "TauLeapingSimulator",
+    "Trajectory",
+    "ConsensusReached",
+    "ExtinctionReached",
+    "MaxEvents",
+    "EventKind",
+    # Chains
+    "BirthDeathChain",
+    "certify_nice",
+    "lv_dominating_birth_death",
+    "simulate_extinction",
+    "check_domination",
+    "PseudoCoupling",
+    "compare_domination",
+    "exact_majority_probability",
+    # LV models
+    "CompetitionMechanism",
+    "LVParams",
+    "LVState",
+    "LVModel",
+    "LVJumpChainSimulator",
+    "DeterministicLV",
+    "classify_regime",
+    "Table1Row",
+    # Consensus analysis
+    "MajorityConsensusEstimator",
+    "estimate_majority_probability",
+    "find_threshold",
+    "ThresholdSearch",
+    "predicted_threshold",
+    "high_probability_target",
+    "proportional_win_probability",
+    "applies_proportional_rule",
+    "decompose_noise",
+]

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands cover the common entry points without writing any Python:
+
+``python -m repro list``
+    List every registered experiment with its paper claim.
+
+``python -m repro run T1R2 FIG-NOISE --scale quick``
+    Run selected experiments (or all of them with ``--all``) and print their
+    result tables; optionally save the JSON results and the markdown report.
+
+``python -m repro estimate --mechanism sd --population 256 --gap 16``
+    One-off Monte-Carlo estimate of the majority-consensus probability for a
+    given configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.consensus.estimator import estimate_majority_probability
+from repro.experiments import (
+    list_experiments,
+    render_report,
+    run_experiment,
+    save_results,
+)
+from repro.experiments.workloads import state_with_gap
+from repro.lv.params import LVParams
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction toolkit for 'Majority consensus thresholds in "
+        "competitive Lotka-Volterra populations' (PODC 2024).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
+    run_parser.add_argument("identifiers", nargs="*", help="experiment ids (see 'list')")
+    run_parser.add_argument("--all", action="store_true", help="run every experiment")
+    run_parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--json", type=Path, default=None, help="save raw results to this path")
+    run_parser.add_argument(
+        "--report", type=Path, default=None, help="write the markdown report to this path"
+    )
+
+    estimate_parser = subparsers.add_parser(
+        "estimate", help="estimate rho(S) for one configuration"
+    )
+    estimate_parser.add_argument("--mechanism", choices=("sd", "nsd"), default="sd")
+    estimate_parser.add_argument("--population", type=int, required=True)
+    estimate_parser.add_argument("--gap", type=int, required=True)
+    estimate_parser.add_argument("--beta", type=float, default=1.0)
+    estimate_parser.add_argument("--delta", type=float, default=1.0)
+    estimate_parser.add_argument("--alpha", type=float, default=1.0)
+    estimate_parser.add_argument("--gamma", type=float, default=0.0)
+    estimate_parser.add_argument("--runs", type=int, default=500)
+    estimate_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_list(_arguments: argparse.Namespace) -> int:
+    for spec in list_experiments():
+        print(f"{spec.identifier:>10}  {spec.title}")
+        print(f"{'':>12}{spec.paper_claim}")
+    return 0
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    if arguments.all:
+        identifiers = [spec.identifier for spec in list_experiments()]
+    else:
+        identifiers = arguments.identifiers
+    if not identifiers:
+        print("no experiments selected; pass ids or --all (see 'python -m repro list')")
+        return 2
+    results = []
+    for identifier in identifiers:
+        result = run_experiment(identifier, scale=arguments.scale, seed=arguments.seed)
+        results.append(result)
+        print(result.render_text())
+        print()
+    if arguments.json is not None:
+        save_results(results, arguments.json)
+        print(f"wrote {arguments.json}")
+    if arguments.report is not None:
+        arguments.report.write_text(render_report(results))
+        print(f"wrote {arguments.report}")
+    mismatched = [
+        result.identifier for result in results if result.shape_matches_paper is False
+    ]
+    if mismatched:
+        print(f"WARNING: measured shape does not match the paper for: {', '.join(mismatched)}")
+        return 1
+    return 0
+
+
+def _command_estimate(arguments: argparse.Namespace) -> int:
+    constructor = (
+        LVParams.self_destructive if arguments.mechanism == "sd" else LVParams.non_self_destructive
+    )
+    params = constructor(
+        beta=arguments.beta,
+        delta=arguments.delta,
+        alpha=arguments.alpha,
+        gamma=arguments.gamma,
+    )
+    state = state_with_gap(arguments.population, arguments.gap)
+    estimate = estimate_majority_probability(
+        params, state, num_runs=arguments.runs, rng=arguments.seed
+    )
+    print(f"model: {params.describe()}")
+    print(f"initial state: {state} (n = {state.total}, gap = {state.abs_gap})")
+    print(
+        f"rho estimate: {estimate.majority_probability:.4f} "
+        f"[{estimate.success.lower:.4f}, {estimate.success.upper:.4f}] "
+        f"({estimate.num_runs} runs)"
+    )
+    print(f"mean consensus time: {estimate.mean_consensus_time:.1f} events")
+    print(f"mean bad events J(S): {estimate.mean_bad_events:.2f}")
+    if estimate.dead_heat_rate > 0:
+        print(f"dead-heat rate: {estimate.dead_heat_rate:.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "list": _command_list,
+        "run": _command_run,
+        "estimate": _command_estimate,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Statistical analysis utilities.
+
+* :mod:`~repro.analysis.statistics` — binomial confidence intervals (Wilson),
+  bootstrap intervals, and sample-size planning,
+* :mod:`~repro.analysis.concentration` — the concentration inequalities used
+  throughout the paper (Chernoff, Hoeffding) as computable bound evaluators,
+* :mod:`~repro.analysis.scaling` — scaling-law fitting and model selection for
+  empirical thresholds (``log² n`` vs ``√n`` vs ``√n·log n`` vs ``n``),
+* :mod:`~repro.analysis.tables` — plain-text/markdown/CSV rendering of result
+  tables and series (the repository has no plotting dependency).
+"""
+
+from repro.analysis.statistics import (
+    BinomialEstimate,
+    wilson_interval,
+    binomial_estimate,
+    bootstrap_mean_interval,
+    required_samples,
+)
+from repro.analysis.concentration import (
+    chernoff_upper_tail,
+    chernoff_lower_tail,
+    hoeffding_two_sided,
+    chernoff_sample_bound,
+)
+from repro.analysis.scaling import (
+    ScalingLaw,
+    ScalingFit,
+    fit_scaling_law,
+    select_scaling_law,
+    CANDIDATE_LAWS,
+)
+from repro.analysis.tables import format_table, format_markdown_table, format_csv
+
+__all__ = [
+    "BinomialEstimate",
+    "wilson_interval",
+    "binomial_estimate",
+    "bootstrap_mean_interval",
+    "required_samples",
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "hoeffding_two_sided",
+    "chernoff_sample_bound",
+    "ScalingLaw",
+    "ScalingFit",
+    "fit_scaling_law",
+    "select_scaling_law",
+    "CANDIDATE_LAWS",
+    "format_table",
+    "format_markdown_table",
+    "format_csv",
+]

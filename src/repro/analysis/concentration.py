@@ -1,0 +1,98 @@
+"""Concentration inequalities used by the paper (Lemmas 1 and 2).
+
+These functions evaluate the *bounds themselves* — they take expectations and
+deviations and return the probability bound the inequality guarantees.  They
+are used in two places:
+
+* the theory module quotes them when deriving finite-``n`` predictions from
+  the asymptotic statements, and
+* the property-based tests check that empirical tail frequencies of simulated
+  sums never exceed the bounds (a sanity check of the simulators as much as of
+  the bounds).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import EstimationError
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "hoeffding_two_sided",
+    "chernoff_sample_bound",
+]
+
+
+def chernoff_upper_tail(expectation: float, epsilon: float) -> float:
+    """Chernoff bound ``Pr[X ≥ (1+ε)·E[X]] ≤ exp(−E[X]·ε²/(2+ε))`` (Lemma 1.1).
+
+    Parameters
+    ----------
+    expectation:
+        ``E[X]`` for a sum ``X`` of independent Bernoulli variables.
+    epsilon:
+        Relative deviation ``ε > 0``.
+    """
+    if expectation < 0:
+        raise EstimationError(f"expectation must be non-negative, got {expectation}")
+    if epsilon <= 0:
+        raise EstimationError(f"epsilon must be positive, got {epsilon}")
+    return min(1.0, math.exp(-expectation * epsilon * epsilon / (2.0 + epsilon)))
+
+
+def chernoff_lower_tail(expectation: float, epsilon: float) -> float:
+    """Chernoff bound ``Pr[X ≤ (1−ε)·E[X]] ≤ exp(−E[X]·ε²/2)`` (Lemma 1.2)."""
+    if expectation < 0:
+        raise EstimationError(f"expectation must be non-negative, got {expectation}")
+    if not 0.0 < epsilon < 1.0:
+        raise EstimationError(f"epsilon must be in (0, 1), got {epsilon}")
+    return min(1.0, math.exp(-expectation * epsilon * epsilon / 2.0))
+
+
+def hoeffding_two_sided(num_terms: int, deviation: float) -> float:
+    """Hoeffding bound ``Pr[|X − E[X]| ≥ t] ≤ 2·exp(−t²/(2n))`` for ``Xᵢ ∈ [-1, 1]``.
+
+    The paper's Lemma 2 displays the exponent ``−2t²/n``, which is the form of
+    Hoeffding's inequality for variables with range of width 1 (e.g.
+    ``[0, 1]``); for variables spanning ``[-1, 1]`` (width 2, the setting the
+    lemma states and the noise increments it is applied to) the correct
+    exponent is ``−2t²/(4n) = −t²/(2n)``, which is what this function
+    evaluates.  The property-based tests check empirically that simulated
+    ±1-valued sums respect this bound (and would violate the stronger
+    constant), so we keep the mathematically valid form; the asymptotic
+    conclusions drawn from the lemma in the paper are unaffected.
+    """
+    if num_terms <= 0:
+        raise EstimationError(f"num_terms must be positive, got {num_terms}")
+    if deviation < 0:
+        raise EstimationError(f"deviation must be non-negative, got {deviation}")
+    return min(1.0, 2.0 * math.exp(-deviation * deviation / (2.0 * num_terms)))
+
+
+def chernoff_sample_bound(expectation: float, failure_probability: float) -> float:
+    """Deviation ``t`` such that ``Pr[X ≥ E[X] + t]`` is below *failure_probability*.
+
+    Inverts the upper-tail Chernoff bound numerically (monotone in ε) —
+    convenient when the theory module converts "with high probability" claims
+    into concrete finite-``n`` deviation predictions.
+    """
+    if expectation <= 0:
+        raise EstimationError(f"expectation must be positive, got {expectation}")
+    if not 0.0 < failure_probability < 1.0:
+        raise EstimationError(
+            f"failure_probability must be in (0, 1), got {failure_probability}"
+        )
+    low, high = 1e-9, 1.0
+    while chernoff_upper_tail(expectation, high) > failure_probability:
+        high *= 2.0
+        if high > 1e12:
+            raise EstimationError("failed to bracket the Chernoff deviation")
+    for _ in range(200):
+        middle = (low + high) / 2.0
+        if chernoff_upper_tail(expectation, middle) > failure_probability:
+            low = middle
+        else:
+            high = middle
+    return high * expectation

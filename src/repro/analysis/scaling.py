@@ -1,0 +1,126 @@
+"""Scaling-law fitting for empirical majority-consensus thresholds.
+
+The paper's headline result is a *shape* statement: the threshold grows
+polylogarithmically under self-destructive competition but polynomially
+(``√n`` up to log factors) under non-self-destructive competition.  To verify
+the shape from finite data, this module fits candidate one-parameter scaling
+laws ``Ψ(n) ≈ c · g(n)`` by least squares and ranks them by residual error,
+reporting which growth function explains the measurements best.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+__all__ = ["ScalingLaw", "ScalingFit", "CANDIDATE_LAWS", "fit_scaling_law", "select_scaling_law"]
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """A one-parameter candidate growth law ``c · g(n)``."""
+
+    name: str
+    function: Callable[[float], float]
+
+    def evaluate(self, n: float) -> float:
+        value = self.function(float(n))
+        if value <= 0 or not math.isfinite(value):
+            raise EstimationError(
+                f"scaling law {self.name!r} must be positive and finite at n={n}"
+            )
+        return value
+
+
+#: Candidate laws covering every regime appearing in Table 1.
+CANDIDATE_LAWS: tuple[ScalingLaw, ...] = (
+    ScalingLaw("sqrt(log n)", lambda n: math.sqrt(math.log(n))),
+    ScalingLaw("log n", lambda n: math.log(n)),
+    ScalingLaw("log^2 n", lambda n: math.log(n) ** 2),
+    ScalingLaw("sqrt(n)", lambda n: math.sqrt(n)),
+    ScalingLaw("sqrt(n log n)", lambda n: math.sqrt(n * math.log(n))),
+    ScalingLaw("sqrt(n) log n", lambda n: math.sqrt(n) * math.log(n)),
+    ScalingLaw("n", lambda n: float(n)),
+)
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Least-squares fit of one scaling law to threshold measurements.
+
+    Attributes
+    ----------
+    law:
+        The candidate law.
+    coefficient:
+        Fitted constant ``c`` in ``Ψ(n) ≈ c · g(n)``.
+    relative_rmse:
+        Root-mean-square of the *relative* residuals
+        ``(measured − predicted) / measured``; dimensionless, comparable
+        across laws and data scales.
+    log_rmse:
+        Root-mean-square residual in log space, an alternative ranking metric
+        robust to the absolute scale of the thresholds.
+    """
+
+    law: ScalingLaw
+    coefficient: float
+    relative_rmse: float
+    log_rmse: float
+
+    def predict(self, n: float) -> float:
+        """Predicted threshold at population size *n*."""
+        return self.coefficient * self.law.evaluate(n)
+
+
+def fit_scaling_law(
+    sizes: Sequence[float], thresholds: Sequence[float], law: ScalingLaw
+) -> ScalingFit:
+    """Fit ``thresholds ≈ c · law(sizes)`` by least squares in log space.
+
+    Fitting in log space weights all population sizes equally (a plain linear
+    least-squares fit would be dominated by the largest ``n``), which matters
+    because the growth laws differ most at the small-``n`` end of a sweep.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    thresholds = np.asarray(thresholds, dtype=float)
+    if sizes.shape != thresholds.shape or sizes.size == 0:
+        raise EstimationError("sizes and thresholds must be equal-length, non-empty")
+    if np.any(sizes <= 1) or np.any(thresholds <= 0):
+        raise EstimationError("sizes must exceed 1 and thresholds must be positive")
+    basis = np.array([law.evaluate(n) for n in sizes])
+    # Least squares in log space: log(threshold) = log(c) + log(basis).
+    log_c = float(np.mean(np.log(thresholds) - np.log(basis)))
+    coefficient = math.exp(log_c)
+    predicted = coefficient * basis
+    relative_residuals = (thresholds - predicted) / thresholds
+    log_residuals = np.log(thresholds) - np.log(predicted)
+    return ScalingFit(
+        law=law,
+        coefficient=coefficient,
+        relative_rmse=float(np.sqrt(np.mean(relative_residuals**2))),
+        log_rmse=float(np.sqrt(np.mean(log_residuals**2))),
+    )
+
+
+def select_scaling_law(
+    sizes: Sequence[float],
+    thresholds: Sequence[float],
+    *,
+    candidates: Sequence[ScalingLaw] = CANDIDATE_LAWS,
+) -> list[ScalingFit]:
+    """Fit every candidate law and return the fits sorted by log-space RMSE.
+
+    The first element is the best-fitting law.  Callers interested in the
+    polylog-vs-polynomial dichotomy can also compare the best polylogarithmic
+    candidate against the best polynomial candidate directly.
+    """
+    if not candidates:
+        raise EstimationError("at least one candidate law is required")
+    fits = [fit_scaling_law(sizes, thresholds, law) for law in candidates]
+    return sorted(fits, key=lambda fit: fit.log_rmse)

@@ -1,0 +1,157 @@
+"""Binomial and bootstrap statistics for Monte-Carlo estimates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import EstimationError
+from repro.rng import SeedLike, as_generator
+
+__all__ = [
+    "BinomialEstimate",
+    "wilson_interval",
+    "binomial_estimate",
+    "bootstrap_mean_interval",
+    "required_samples",
+]
+
+
+@dataclass(frozen=True)
+class BinomialEstimate:
+    """A binomial proportion estimate with a Wilson confidence interval.
+
+    Attributes
+    ----------
+    successes, trials:
+        Raw counts.
+    estimate:
+        Point estimate ``successes / trials``.
+    lower, upper:
+        Wilson score interval bounds at the requested confidence level.
+    confidence:
+        Confidence level of the interval (e.g. 0.95).
+    """
+
+    successes: int
+    trials: int
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+    def excludes(self, value: float) -> bool:
+        """Whether *value* lies outside the confidence interval."""
+        return value < self.lower or value > self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.4f} [{self.lower:.4f}, {self.upper:.4f}] "
+            f"({self.successes}/{self.trials})"
+        )
+
+
+def wilson_interval(
+    successes: int, trials: int, *, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The Wilson interval has good coverage even for proportions near 0 or 1,
+    which is exactly the regime of interest for "with high probability"
+    statements (ρ close to 1).
+
+    Examples
+    --------
+    >>> low, high = wilson_interval(90, 100)
+    >>> 0.8 < low < 0.9 < high < 0.96
+    True
+    """
+    if trials <= 0:
+        raise EstimationError(f"trials must be positive, got {trials}")
+    if successes < 0 or successes > trials:
+        raise EstimationError(
+            f"successes must lie in [0, trials]; got {successes}/{trials}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(f"confidence must be in (0, 1), got {confidence}")
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    p_hat = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2.0 * trials)) / denominator
+    margin = (
+        z
+        * float(np.sqrt(p_hat * (1.0 - p_hat) / trials + z * z / (4.0 * trials * trials)))
+        / denominator
+    )
+    lower = max(0.0, centre - margin)
+    upper = min(1.0, centre + margin)
+    # Guard against floating-point noise at the boundaries (p_hat of 0 or 1):
+    # the interval must always contain the point estimate.
+    return (float(min(lower, p_hat)), float(max(upper, p_hat)))
+
+
+def binomial_estimate(
+    successes: int, trials: int, *, confidence: float = 0.95
+) -> BinomialEstimate:
+    """Bundle a point estimate with its Wilson interval."""
+    lower, upper = wilson_interval(successes, trials, confidence=confidence)
+    return BinomialEstimate(
+        successes=int(successes),
+        trials=int(trials),
+        estimate=successes / trials,
+        lower=lower,
+        upper=upper,
+        confidence=confidence,
+    )
+
+
+def bootstrap_mean_interval(
+    samples: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    rng: SeedLike = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for a sample mean.
+
+    Used for heavy-tailed quantities such as consensus times, where a normal
+    approximation is questionable at moderate sample sizes.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise EstimationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(f"confidence must be in (0, 1), got {confidence}")
+    if num_resamples <= 0:
+        raise EstimationError(f"num_resamples must be positive, got {num_resamples}")
+    generator = as_generator(rng)
+    indices = generator.integers(0, samples.size, size=(num_resamples, samples.size))
+    means = samples[indices].mean(axis=1)
+    lower = float(np.quantile(means, (1.0 - confidence) / 2.0))
+    upper = float(np.quantile(means, 1.0 - (1.0 - confidence) / 2.0))
+    return (lower, upper)
+
+
+def required_samples(
+    target_half_width: float, *, worst_case_p: float = 0.5, confidence: float = 0.95
+) -> int:
+    """Number of Bernoulli samples needed for a normal-approximation interval.
+
+    Useful for planning how many trajectories a sweep point needs so that the
+    confidence interval of ρ is narrower than *target_half_width*.
+    """
+    if not 0.0 < target_half_width < 1.0:
+        raise EstimationError(
+            f"target_half_width must be in (0, 1), got {target_half_width}"
+        )
+    if not 0.0 < worst_case_p < 1.0:
+        raise EstimationError(f"worst_case_p must be in (0, 1), got {worst_case_p}")
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    variance = worst_case_p * (1.0 - worst_case_p)
+    return int(np.ceil(z * z * variance / (target_half_width * target_half_width)))

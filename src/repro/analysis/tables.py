@@ -1,0 +1,116 @@
+"""Plain-text, markdown, and CSV rendering of result tables.
+
+The repository intentionally has no plotting dependency; every "figure" in the
+experiment harness is a table of numeric series.  This module renders such
+tables consistently for terminal output (examples), EXPERIMENTS.md (markdown),
+and machine-readable exports (CSV).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_csv"]
+
+
+def _stringify(value: Any, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def _normalise_rows(
+    rows: Iterable[Mapping[str, Any]] | Iterable[Sequence[Any]],
+    columns: Sequence[str] | None,
+) -> tuple[list[str], list[list[Any]]]:
+    rows = list(rows)
+    if not rows:
+        if columns is None:
+            raise ValueError("cannot format an empty table without explicit columns")
+        return list(columns), []
+    first = rows[0]
+    if isinstance(first, Mapping):
+        if columns is None:
+            columns = list(first.keys())
+        data = [[row.get(column) for column in columns] for row in rows]  # type: ignore[union-attr]
+    else:
+        if columns is None:
+            raise ValueError("columns are required when rows are sequences")
+        data = [list(row) for row in rows]  # type: ignore[arg-type]
+        for row in data:
+            if len(row) != len(columns):
+                raise ValueError(
+                    f"row has {len(row)} cells but {len(columns)} columns were given"
+                )
+    return list(columns), data
+
+
+def format_table(
+    rows: Iterable[Mapping[str, Any]] | Iterable[Sequence[Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = ".4g",
+    title: str = "",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Rows may be mappings (column name → value) or sequences matching
+    *columns*.  Floats are formatted with *float_format*; ``None`` renders as
+    ``-``.
+    """
+    header, data = _normalise_rows(rows, columns)
+    cells = [[_stringify(value, float_format) for value in row] for row in data]
+    widths = [len(name) for name in header]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(values: Sequence[str]) -> str:
+        return "  ".join(value.rjust(widths[i]) for i, value in enumerate(values))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Iterable[Mapping[str, Any]] | Iterable[Sequence[Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = ".4g",
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    header, data = _normalise_rows(rows, columns)
+    cells = [[_stringify(value, float_format) for value in row] for row in data]
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_csv(
+    rows: Iterable[Mapping[str, Any]] | Iterable[Sequence[Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = ".10g",
+) -> str:
+    """Render rows as CSV text (comma-separated, header included)."""
+    import csv
+
+    header, data = _normalise_rows(rows, columns)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for row in data:
+        writer.writerow([_stringify(value, float_format) for value in row])
+    return buffer.getvalue()

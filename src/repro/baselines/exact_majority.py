@@ -1,0 +1,68 @@
+"""The 4-state exact majority protocol (Draief–Vojnović, Mertzios et al.).
+
+States are the two *strong* opinions ``"A"``/``"B"`` and the two *weak*
+opinions ``"a"``/``"b"``.  Transitions (initiator, responder) — the protocol
+is symmetric so only the unordered content matters:
+
+* ``A + B → a + b`` (two strong opposite opinions cancel to weak),
+* ``A + b → A + a`` (a strong opinion converts an opposing weak one),
+* ``B + a → B + b``,
+
+all other pairs are no-ops.  The protocol always converges to the correct
+majority for any positive initial gap (exact majority), at the cost of
+``Θ(n²)`` expected interactions in the worst case — the trade-off the paper
+contrasts with approximate protocols and with the LV dynamics, where exactness
+is unattainable because of demographic noise.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.baselines.population import PopulationProtocol
+
+__all__ = ["ExactMajorityProtocol"]
+
+
+class ExactMajorityProtocol(PopulationProtocol):
+    """Four-state exact majority (Draief and Vojnović 2012).
+
+    Examples
+    --------
+    >>> protocol = ExactMajorityProtocol()
+    >>> result = protocol.run(26, 24, rng=1)
+    >>> result.converged and result.output == 0
+    True
+    """
+
+    states = ("A", "B", "a", "b")
+
+    def initial_state(self, input_bit: int) -> str:
+        return "A" if input_bit == 0 else "B"
+
+    def transition(self, initiator: str, responder: str) -> tuple[str, str]:
+        pair = {initiator, responder}
+        if pair == {"A", "B"}:
+            return ("a", "b") if initiator == "A" else ("b", "a")
+        if initiator == "A" and responder == "b":
+            return "A", "a"
+        if initiator == "b" and responder == "A":
+            return "a", "A"
+        if initiator == "B" and responder == "a":
+            return "B", "b"
+        if initiator == "a" and responder == "B":
+            return "b", "B"
+        return initiator, responder
+
+    def output(self, state: str) -> int:
+        return 0 if state in ("A", "a") else 1
+
+    def has_converged(self, counts: Mapping[str, int]) -> bool:
+        """Converged when every remaining agent outputs the same bit.
+
+        With a non-zero initial gap the strong opinions of the minority are
+        eventually wiped out and every weak agent is converted, so this test
+        terminates with probability 1.
+        """
+        outputs = {self.output(state) for state, count in counts.items() if count > 0}
+        return len(outputs) == 1

@@ -1,0 +1,198 @@
+"""Population-protocol scheduler (stochastic pairwise interactions).
+
+The population protocol model (Angluin et al., Section 2.2 of the paper) keeps
+the population size fixed: in each step a uniformly random *ordered* pair of
+distinct agents (initiator, responder) is selected and both update their state
+according to a deterministic transition function.  The model captures
+interaction-pattern randomness but none of the demographic noise the paper
+studies, which is exactly why it serves as a baseline.
+
+Protocols are described by subclassing :class:`PopulationProtocol` and
+implementing the transition function plus an output map; the scheduler tracks
+only the *counts* of each state (the dynamics depend on nothing else), so runs
+with millions of agents are cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidConfigurationError, SimulationError
+from repro.rng import SeedLike, as_generator
+
+__all__ = ["PopulationProtocol", "ProtocolRunResult"]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class ProtocolRunResult:
+    """Outcome of one population-protocol execution.
+
+    Attributes
+    ----------
+    final_counts:
+        Mapping from protocol state to agent count at termination.
+    interactions:
+        Number of pairwise interactions executed.
+    converged:
+        Whether the run terminated because the protocol reported convergence
+        (as opposed to exhausting the interaction budget).
+    output:
+        The common output bit if all agents agree on an output, else ``None``.
+    majority_consensus:
+        Whether the common output equals the initial majority input bit.
+    """
+
+    final_counts: dict[State, int]
+    interactions: int
+    converged: bool
+    output: int | None
+    majority_consensus: bool
+
+
+class PopulationProtocol:
+    """Base class for population protocols under the random scheduler.
+
+    Subclasses define
+
+    * :attr:`states` — the finite state set,
+    * :meth:`initial_state` — input bit (0/1) → initial agent state,
+    * :meth:`transition` — (initiator, responder) → (initiator', responder'),
+    * :meth:`output` — state → output bit, and optionally
+    * :meth:`has_converged` — counts → bool for early termination (the default
+      declares convergence when all agents output the same bit and no pending
+      "undecided" work remains, which subclasses refine).
+    """
+
+    #: Finite list of states; subclasses must override.
+    states: Sequence[State] = ()
+
+    # ------------------------------------------------------------------
+    # Protocol definition hooks
+    # ------------------------------------------------------------------
+    def initial_state(self, input_bit: int) -> State:
+        raise NotImplementedError
+
+    def transition(self, initiator: State, responder: State) -> tuple[State, State]:
+        raise NotImplementedError
+
+    def output(self, state: State) -> int:
+        raise NotImplementedError
+
+    def has_converged(self, counts: Mapping[State, int]) -> bool:
+        """Default convergence test: every present state outputs the same bit."""
+        outputs = {self.output(state) for state, count in counts.items() if count > 0}
+        return len(outputs) == 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def initial_counts(self, majority_agents: int, minority_agents: int) -> dict[State, int]:
+        """Counts after assigning inputs (majority species gets input bit 0)."""
+        if majority_agents <= 0 or minority_agents < 0:
+            raise InvalidConfigurationError(
+                "majority_agents must be positive and minority_agents non-negative; "
+                f"got {majority_agents}, {minority_agents}"
+            )
+        counts = {state: 0 for state in self.states}
+        majority_state = self.initial_state(0)
+        minority_state = self.initial_state(1)
+        if majority_state not in counts or minority_state not in counts:
+            raise SimulationError("initial_state returned a state outside `states`")
+        counts[majority_state] += majority_agents
+        counts[minority_state] += minority_agents
+        return counts
+
+    def run(
+        self,
+        majority_agents: int,
+        minority_agents: int,
+        *,
+        rng: SeedLike = None,
+        max_interactions: int | None = None,
+    ) -> ProtocolRunResult:
+        """Run the protocol from the given input split until convergence.
+
+        Parameters
+        ----------
+        majority_agents, minority_agents:
+            Number of agents starting with the majority (bit 0) and minority
+            (bit 1) inputs.
+        max_interactions:
+            Interaction budget; defaults to ``50 · n²`` which comfortably
+            covers both the ``O(n log n)`` approximate-majority and the
+            ``O(n²)`` exact-majority regimes for the sizes used in tests.
+        """
+        generator = as_generator(rng)
+        counts = self.initial_counts(majority_agents, minority_agents)
+        population = majority_agents + minority_agents
+        if population < 2:
+            raise InvalidConfigurationError("population protocols need at least two agents")
+        if max_interactions is None:
+            max_interactions = 50 * population * population
+
+        state_list = list(self.states)
+        state_index = {state: i for i, state in enumerate(state_list)}
+        vector = np.array([counts.get(state, 0) for state in state_list], dtype=np.int64)
+
+        interactions = 0
+        converged = self.has_converged(_to_mapping(state_list, vector))
+        while not converged and interactions < max_interactions:
+            initiator_index = _sample_state(vector, population, generator)
+            vector[initiator_index] -= 1
+            responder_index = _sample_state(vector, population - 1, generator)
+            vector[initiator_index] += 1
+
+            initiator = state_list[initiator_index]
+            responder = state_list[responder_index]
+            new_initiator, new_responder = self.transition(initiator, responder)
+            if new_initiator not in state_index or new_responder not in state_index:
+                raise SimulationError(
+                    f"transition({initiator!r}, {responder!r}) returned a state outside `states`"
+                )
+            vector[initiator_index] -= 1
+            vector[responder_index] -= 1
+            vector[state_index[new_initiator]] += 1
+            vector[state_index[new_responder]] += 1
+            interactions += 1
+            if interactions % population == 0 or interactions < 32:
+                converged = self.has_converged(_to_mapping(state_list, vector))
+
+        final_counts = _to_mapping(state_list, vector)
+        converged = self.has_converged(final_counts)
+        output = self._common_output(final_counts) if converged else None
+        return ProtocolRunResult(
+            final_counts={state: int(count) for state, count in final_counts.items()},
+            interactions=interactions,
+            converged=converged,
+            output=output,
+            majority_consensus=converged and output == 0,
+        )
+
+    # ------------------------------------------------------------------
+    def _common_output(self, counts: Mapping[State, int]) -> int | None:
+        outputs = {self.output(state) for state, count in counts.items() if count > 0}
+        if len(outputs) == 1:
+            return outputs.pop()
+        return None
+
+
+def _to_mapping(state_list: Sequence[State], vector: np.ndarray) -> dict[State, int]:
+    return {state: int(vector[i]) for i, state in enumerate(state_list)}
+
+
+def _sample_state(vector: np.ndarray, total: int, rng: np.random.Generator) -> int:
+    """Sample an agent uniformly and return the index of its state."""
+    if total <= 0:
+        raise SimulationError("cannot sample an agent from an empty population")
+    threshold = rng.integers(0, total)
+    cumulative = 0
+    for index, count in enumerate(vector):
+        cumulative += count
+        if threshold < cumulative:
+            return index
+    raise SimulationError("state counts are inconsistent with the population size")

@@ -1,0 +1,57 @@
+"""Markov-chain substrate: birth–death chains, nice chains, dominating chains.
+
+This subpackage implements the single-species machinery of Sections 4 and 5 of
+the paper:
+
+* :class:`~repro.chains.birth_death.BirthDeathChain` — a discrete-time chain
+  on the non-negative integers defined by birth/death probability functions
+  ``p`` and ``q``, with simulation and exact analysis helpers,
+* :mod:`~repro.chains.nice` — "nice" chains (``p(m) ≤ C/m``, ``q(m) ≥ D``)
+  with measurement of extinction time ``E(n)`` and birth count ``B(n)``
+  (Lemmas 5–8),
+* :mod:`~repro.chains.dominating` — the dominating chain of Section 5.2 for
+  competitive LV systems and the asynchronous pseudo-coupling simulator of
+  Section 5.1,
+* :mod:`~repro.chains.absorption` — exact expected absorption times and
+  absorption probabilities for birth–death chains (linear solves),
+* :mod:`~repro.chains.first_step` — exact ``ρ(a, b)`` for two-species LV
+  chains by first-step analysis on a truncated state space.
+"""
+
+from repro.chains.birth_death import BirthDeathChain, BirthDeathSummary
+from repro.chains.nice import (
+    NiceChainCertificate,
+    certify_nice,
+    lv_dominating_birth_death,
+    simulate_extinction,
+)
+from repro.chains.dominating import (
+    DominatingChainReport,
+    PseudoCoupling,
+    check_domination,
+    compare_domination,
+)
+from repro.chains.absorption import (
+    expected_absorption_time,
+    absorption_probabilities,
+    expected_births_before_absorption,
+)
+from repro.chains.first_step import exact_majority_probability, FirstStepResult
+
+__all__ = [
+    "BirthDeathChain",
+    "BirthDeathSummary",
+    "NiceChainCertificate",
+    "certify_nice",
+    "lv_dominating_birth_death",
+    "simulate_extinction",
+    "DominatingChainReport",
+    "PseudoCoupling",
+    "check_domination",
+    "compare_domination",
+    "expected_absorption_time",
+    "absorption_probabilities",
+    "expected_births_before_absorption",
+    "exact_majority_probability",
+    "FirstStepResult",
+]

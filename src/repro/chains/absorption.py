@@ -1,0 +1,143 @@
+"""Exact absorption analysis of birth–death chains.
+
+These solvers compute, on a truncated state space ``{0, ..., max_state}``,
+
+* the expected number of steps until absorption at 0 from each state
+  (:func:`expected_absorption_time`),
+* the probability of eventually being absorbed at 0 versus "escaping" past the
+  truncation boundary (:func:`absorption_probabilities`), and
+* the expected number of *birth* events before absorption
+  (:func:`expected_births_before_absorption`),
+
+all by solving the standard first-step linear systems.  They serve as exact
+oracles for the Monte-Carlo measurements in :mod:`repro.chains.nice` and as
+an independent numerical check of Lemmas 5 and 6 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chains.birth_death import BirthDeathChain
+from repro.exceptions import AbsorptionError
+
+__all__ = [
+    "expected_absorption_time",
+    "absorption_probabilities",
+    "expected_births_before_absorption",
+]
+
+
+def _transient_transition_blocks(
+    chain: BirthDeathChain, max_state: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (P_transient, birth_probs, death_probs) over states 1..max_state.
+
+    ``P_transient`` is the sub-stochastic transition matrix restricted to the
+    transient states (1..max_state), with births out of ``max_state`` treated
+    as holding steps (reflecting truncation).
+    """
+    if max_state < 1:
+        raise AbsorptionError(f"max_state must be at least 1, got {max_state}")
+    states = np.arange(1, max_state + 1)
+    births = np.array([chain.birth_probability(int(n)) for n in states])
+    deaths = np.array([chain.death_probability(int(n)) for n in states])
+    holds = 1.0 - births - deaths
+
+    size = max_state
+    matrix = np.zeros((size, size))
+    for i, state in enumerate(states):
+        hold = holds[i]
+        if state + 1 <= max_state:
+            matrix[i, i + 1] = births[i]
+        else:
+            hold += births[i]
+        if state - 1 >= 1:
+            matrix[i, i - 1] = deaths[i]
+        matrix[i, i] = hold
+    return matrix, births, deaths
+
+
+def expected_absorption_time(chain: BirthDeathChain, max_state: int) -> np.ndarray:
+    """Expected steps to absorption at 0 from each state ``1..max_state``.
+
+    Solves ``(I - P) t = 1`` where ``P`` is the transient transition matrix.
+    Entry ``i`` of the returned array is the expected absorption time from
+    state ``i + 1``.
+
+    Raises
+    ------
+    AbsorptionError
+        If the linear system is singular, which signals that absorption is not
+        certain on the truncated space (e.g. a pure-birth chain).
+    """
+    matrix, _, _ = _transient_transition_blocks(chain, max_state)
+    identity = np.eye(max_state)
+    try:
+        times = np.linalg.solve(identity - matrix, np.ones(max_state))
+    except np.linalg.LinAlgError as error:
+        raise AbsorptionError(
+            "expected absorption time is not finite on the truncated state space"
+        ) from error
+    if np.any(times < -1e-9) or not np.all(np.isfinite(times)):
+        raise AbsorptionError("absorption-time solve produced invalid (negative) values")
+    return times
+
+
+def absorption_probabilities(chain: BirthDeathChain, max_state: int) -> np.ndarray:
+    """Probability of hitting 0 before exceeding ``max_state``, per start state.
+
+    Entry ``i`` is the probability, starting from state ``i + 1``, of reaching
+    0 before ever attempting a birth out of ``max_state``.  For chains that are
+    absorbed at 0 with probability 1 this converges to 1 as ``max_state`` grows.
+    """
+    if max_state < 1:
+        raise AbsorptionError(f"max_state must be at least 1, got {max_state}")
+    states = np.arange(1, max_state + 1)
+    births = np.array([chain.birth_probability(int(n)) for n in states])
+    deaths = np.array([chain.death_probability(int(n)) for n in states])
+    holds = 1.0 - births - deaths
+
+    # Build the transient matrix *without* reflecting at the boundary: births
+    # out of max_state leak to the "escape" absorbing class instead.
+    size = max_state
+    matrix = np.zeros((size, size))
+    reward = np.zeros(size)
+    for i, state in enumerate(states):
+        if state + 1 <= max_state:
+            matrix[i, i + 1] = births[i]
+        if state - 1 >= 1:
+            matrix[i, i - 1] = deaths[i]
+        else:
+            reward[i] = deaths[i]  # absorption at 0 from state 1
+        matrix[i, i] = holds[i]
+    try:
+        probabilities = np.linalg.solve(np.eye(size) - matrix, reward)
+    except np.linalg.LinAlgError as error:
+        raise AbsorptionError("absorption-probability solve failed") from error
+    return np.clip(probabilities, 0.0, 1.0)
+
+
+def expected_births_before_absorption(chain: BirthDeathChain, max_state: int) -> np.ndarray:
+    """Expected number of birth events before absorption, per start state.
+
+    Solves ``(I - P) b = p`` where ``p`` is the per-state birth probability.
+    Entry ``i`` of the result is ``E[B(i + 1)]``, the quantity bounded by
+    ``O(log n)`` in Lemma 6 for nice chains.
+    """
+    matrix, births, _ = _transient_transition_blocks(chain, max_state)
+    identity = np.eye(max_state)
+    # With the reflecting truncation a birth at max_state is counted as a
+    # holding step, so drop it from the reward vector as well for consistency.
+    reward = births.copy()
+    reward[-1] = 0.0
+    try:
+        values = np.linalg.solve(identity - matrix, reward)
+    except np.linalg.LinAlgError as error:
+        raise AbsorptionError(
+            "expected-births solve failed; the chain may not be absorbed on the "
+            "truncated state space"
+        ) from error
+    if np.any(values < -1e-9) or not np.all(np.isfinite(values)):
+        raise AbsorptionError("expected-births solve produced invalid values")
+    return values

@@ -1,0 +1,113 @@
+"""Closed-form consensus probabilities (Theorems 20 and 23, and prior work).
+
+Two regimes of Table 1 admit exact answers:
+
+* **Balanced inter-/intraspecific competition.**  For self-destructive
+  competition with ``α = γ`` (Theorem 20), and for neutral non-self-
+  destructive competition with ``γ = 2α₀`` (Theorem 23), the probability that
+  species 0 wins from ``(a, b)`` is exactly ``a / (a + b)``, independent of
+  β and δ.
+* **No competition.**  With ``α = γ = 0`` and ``β = δ`` the two species are
+  independent critical birth–death chains and the same formula applies
+  (Andaur et al., cited as prior work in Table 1 row 5).
+
+These formulas are used as references by the exact first-step solver tests,
+the Monte-Carlo estimator tests, and the `T1R2`/`T1R5` benchmarks.
+
+A subtlety worth recording: under *self-destructive* competition the chain can
+end in the simultaneous-extinction state ``(0, 0)`` (an interspecific event
+fired in state ``(1, 1)``), in which no species has won under the paper's
+strict definition.  Theorem 20's identity ``ρ = a/(a+b)`` holds exactly under
+the convention that such a dead heat counts as one half (equivalently, for the
+recurrence of Eq. 8 with boundary value ``ρ(0, 0) = 1/2``); with the strict
+definition the measured success probability sits slightly below ``a/(a+b)``,
+by exactly half the dead-heat probability.  The exact solver exposes this via
+its ``dead_heat_value`` argument, and :class:`repro.consensus.estimator.\
+ConsensusEstimate` reports the observed ``dead_heat_rate``.  Non-self-
+destructive systems never hit ``(0, 0)``, so Theorem 23 needs no convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ModelError
+from repro.lv.params import LVParams
+from repro.lv.state import LVState
+
+__all__ = [
+    "proportional_win_probability",
+    "applies_proportional_rule",
+    "no_competition_win_probability",
+]
+
+_REL_TOL = 1e-9
+
+
+def proportional_win_probability(state: LVState | tuple[int, int]) -> float:
+    """The exact win probability ``a / (a + b)`` for species 0.
+
+    Valid in the regimes listed in the module docstring; this function only
+    evaluates the formula and does not check applicability — use
+    :func:`applies_proportional_rule` for that.
+    """
+    if isinstance(state, tuple):
+        state = LVState(int(state[0]), int(state[1]))
+    if state.total == 0:
+        raise ModelError("the win probability is undefined for the empty configuration")
+    return state.x0 / state.total
+
+
+def applies_proportional_rule(params: LVParams) -> bool:
+    """Whether the paper proves ``ρ(a, b) = a/(a+b)`` for *params*.
+
+    The sufficient conditions, translated into this library's
+    parameterisation (``α = α₀ + α₁`` and per-species intraspecific rates
+    ``γ₀, γ₁``), are:
+
+    * self-destructive competition with ``γ₀ = γ₁ = α₀ + α₁`` (Theorem 20's
+      "α = γ": the paper's Section-8 model writes ``α`` for the *total*
+      interspecific rate and ``γ`` for the *per-species* intraspecific rate),
+    * neutral non-self-destructive competition with ``γ₀ = γ₁ = 2 α₀``
+      (Theorem 23's "γ = 2α"), or
+    * no competition at all with ``β = δ`` (prior work, Table 1 row 5); the
+      criticality requirement matters because otherwise the two independent
+      chains are biased by their own survival probabilities rather than pure
+      chance.
+    """
+    alpha = params.alpha
+    gamma = params.gamma
+    if alpha == 0.0 and gamma == 0.0:
+        return math.isclose(params.beta, params.delta, rel_tol=_REL_TOL)
+    intra_balanced = (
+        gamma > 0.0
+        and math.isclose(params.gamma0, params.gamma1, rel_tol=_REL_TOL)
+        and math.isclose(params.gamma0, alpha, rel_tol=_REL_TOL)
+    )
+    if params.is_self_destructive:
+        return intra_balanced
+    return (
+        intra_balanced
+        and math.isclose(params.alpha0, params.alpha1, rel_tol=_REL_TOL)
+    )
+
+
+def no_competition_win_probability(params: LVParams, state: LVState | tuple[int, int]) -> float:
+    """Win probability of species 0 when ``α = γ = 0`` (independent chains).
+
+    For two independent linear birth–death chains with per-capita rates β and
+    δ, species 0 "wins" when species 1 goes extinct while species 0 is still
+    alive at that moment... the paper's Table 1 row 5 quotes the critical case
+    ``β = δ``, where the answer is ``a / (a + b)``.  For the subcritical case
+    (δ > β) the probability that species 0 outlives species 1 has no equally
+    clean closed form, so this helper only supports the critical case and
+    raises otherwise; use the exact first-step solver for other rates.
+    """
+    if params.alpha != 0.0 or params.gamma != 0.0:
+        raise ModelError("no_competition_win_probability requires alpha = gamma = 0")
+    if not math.isclose(params.beta, params.delta, rel_tol=_REL_TOL):
+        raise ModelError(
+            "the closed form for the no-competition case requires beta = delta; "
+            "use chains.first_step.exact_majority_probability for other rates"
+        )
+    return proportional_win_probability(state)

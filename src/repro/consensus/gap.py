@@ -1,0 +1,102 @@
+"""The gap process ``Δ_t`` and per-run gap summaries.
+
+For a two-species chain started with species 0 as the initial majority, the
+paper defines ``Δ_t = S_{t,0} − S_{t,1}`` and studies the random sum
+
+.. math::
+
+    F(S) = \\sum_{t=1}^{T(S)} F_t, \\qquad F_t = Δ_{t-1} − Δ_t,
+
+which measures how much the gap moved *in favour of the initial minority*
+before consensus.  Majority consensus is reached exactly when ``F < Δ_0``
+(given that consensus is reached at all).
+
+:class:`GapTrace` reconstructs the full gap path from a recorded run (needed
+only for diagnostics and plots); the estimators use the aggregate counters
+already present on :class:`~repro.lv.simulator.LVRunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lv.simulator import LVRunResult
+
+__all__ = ["GapTrace", "gap_trace_from_run"]
+
+
+@dataclass(frozen=True)
+class GapTrace:
+    """Gap path of one recorded run.
+
+    Attributes
+    ----------
+    gaps:
+        Array of ``Δ_t`` values for ``t = 0 .. T`` (signed with respect to the
+        initial majority species: positive values mean the initial majority is
+        ahead).
+    noise_increments:
+        Array of ``F_t = Δ_{t-1} − Δ_t`` for ``t = 1 .. T``.
+    hit_tie:
+        Whether the path visited a state with ``Δ_t = 0`` before consensus,
+        the event the lower-bound proofs (Theorems 17 and 19) hinge on.
+    """
+
+    gaps: np.ndarray
+    noise_increments: np.ndarray
+    hit_tie: bool
+
+    @property
+    def initial_gap(self) -> int:
+        return int(self.gaps[0])
+
+    @property
+    def final_gap(self) -> int:
+        return int(self.gaps[-1])
+
+    @property
+    def total_noise(self) -> int:
+        """``F(S) = Δ_0 − Δ_T``, the total noise in favour of the minority."""
+        return int(self.noise_increments.sum()) if self.noise_increments.size else 0
+
+    @property
+    def max_adverse_excursion(self) -> int:
+        """Largest prefix sum of the noise increments (worst excursion)."""
+        if self.noise_increments.size == 0:
+            return 0
+        return int(np.max(np.cumsum(self.noise_increments)))
+
+
+def gap_trace_from_run(result: LVRunResult) -> GapTrace:
+    """Build a :class:`GapTrace` from a run recorded with ``record_path=True``.
+
+    Raises
+    ------
+    ValueError
+        If the run was not recorded with per-step history.
+    """
+    if result.total_events > 0 and not result.path:
+        raise ValueError(
+            "the run does not carry per-step history; re-run the simulator with "
+            "record_path=True to build a GapTrace"
+        )
+    initial = result.initial_state
+    reference = initial.majority_species
+    if reference is None:
+        reference = 0
+    sign = 1 if reference == 0 else -1
+
+    gaps = [sign * (initial.x0 - initial.x1)]
+    for step in result.path:
+        x0, x1 = step.state
+        gaps.append(sign * (x0 - x1))
+    gaps_array = np.asarray(gaps, dtype=np.int64)
+    increments = gaps_array[:-1] - gaps_array[1:]
+    hit_tie = bool(np.any(gaps_array[:-1] == 0)) or initial.x0 == initial.x1
+    return GapTrace(
+        gaps=gaps_array,
+        noise_increments=increments,
+        hit_tie=hit_tie,
+    )

@@ -1,0 +1,155 @@
+"""The paper's theoretical threshold predictions as computable curves.
+
+Table 1 states asymptotic thresholds.  For finite-``n`` comparisons the
+experiment harness needs concrete reference curves; this module exposes them
+as :class:`TheoreticalThreshold` objects carrying both the lower- and
+upper-bound growth functions (without the unknown constants) so that measured
+thresholds can be checked to grow *no faster than* the upper-bound shape and
+*no slower than* the lower-bound shape, which is the strongest statement a
+finite reproduction can make.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.exceptions import ModelError
+from repro.lv.params import LVParams
+from repro.lv.regimes import Table1Row, classify_regime
+
+__all__ = [
+    "TheoreticalThreshold",
+    "predicted_threshold",
+    "predicted_threshold_curve",
+    "high_probability_target",
+]
+
+
+def high_probability_target(population_size: int) -> float:
+    """The paper's success target ``1 − 1/n`` for a system of size *n*."""
+    if population_size < 2:
+        raise ModelError(f"population_size must be at least 2, got {population_size}")
+    return 1.0 - 1.0 / population_size
+
+
+@dataclass(frozen=True)
+class TheoreticalThreshold:
+    """Lower- and upper-bound growth shapes of a threshold from Table 1.
+
+    Attributes
+    ----------
+    row:
+        Which row of Table 1 the prediction comes from.
+    lower_shape, upper_shape:
+        Growth functions ``g(n)`` such that the paper proves the threshold is
+        ``Ω(lower_shape)`` and ``O(upper_shape)``.  ``None`` encodes "no
+        threshold exists" (intraspecific-only regime).
+    lower_label, upper_label:
+        Human-readable descriptions of the shapes.
+    """
+
+    row: Table1Row
+    lower_shape: Callable[[float], float] | None
+    upper_shape: Callable[[float], float] | None
+    lower_label: str
+    upper_label: str
+
+    @property
+    def threshold_exists(self) -> bool:
+        return self.upper_shape is not None
+
+    def lower_values(self, sizes: Sequence[int]) -> list[float] | None:
+        if self.lower_shape is None:
+            return None
+        return [float(self.lower_shape(n)) for n in sizes]
+
+    def upper_values(self, sizes: Sequence[int]) -> list[float] | None:
+        if self.upper_shape is None:
+            return None
+        return [float(self.upper_shape(n)) for n in sizes]
+
+
+def predicted_threshold(params: LVParams) -> TheoreticalThreshold:
+    """The Table-1 prediction that applies to *params*.
+
+    The mapping follows the paper's case analysis:
+
+    * interspecific only, self-destructive → ``Ω(√log n)`` … ``O(log² n)``
+      (Theorems 14 and 17),
+    * interspecific only, non-self-destructive → ``Ω(√n)`` … ``O(√n log n)``
+      (Theorems 18 and 19),
+    * inter- and intraspecific → threshold ``n − 1`` (Theorems 20 and 23),
+    * intraspecific only → no threshold (Theorem 25),
+    * no competition → threshold ``n − 1`` (prior work),
+    * interspecific with δ = 0 → the paper's bounds still apply; prior work
+      gives ``O(√n log n)`` for both mechanisms.
+    """
+    classification = classify_regime(params)
+    row = classification.row
+    sd = params.is_self_destructive
+
+    if row is Table1Row.INTRASPECIFIC_ONLY:
+        return TheoreticalThreshold(
+            row=row,
+            lower_shape=None,
+            upper_shape=None,
+            lower_label="no threshold",
+            upper_label="no threshold",
+        )
+    if row in (Table1Row.INTER_AND_INTRA, Table1Row.NO_COMPETITION):
+        return TheoreticalThreshold(
+            row=row,
+            lower_shape=lambda n: float(n - 1),
+            upper_shape=lambda n: float(n - 1),
+            lower_label="n - 1",
+            upper_label="n - 1",
+        )
+    if row is Table1Row.INTERSPECIFIC_NO_DEATH:
+        if sd:
+            return TheoreticalThreshold(
+                row=row,
+                lower_shape=lambda n: math.sqrt(math.log(n)),
+                upper_shape=lambda n: math.log(n) ** 2,
+                lower_label="sqrt(log n)",
+                upper_label="log^2 n",
+            )
+        return TheoreticalThreshold(
+            row=row,
+            lower_shape=lambda n: math.sqrt(n),
+            upper_shape=lambda n: math.sqrt(n * math.log(n)),
+            lower_label="sqrt(n)",
+            upper_label="sqrt(n log n)",
+        )
+    # Interspecific only with death reactions.
+    if sd:
+        return TheoreticalThreshold(
+            row=row,
+            lower_shape=lambda n: math.sqrt(math.log(n)),
+            upper_shape=lambda n: math.log(n) ** 2,
+            lower_label="sqrt(log n)",
+            upper_label="log^2 n",
+        )
+    return TheoreticalThreshold(
+        row=row,
+        lower_shape=lambda n: math.sqrt(n),
+        upper_shape=lambda n: math.sqrt(n) * math.log(n),
+        lower_label="sqrt(n)",
+        upper_label="sqrt(n) log n",
+    )
+
+
+def predicted_threshold_curve(
+    params: LVParams, sizes: Sequence[int]
+) -> dict[str, list[float] | None]:
+    """Evaluate the lower/upper shape curves of the applicable prediction.
+
+    Returns a mapping with keys ``"lower"`` and ``"upper"``; values are lists
+    aligned with *sizes*, or ``None`` when no threshold exists.
+    """
+    prediction = predicted_threshold(params)
+    return {
+        "lower": prediction.lower_values(sizes),
+        "upper": prediction.upper_values(sizes),
+    }

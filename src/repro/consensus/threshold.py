@@ -1,0 +1,251 @@
+"""Empirical majority-consensus thresholds.
+
+The paper defines ``Ψ(n)`` as a *majority consensus threshold* if
+``ρ(S) ≥ 1 − 1/n`` holds if and only if ``Δ₀ ≥ Ψ(n)``.  This module estimates
+the threshold for a given parameter set and population size by a monotone
+bisection over the initial gap: since ρ is (empirically and, per the paper's
+results, asymptotically) non-decreasing in the gap, binary search over
+``Δ ∈ {Δ_min, ..., n}`` locates the smallest gap whose estimated ρ clears the
+target.
+
+Because ρ is only available through Monte-Carlo estimates, the search uses the
+Wilson interval to make conservative decisions: a gap *passes* when the lower
+confidence bound clears the target and *fails* when the upper bound misses it;
+ambiguous gaps (interval straddling the target) are retried with more samples
+up to a cap, and finally resolved by the point estimate.  The returned
+:class:`ThresholdEstimate` records the decision made at every probed gap so
+that experiments can report the full ρ-vs-Δ curve alongside the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.estimator import ConsensusEstimate, MajorityConsensusEstimator
+from repro.exceptions import ThresholdSearchError
+from repro.lv.params import LVParams
+from repro.lv.simulator import DEFAULT_MAX_EVENTS
+from repro.lv.state import LVState
+from repro.rng import SeedLike, spawn_seeds, stable_seed
+
+__all__ = ["ThresholdEstimate", "ThresholdSearch", "find_threshold"]
+
+
+@dataclass(frozen=True)
+class ThresholdEstimate:
+    """Result of an empirical threshold search at one population size.
+
+    Attributes
+    ----------
+    population_size:
+        Total initial population ``n``.
+    target_probability:
+        The success probability the threshold must clear (``1 − 1/n`` by
+        default, matching the paper's definition).
+    threshold_gap:
+        Smallest probed gap whose estimate cleared the target, or ``None`` if
+        no gap up to the maximum cleared it (e.g. the intraspecific-only
+        regime, which has no threshold).
+    probes:
+        All per-gap estimates gathered during the search, keyed by gap.
+    """
+
+    population_size: int
+    target_probability: float
+    threshold_gap: int | None
+    probes: dict[int, ConsensusEstimate]
+
+    @property
+    def has_threshold(self) -> bool:
+        return self.threshold_gap is not None
+
+    def probability_at(self, gap: int) -> float | None:
+        """Estimated ρ at a probed gap, or ``None`` if the gap was not probed."""
+        estimate = self.probes.get(gap)
+        return None if estimate is None else estimate.majority_probability
+
+
+@dataclass
+class ThresholdSearch:
+    """Configurable empirical threshold search.
+
+    Parameters
+    ----------
+    params:
+        Model rates and mechanism.
+    num_runs:
+        Trajectories per probed gap in the first attempt.
+    max_refinement_rounds:
+        How many times to double the sample size when the confidence interval
+        straddles the target.
+    confidence:
+        Confidence level for pass/fail decisions.
+    max_events:
+        Per-run event budget.
+    """
+
+    params: LVParams
+    num_runs: int = 200
+    max_refinement_rounds: int = 2
+    confidence: float = 0.9
+    max_events: int = DEFAULT_MAX_EVENTS
+    _estimator: MajorityConsensusEstimator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_runs <= 0:
+            raise ThresholdSearchError(f"num_runs must be positive, got {self.num_runs}")
+        if self.max_refinement_rounds < 0:
+            raise ThresholdSearchError(
+                f"max_refinement_rounds must be non-negative, got {self.max_refinement_rounds}"
+            )
+        self._estimator = MajorityConsensusEstimator(
+            self.params, confidence=self.confidence, max_events=self.max_events
+        )
+
+    # ------------------------------------------------------------------
+    def probe_gap(
+        self, population_size: int, gap: int, *, rng: SeedLike = None
+    ) -> ConsensusEstimate:
+        """Estimate ρ for one ``(n, Δ)`` pair (with parity-adjusted states)."""
+        state = _state_for(population_size, gap)
+        return self._estimator.estimate(state, self.num_runs, rng=rng)
+
+    def find(
+        self,
+        population_size: int,
+        *,
+        target_probability: float | None = None,
+        min_gap: int = 1,
+        max_gap: int | None = None,
+        rng: SeedLike = None,
+    ) -> ThresholdEstimate:
+        """Binary-search the smallest gap with ρ ≥ *target_probability*.
+
+        Parameters
+        ----------
+        population_size:
+            Total initial population ``n``.
+        target_probability:
+            Defaults to the paper's ``1 − 1/n``.
+        min_gap, max_gap:
+            Search range for the gap.  *max_gap* defaults to ``n − 2`` (the
+            largest gap with a non-empty minority when parities match).
+        rng:
+            Root seed; per-gap seeds are derived deterministically from it so
+            re-probing a gap during refinement reuses independent streams.
+        """
+        if population_size < 4:
+            raise ThresholdSearchError(
+                f"population_size must be at least 4, got {population_size}"
+            )
+        if target_probability is None:
+            target_probability = 1.0 - 1.0 / population_size
+        if not 0.0 < target_probability < 1.0:
+            raise ThresholdSearchError(
+                f"target_probability must be in (0, 1), got {target_probability}"
+            )
+        if max_gap is None:
+            max_gap = population_size - 2
+        if not 1 <= min_gap <= max_gap <= population_size:
+            raise ThresholdSearchError(
+                f"invalid gap range [{min_gap}, {max_gap}] for n={population_size}"
+            )
+
+        seeds = spawn_seeds(rng, 1)[0] if rng is not None else stable_seed("threshold")
+        probes: dict[int, ConsensusEstimate] = {}
+
+        def passes(gap: int) -> bool:
+            estimate = self._probe_with_refinement(
+                population_size, gap, target_probability, root_seed=seeds
+            )
+            probes[gap] = estimate
+            return estimate.majority_probability >= target_probability
+
+        low, high = min_gap, max_gap
+        # Check the endpoints first: if even the largest admissible gap fails,
+        # there is no threshold in range (intraspecific-only regime).
+        if not passes(high):
+            return ThresholdEstimate(
+                population_size=population_size,
+                target_probability=target_probability,
+                threshold_gap=None,
+                probes=probes,
+            )
+        if passes(low):
+            return ThresholdEstimate(
+                population_size=population_size,
+                target_probability=target_probability,
+                threshold_gap=low,
+                probes=probes,
+            )
+        # Invariant: low fails, high passes.
+        while high - low > 1:
+            middle = (low + high) // 2
+            if passes(middle):
+                high = middle
+            else:
+                low = middle
+        return ThresholdEstimate(
+            population_size=population_size,
+            target_probability=target_probability,
+            threshold_gap=high,
+            probes=probes,
+        )
+
+    # ------------------------------------------------------------------
+    def _probe_with_refinement(
+        self,
+        population_size: int,
+        gap: int,
+        target: float,
+        *,
+        root_seed: int,
+    ) -> ConsensusEstimate:
+        """Probe one gap, doubling the sample size while the CI straddles the target."""
+        num_runs = self.num_runs
+        last: ConsensusEstimate | None = None
+        for round_index in range(self.max_refinement_rounds + 1):
+            seed = stable_seed("threshold-probe", root_seed, population_size, gap, round_index)
+            state = _state_for(population_size, gap)
+            estimate = self._estimator.estimate(state, num_runs, rng=seed)
+            last = estimate
+            if estimate.meets_target(target) or estimate.misses_target(target):
+                return estimate
+            num_runs *= 2
+        assert last is not None
+        return last
+
+
+def _state_for(population_size: int, gap: int) -> LVState:
+    """Initial state with total *population_size* and gap as close to *gap* as parity allows."""
+    adjusted_gap = gap if (population_size + gap) % 2 == 0 else gap + 1
+    adjusted_gap = min(adjusted_gap, population_size)
+    return LVState.from_gap(population_size, adjusted_gap)
+
+
+def find_threshold(
+    params: LVParams,
+    population_size: int,
+    *,
+    num_runs: int = 200,
+    target_probability: float | None = None,
+    rng: SeedLike = None,
+    max_gap: int | None = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ThresholdEstimate:
+    """One-shot convenience wrapper around :class:`ThresholdSearch`.
+
+    Examples
+    --------
+    >>> params = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> estimate = find_threshold(params, 64, num_runs=60, rng=5)
+    >>> estimate.has_threshold
+    True
+    """
+    search = ThresholdSearch(params, num_runs=num_runs, max_events=max_events)
+    return search.find(
+        population_size,
+        target_probability=target_probability,
+        max_gap=max_gap,
+        rng=rng,
+    )

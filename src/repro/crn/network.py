@@ -1,0 +1,219 @@
+"""Reaction networks: validated collections of species and reactions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species
+from repro.exceptions import InvalidConfigurationError, ModelError
+
+__all__ = ["ReactionNetwork"]
+
+
+class ReactionNetwork:
+    """A chemical reaction network with mass-action kinetics.
+
+    The network owns an ordered list of species and an ordered list of
+    reactions.  The ordering is significant: configurations can be expressed
+    either as ``{Species: count}`` mappings or as integer vectors following
+    the species order, and propensity vectors follow the reaction order.
+
+    Parameters
+    ----------
+    species:
+        The species of the network.  Any species referenced by a reaction but
+        not listed explicitly is appended automatically (in reaction order).
+    reactions:
+        The reactions of the network.  Labels must be unique.
+
+    Examples
+    --------
+    >>> x = Species("X")
+    >>> network = ReactionNetwork(
+    ...     species=[x],
+    ...     reactions=[
+    ...         Reaction({x: 1}, {x: 2}, rate=1.0, label="birth"),
+    ...         Reaction({x: 1}, {}, rate=1.0, label="death"),
+    ...     ],
+    ... )
+    >>> network.total_propensity({x: 3})
+    6.0
+    """
+
+    def __init__(
+        self,
+        species: Iterable[Species] = (),
+        reactions: Iterable[Reaction] = (),
+        *,
+        name: str = "",
+    ) -> None:
+        self.name = name
+        self._species: list[Species] = []
+        self._species_index: dict[Species, int] = {}
+        self._reactions: list[Reaction] = []
+        self._labels: dict[str, int] = {}
+        for item in species:
+            self.add_species(item)
+        for reaction in reactions:
+            self.add_reaction(reaction)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_species(self, species: Species) -> Species:
+        """Add *species* to the network (idempotent by name)."""
+        if not isinstance(species, Species):
+            raise ModelError(f"expected a Species, got {type(species).__name__}")
+        if species in self._species_index:
+            return self._species[self._species_index[species]]
+        self._species_index[species] = len(self._species)
+        self._species.append(species)
+        return species
+
+    def add_reaction(self, reaction: Reaction) -> Reaction:
+        """Add *reaction*, registering any new species it references."""
+        if not isinstance(reaction, Reaction):
+            raise ModelError(f"expected a Reaction, got {type(reaction).__name__}")
+        if reaction.label in self._labels:
+            raise ModelError(f"duplicate reaction label: {reaction.label!r}")
+        for species in reaction.species:
+            self.add_species(species)
+        self._labels[reaction.label] = len(self._reactions)
+        self._reactions.append(reaction)
+        return reaction
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def species(self) -> tuple[Species, ...]:
+        """The species of the network, in index order."""
+        return tuple(self._species)
+
+    @property
+    def reactions(self) -> tuple[Reaction, ...]:
+        """The reactions of the network, in index order."""
+        return tuple(self._reactions)
+
+    @property
+    def num_species(self) -> int:
+        return len(self._species)
+
+    @property
+    def num_reactions(self) -> int:
+        return len(self._reactions)
+
+    def species_index(self, species: Species) -> int:
+        """Index of *species* in the network's species ordering."""
+        try:
+            return self._species_index[species]
+        except KeyError:
+            raise ModelError(f"unknown species: {species}") from None
+
+    def reaction_by_label(self, label: str) -> Reaction:
+        """Look up a reaction by its label."""
+        try:
+            return self._reactions[self._labels[label]]
+        except KeyError:
+            raise ModelError(f"unknown reaction label: {label!r}") from None
+
+    def __iter__(self) -> Iterator[Reaction]:
+        return iter(self._reactions)
+
+    def __len__(self) -> int:
+        return len(self._reactions)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<ReactionNetwork{label}: {self.num_species} species, "
+            f"{self.num_reactions} reactions>"
+        )
+
+    # ------------------------------------------------------------------
+    # Configurations
+    # ------------------------------------------------------------------
+    def validate_state(self, state: Mapping[Species, int]) -> dict[Species, int]:
+        """Validate a configuration mapping and fill in missing species as 0."""
+        validated: dict[Species, int] = {}
+        for species, count in state.items():
+            if species not in self._species_index:
+                raise InvalidConfigurationError(f"unknown species in state: {species}")
+            if not isinstance(count, (int, np.integer)) or isinstance(count, bool):
+                raise InvalidConfigurationError(
+                    f"count for {species} must be an integer, got {count!r}"
+                )
+            if count < 0:
+                raise InvalidConfigurationError(
+                    f"count for {species} must be non-negative, got {count}"
+                )
+            validated[species] = int(count)
+        for species in self._species:
+            validated.setdefault(species, 0)
+        return validated
+
+    def state_to_vector(self, state: Mapping[Species, int]) -> np.ndarray:
+        """Convert a configuration mapping to an integer vector."""
+        validated = self.validate_state(state)
+        return np.array([validated[species] for species in self._species], dtype=np.int64)
+
+    def vector_to_state(self, vector: Sequence[int]) -> dict[Species, int]:
+        """Convert an integer vector to a configuration mapping."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.num_species,):
+            raise InvalidConfigurationError(
+                f"expected a vector of length {self.num_species}, got shape {vector.shape}"
+            )
+        if np.any(vector < 0):
+            raise InvalidConfigurationError("species counts must be non-negative")
+        return {species: int(vector[i]) for i, species in enumerate(self._species)}
+
+    # ------------------------------------------------------------------
+    # Kinetics
+    # ------------------------------------------------------------------
+    def propensities(self, state: Mapping[Species, int]) -> np.ndarray:
+        """Vector of mass-action propensities, one entry per reaction."""
+        return np.array(
+            [reaction.propensity(state) for reaction in self._reactions], dtype=float
+        )
+
+    def total_propensity(self, state: Mapping[Species, int]) -> float:
+        """Total propensity φ(x) of the configuration *state* (paper, Sec. 1.3)."""
+        return float(self.propensities(state).sum())
+
+    def stoichiometry_matrix(self) -> np.ndarray:
+        """Net-change matrix of shape ``(num_species, num_reactions)``.
+
+        Column ``j`` is the net change applied to the species-count vector
+        when reaction ``j`` fires once.
+        """
+        matrix = np.zeros((self.num_species, self.num_reactions), dtype=np.int64)
+        for j, reaction in enumerate(self._reactions):
+            for species, delta in reaction.net_change().items():
+                matrix[self._species_index[species], j] = delta
+        return matrix
+
+    def conserved_total(self) -> bool:
+        """Whether every reaction preserves the total population count.
+
+        Population-protocol-style models (Section 2.2 of the paper) conserve
+        the total count; Lotka–Volterra models do not.
+        """
+        return all(
+            sum(reaction.net_change().values()) == 0 for reaction in self._reactions
+        )
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line, human-readable description of the network."""
+        lines = [f"ReactionNetwork {self.name or '(unnamed)'}"]
+        lines.append(f"  species ({self.num_species}): " + ", ".join(s.name for s in self._species))
+        lines.append(f"  reactions ({self.num_reactions}):")
+        for reaction in self._reactions:
+            lines.append(f"    [{reaction.label}] {reaction}")
+        return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Reactions with integer stoichiometry and mass-action kinetics.
+
+Following the paper (Section 1.3) we use the standard stochastic mass-action
+propensities in unit volume:
+
+* a unary reaction ``X -> ...`` with rate constant ``k`` has propensity
+  ``k * x`` in a configuration with ``x`` copies of ``X``;
+* a binary reaction between two *distinct* species ``X + Y -> ...`` with rate
+  constant ``k`` has propensity ``k * x * y``;
+* a binary reaction between two individuals of the *same* species
+  ``X + X -> ...`` with rate constant ``k`` has propensity
+  ``k * x * (x - 1) / 2`` (number of unordered pairs).
+
+The paper treats the interspecific reactions with reactants ``X0 + X1`` and
+``X1 + X0`` as formally distinct reactions (each with its own rate ``αᵢ``);
+this module supports that convention directly since reactions are identified
+by their label, not by their reactant multiset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.crn.species import Species
+from repro.exceptions import InvalidReactionError
+
+__all__ = ["Reaction"]
+
+
+def _normalise_stoichiometry(
+    mapping: Mapping[Species, int], *, side: str
+) -> dict[Species, int]:
+    """Validate and copy one side of a reaction's stoichiometry."""
+    normalised: dict[Species, int] = {}
+    for species, count in mapping.items():
+        if not isinstance(species, Species):
+            raise InvalidReactionError(
+                f"{side} keys must be Species instances, got {type(species).__name__}"
+            )
+        if not isinstance(count, (int,)) or isinstance(count, bool):
+            raise InvalidReactionError(
+                f"{side} stoichiometric coefficient for {species} must be an int, "
+                f"got {count!r}"
+            )
+        if count < 0:
+            raise InvalidReactionError(
+                f"{side} stoichiometric coefficient for {species} must be "
+                f"non-negative, got {count}"
+            )
+        if count > 0:
+            normalised[species] = count
+    return normalised
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """A single reaction with mass-action kinetics.
+
+    Parameters
+    ----------
+    reactants:
+        Mapping from species to the number of copies consumed.
+    products:
+        Mapping from species to the number of copies produced.
+    rate:
+        Non-negative mass-action rate constant.
+    label:
+        Human-readable identifier, e.g. ``"birth:X0"`` or ``"inter:X0+X1"``.
+        Labels are used by event classifiers and must be unique per network.
+
+    Notes
+    -----
+    Only reactions of order at most two (at most two reactant individuals in
+    total) are supported, matching the models in the paper.  Reactions of
+    order zero (pure production, e.g. inflow) are allowed for generality and
+    have constant propensity equal to their rate.
+
+    Examples
+    --------
+    >>> x0 = Species("X0")
+    >>> birth = Reaction({x0: 1}, {x0: 2}, rate=1.0, label="birth:X0")
+    >>> birth.propensity({x0: 10})
+    10.0
+    >>> annihilation = Reaction({x0: 2}, {}, rate=0.5, label="intra:X0")
+    >>> annihilation.propensity({x0: 4})
+    3.0
+    """
+
+    reactants: Mapping[Species, int]
+    products: Mapping[Species, int]
+    rate: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        reactants = _normalise_stoichiometry(self.reactants, side="reactant")
+        products = _normalise_stoichiometry(self.products, side="product")
+        object.__setattr__(self, "reactants", reactants)
+        object.__setattr__(self, "products", products)
+        if not isinstance(self.rate, (int, float)) or isinstance(self.rate, bool):
+            raise InvalidReactionError(f"rate must be a number, got {self.rate!r}")
+        if self.rate < 0:
+            raise InvalidReactionError(f"rate must be non-negative, got {self.rate}")
+        object.__setattr__(self, "rate", float(self.rate))
+        if self.order > 2:
+            raise InvalidReactionError(
+                "only reactions with at most two reactant individuals are "
+                f"supported, got order {self.order} for {self.label or self!r}"
+            )
+        if not self.label:
+            object.__setattr__(self, "label", self._default_label())
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Total number of reactant individuals (0, 1, or 2)."""
+        return sum(self.reactants.values())
+
+    @property
+    def is_unary(self) -> bool:
+        """True for reactions with exactly one reactant individual."""
+        return self.order == 1
+
+    @property
+    def is_binary(self) -> bool:
+        """True for reactions with exactly two reactant individuals."""
+        return self.order == 2
+
+    @property
+    def is_homogeneous_pair(self) -> bool:
+        """True for binary reactions between two individuals of one species."""
+        return self.order == 2 and len(self.reactants) == 1
+
+    @property
+    def species(self) -> frozenset[Species]:
+        """All species appearing on either side of the reaction."""
+        return frozenset(self.reactants) | frozenset(self.products)
+
+    def net_change(self) -> dict[Species, int]:
+        """Net stoichiometric change per species when the reaction fires."""
+        change: dict[Species, int] = {}
+        for species, count in self.products.items():
+            change[species] = change.get(species, 0) + count
+        for species, count in self.reactants.items():
+            change[species] = change.get(species, 0) - count
+        return {species: delta for species, delta in change.items() if delta != 0}
+
+    # ------------------------------------------------------------------
+    # Kinetics
+    # ------------------------------------------------------------------
+    def propensity(self, state: Mapping[Species, int]) -> float:
+        """Mass-action propensity of this reaction in *state*.
+
+        Missing species are treated as having count zero.
+        """
+        if self.rate == 0.0:
+            return 0.0
+        if self.order == 0:
+            return self.rate
+        if self.is_unary:
+            (species, _count), = self.reactants.items()
+            return self.rate * max(0, state.get(species, 0))
+        if self.is_homogeneous_pair:
+            (species, _count), = self.reactants.items()
+            x = max(0, state.get(species, 0))
+            return self.rate * x * (x - 1) / 2.0
+        # Heterogeneous binary reaction.
+        first, second = self.reactants
+        return self.rate * max(0, state.get(first, 0)) * max(0, state.get(second, 0))
+
+    def can_fire(self, state: Mapping[Species, int]) -> bool:
+        """Whether *state* contains enough reactant copies for one firing."""
+        return all(state.get(species, 0) >= count for species, count in self.reactants.items())
+
+    def apply(self, state: Mapping[Species, int]) -> dict[Species, int]:
+        """Return the configuration obtained by firing this reaction once.
+
+        Raises
+        ------
+        InvalidReactionError
+            If the reaction cannot fire in *state*.
+        """
+        if not self.can_fire(state):
+            raise InvalidReactionError(
+                f"reaction {self.label!r} cannot fire in state {dict(state)!r}"
+            )
+        new_state = dict(state)
+        for species, delta in self.net_change().items():
+            new_state[species] = new_state.get(species, 0) + delta
+        return new_state
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def _default_label(self) -> str:
+        return f"{self._side_str(self.reactants)} -> {self._side_str(self.products)}"
+
+    @staticmethod
+    def _side_str(side: Mapping[Species, int]) -> str:
+        if not side:
+            return "0"
+        terms = []
+        for species in sorted(side):
+            count = side[species]
+            terms.append(species.name if count == 1 else f"{count} {species.name}")
+        return " + ".join(terms)
+
+    def __str__(self) -> str:
+        return (
+            f"{self._side_str(self.reactants)} --{self.rate:g}--> "
+            f"{self._side_str(self.products)}"
+        )

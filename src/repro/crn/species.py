@@ -1,0 +1,56 @@
+"""Species definitions for chemical reaction networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Species"]
+
+
+@dataclass(frozen=True, order=True)
+class Species:
+    """A named chemical or biological species.
+
+    Species are immutable and hashable so they can be used as dictionary keys
+    in stoichiometry maps and configurations.  Two species are equal if and
+    only if their names are equal; the ``metadata`` mapping is excluded from
+    comparisons so that decorating a species with display information does not
+    change identity.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a network, e.g. ``"X0"`` or ``"X1"``.
+    metadata:
+        Optional free-form annotations (e.g. ``{"role": "majority input"}``).
+
+    Examples
+    --------
+    >>> x0 = Species("X0")
+    >>> x1 = Species("X1", metadata={"role": "minority input"})
+    >>> x0 == Species("X0")
+    True
+    >>> x0 < x1
+    True
+    """
+
+    name: str
+    metadata: Mapping[str, Any] = field(
+        default_factory=dict, compare=False, hash=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("species name must be a non-empty string")
+        if any(ch.isspace() for ch in self.name):
+            raise ValueError(f"species name must not contain whitespace: {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def with_metadata(self, **metadata: Any) -> "Species":
+        """Return a copy of this species with additional metadata merged in."""
+        merged = dict(self.metadata)
+        merged.update(metadata)
+        return Species(self.name, metadata=merged)

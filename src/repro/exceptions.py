@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError``, ``KeyError`` from user code,
+...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "InvalidReactionError",
+    "InvalidConfigurationError",
+    "SimulationError",
+    "BudgetExceededError",
+    "AbsorptionError",
+    "EstimationError",
+    "ThresholdSearchError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """A model definition is inconsistent (negative rates, bad species, ...)."""
+
+
+class InvalidReactionError(ModelError):
+    """A reaction definition is malformed (bad stoichiometry, negative rate)."""
+
+
+class InvalidConfigurationError(ModelError):
+    """A population configuration is invalid (negative counts, wrong shape)."""
+
+
+class SimulationError(ReproError):
+    """A stochastic simulation failed to make progress or hit an internal error."""
+
+
+class BudgetExceededError(SimulationError):
+    """A simulation exceeded its event or time budget before terminating.
+
+    The partially completed trajectory is attached as the ``trajectory``
+    attribute when available so that callers can inspect how far the run got.
+    """
+
+    def __init__(self, message: str, trajectory=None):
+        super().__init__(message)
+        self.trajectory = trajectory
+
+
+class AbsorptionError(ReproError):
+    """An exact absorption computation could not be carried out.
+
+    Typically raised when a truncated state space is too small to contain the
+    relevant dynamics or a linear system is singular.
+    """
+
+
+class EstimationError(ReproError):
+    """A Monte-Carlo estimate could not be produced (e.g. zero samples)."""
+
+
+class ThresholdSearchError(ReproError):
+    """The empirical threshold search failed to bracket the target probability."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run is invalid (unknown id, bad config)."""

@@ -1,0 +1,52 @@
+"""Experiment harness reproducing the paper's evaluation (Table 1 + figures).
+
+Every experiment from the per-experiment index in ``DESIGN.md`` is registered
+here under a stable identifier (``T1R1-SD``, ``FIG-THRESH``, ...).  Each
+experiment is a plain function taking a *scale* ("quick" for CI-sized runs,
+"full" for the numbers reported in ``EXPERIMENTS.md``) and a seed, and
+returning an :class:`~repro.experiments.config.ExperimentResult` containing
+the measured rows, the corresponding paper claim, and a pass/fail verdict on
+the claim's *shape*.
+
+Typical usage::
+
+    from repro.experiments import get_experiment, list_experiments, run_experiment
+
+    for spec in list_experiments():
+        result = run_experiment(spec.identifier, scale="quick", seed=0)
+        print(result.render_text())
+"""
+
+from repro.experiments.config import (
+    ExperimentResult,
+    ExperimentSpec,
+    SCALES,
+)
+from repro.experiments.registry import (
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.report import render_report
+from repro.experiments.runner import run_all, save_results, load_results
+from repro.experiments.workloads import (
+    population_grid,
+    gap_grid,
+    consortium_scenarios,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "SCALES",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "render_report",
+    "run_all",
+    "save_results",
+    "load_results",
+    "population_grid",
+    "gap_grid",
+    "consortium_scenarios",
+]

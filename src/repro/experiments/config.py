@@ -1,0 +1,184 @@
+"""Experiment metadata and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.tables import format_markdown_table, format_table
+from repro.exceptions import ExperimentError
+
+__all__ = ["SCALES", "ExperimentSpec", "ExperimentResult"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Convert numpy scalars and containers into plain JSON-serialisable types.
+
+    Experiment rows are built from numpy-derived statistics, so booleans and
+    floats occasionally arrive as ``numpy.bool_`` / ``numpy.floating``; the
+    JSON encoder refuses those.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+#: Recognised experiment scales.  "quick" keeps each experiment within a few
+#: seconds so that the benchmark suite stays runnable as a whole; "full" is
+#: the configuration used to produce the numbers quoted in EXPERIMENTS.md.
+SCALES = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry describing one reproducible experiment.
+
+    Attributes
+    ----------
+    identifier:
+        Stable id used in DESIGN.md, EXPERIMENTS.md and the benchmark names
+        (e.g. ``"T1R1-SD"``).
+    title:
+        Human-readable title.
+    paper_claim:
+        One-sentence statement of what the paper claims and where.
+    runner:
+        Callable ``(scale, seed) -> ExperimentResult``.
+    """
+
+    identifier: str
+    title: str
+    paper_claim: str
+    runner: Callable[[str, int], "ExperimentResult"]
+
+    def run(self, scale: str = "quick", seed: int = 0) -> "ExperimentResult":
+        if scale not in SCALES:
+            raise ExperimentError(f"unknown scale {scale!r}; expected one of {SCALES}")
+        result = self.runner(scale, seed)
+        if result.identifier != self.identifier:
+            raise ExperimentError(
+                f"experiment {self.identifier!r} returned a result labelled "
+                f"{result.identifier!r}"
+            )
+        return result
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of one experiment run.
+
+    Attributes
+    ----------
+    identifier, title, paper_claim:
+        Copied from the spec for self-contained reporting.
+    scale, seed:
+        How the experiment was run.
+    parameters:
+        The concrete workload parameters used (population sizes, rates,
+        replication counts, ...).
+    rows:
+        The measured table: a list of flat dictionaries, one per sweep point.
+    findings:
+        Short human-readable bullet points summarising what the measurements
+        show (these become the narrative in EXPERIMENTS.md).
+    shape_matches_paper:
+        Whether the qualitative claim of the paper (who wins, growth shape,
+        exact value) holds in the measurements.  ``None`` means the experiment
+        is descriptive and has no pass/fail semantics.
+    """
+
+    identifier: str
+    title: str
+    paper_claim: str
+    scale: str
+    seed: int
+    parameters: dict[str, Any] = field(default_factory=dict)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+    shape_matches_paper: bool | None = None
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Plain-text rendering for terminal output (examples, benchmarks)."""
+        lines = [f"[{self.identifier}] {self.title} (scale={self.scale}, seed={self.seed})"]
+        lines.append(f"  paper claim: {self.paper_claim}")
+        if self.parameters:
+            rendered = ", ".join(f"{key}={value}" for key, value in self.parameters.items())
+            lines.append(f"  parameters: {rendered}")
+        if self.rows:
+            table = format_table(self.rows)
+            lines.extend("  " + line for line in table.splitlines())
+        for finding in self.findings:
+            lines.append(f"  - {finding}")
+        if self.shape_matches_paper is not None:
+            verdict = "MATCHES" if self.shape_matches_paper else "DOES NOT MATCH"
+            lines.append(f"  verdict: measured shape {verdict} the paper's claim")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Markdown rendering used when assembling EXPERIMENTS.md."""
+        lines = [f"### {self.identifier} — {self.title}", ""]
+        lines.append(f"*Paper claim.* {self.paper_claim}")
+        lines.append("")
+        if self.parameters:
+            rendered = ", ".join(f"`{key}={value}`" for key, value in self.parameters.items())
+            lines.append(f"*Parameters.* {rendered} (scale `{self.scale}`, seed `{self.seed}`).")
+            lines.append("")
+        if self.rows:
+            lines.append(format_markdown_table(self.rows))
+            lines.append("")
+        if self.findings:
+            lines.append("*Measured.*")
+            lines.extend(f"- {finding}" for finding in self.findings)
+            lines.append("")
+        if self.shape_matches_paper is not None:
+            verdict = "matches" if self.shape_matches_paper else "does **not** match"
+            lines.append(f"*Verdict.* The measured shape {verdict} the paper's claim.")
+            lines.append("")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (used by the result cache)."""
+        return {
+            "identifier": self.identifier,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "scale": self.scale,
+            "seed": self.seed,
+            "parameters": _jsonify(self.parameters),
+            "rows": _jsonify(self.rows),
+            "findings": list(self.findings),
+            "shape_matches_paper": (
+                None if self.shape_matches_paper is None else bool(self.shape_matches_paper)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        expected = {
+            "identifier",
+            "title",
+            "paper_claim",
+            "scale",
+            "seed",
+            "parameters",
+            "rows",
+            "findings",
+            "shape_matches_paper",
+        }
+        missing = expected - set(payload)
+        if missing:
+            raise ExperimentError(f"experiment payload is missing keys: {sorted(missing)}")
+        return cls(**{key: payload[key] for key in expected})

@@ -1,0 +1,122 @@
+"""Registry mapping experiment identifiers to runnable specs."""
+
+from __future__ import annotations
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentResult, ExperimentSpec
+from repro.experiments import figures, table1
+
+__all__ = ["list_experiments", "get_experiment", "run_experiment", "EXPERIMENTS"]
+
+
+def _build_registry() -> dict[str, ExperimentSpec]:
+    specs = [
+        ExperimentSpec(
+            identifier="T1R1-SD",
+            title="Interspecific-only, self-destructive competition",
+            paper_claim="Threshold between Omega(sqrt(log n)) and O(log^2 n) (Table 1, row 1).",
+            runner=table1.run_t1r1_sd,
+        ),
+        ExperimentSpec(
+            identifier="T1R1-NSD",
+            title="Interspecific-only, non-self-destructive competition",
+            paper_claim="Threshold between Omega(sqrt(n)) and O(sqrt(n) log n) (Table 1, row 1).",
+            runner=table1.run_t1r1_nsd,
+        ),
+        ExperimentSpec(
+            identifier="T1R2",
+            title="Both inter- and intraspecific competition (balanced rates)",
+            paper_claim="rho = a/(a+b) exactly; threshold n - 1 (Table 1, row 2).",
+            runner=table1.run_t1r2,
+        ),
+        ExperimentSpec(
+            identifier="T1R3",
+            title="Intraspecific competition only",
+            paper_claim="No majority-consensus threshold exists (Table 1, row 3).",
+            runner=table1.run_t1r3,
+        ),
+        ExperimentSpec(
+            identifier="T1R4",
+            title="Interspecific competition with delta = 0 (prior-work models)",
+            paper_claim="O(sqrt(n log n)) suffices (prior work); O(log^2 n) suffices for SD (Table 1, row 4).",
+            runner=table1.run_t1r4,
+        ),
+        ExperimentSpec(
+            identifier="T1R5",
+            title="No competition",
+            paper_claim="Threshold n - 1; rho = a/(a+b) (Table 1, row 5).",
+            runner=table1.run_t1r5,
+        ),
+        ExperimentSpec(
+            identifier="FIG-GAP",
+            title="Success probability versus initial gap (SD vs NSD)",
+            paper_claim="Exponential separation between the two mechanisms (Sections 6-7).",
+            runner=figures.run_fig_gap_curves,
+        ),
+        ExperimentSpec(
+            identifier="FIG-THRESH",
+            title="Empirical threshold versus population size",
+            paper_claim="SD threshold polylogarithmic, NSD threshold ~sqrt(n) (Table 1, row 1).",
+            runner=figures.run_fig_threshold_scaling,
+        ),
+        ExperimentSpec(
+            identifier="FIG-TIME",
+            title="Consensus-time scaling",
+            paper_claim="Consensus within O(n) events (Theorem 13a).",
+            runner=figures.run_fig_consensus_time,
+        ),
+        ExperimentSpec(
+            identifier="FIG-BAD",
+            title="Bad non-competitive events and nice-chain statistics",
+            paper_claim="J(S) = O(log n) expected, O(log^2 n) whp; E(n) = Theta(n), B(n) = O(log n) (Theorem 13b, Lemmas 5-7).",
+            runner=figures.run_fig_bad_events,
+        ),
+        ExperimentSpec(
+            identifier="FIG-NOISE",
+            title="Demographic-noise decomposition",
+            paper_claim="F_comp vanishes for SD and is ~sqrt(n) for NSD (Section 1.5).",
+            runner=figures.run_fig_noise,
+        ),
+        ExperimentSpec(
+            identifier="FIG-ODE",
+            title="Deterministic versus stochastic dynamics",
+            paper_claim="The deterministic model always picks the initial majority (Section 2.1).",
+            runner=figures.run_fig_ode,
+        ),
+        ExperimentSpec(
+            identifier="FIG-DOM",
+            title="Dominating-chain over-approximation",
+            paper_claim="T(S) and J(S) are stochastically dominated by E(N) and B(N) (Lemma 9).",
+            runner=figures.run_fig_dominating,
+        ),
+    ]
+    registry = {}
+    for spec in specs:
+        if spec.identifier in registry:
+            raise ExperimentError(f"duplicate experiment identifier: {spec.identifier}")
+        registry[spec.identifier] = spec
+    return registry
+
+
+#: All registered experiments, keyed by identifier.
+EXPERIMENTS: dict[str, ExperimentSpec] = _build_registry()
+
+
+def list_experiments() -> list[ExperimentSpec]:
+    """All registered experiments in a stable order."""
+    return [EXPERIMENTS[key] for key in sorted(EXPERIMENTS)]
+
+
+def get_experiment(identifier: str) -> ExperimentSpec:
+    """Look up one experiment by identifier."""
+    try:
+        return EXPERIMENTS[identifier]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {identifier!r}; known ids: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(identifier: str, *, scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Run one experiment by identifier."""
+    return get_experiment(identifier).run(scale=scale, seed=seed)

@@ -1,0 +1,73 @@
+"""Sweep runner and JSON result persistence for the experiment harness."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentResult
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["run_all", "save_results", "load_results"]
+
+
+def run_all(
+    identifiers: Sequence[str] | None = None,
+    *,
+    scale: str = "quick",
+    seed: int = 0,
+    progress: bool = False,
+) -> list[ExperimentResult]:
+    """Run all (or the selected) experiments sequentially.
+
+    Parameters
+    ----------
+    identifiers:
+        Experiment ids to run; ``None`` runs every registered experiment.
+    scale, seed:
+        Forwarded to each experiment.
+    progress:
+        Print a one-line progress message per experiment (used by the
+        ``examples/`` scripts and the report generator).
+    """
+    if identifiers is None:
+        specs = list_experiments()
+    else:
+        specs = [get_experiment(identifier) for identifier in identifiers]
+    results = []
+    for spec in specs:
+        started = time.perf_counter()
+        result = spec.run(scale=scale, seed=seed)
+        elapsed = time.perf_counter() - started
+        if progress:
+            verdict = (
+                "n/a"
+                if result.shape_matches_paper is None
+                else ("match" if result.shape_matches_paper else "MISMATCH")
+            )
+            print(f"[{spec.identifier:>10}] {elapsed:7.1f}s  shape: {verdict}")
+        results.append(result)
+    return results
+
+
+def save_results(results: Iterable[ExperimentResult], path: str | Path) -> Path:
+    """Serialise experiment results to a JSON file."""
+    path = Path(path)
+    payload = [result.to_dict() for result in results]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: str | Path) -> list[ExperimentResult]:
+    """Load experiment results previously written by :func:`save_results`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no cached results at {path}")
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, list):
+        raise ExperimentError(f"unexpected result-file format in {path}")
+    return [ExperimentResult.from_dict(item) for item in payload]

@@ -1,0 +1,54 @@
+"""Stochastic simulation algorithms for chemical reaction networks.
+
+The paper analyses the discrete-time *jump chain* embedded in the
+continuous-time Markov process defined by stochastic mass-action kinetics
+(Section 1.3).  This subpackage implements both views plus two standard
+alternatives:
+
+* :class:`~repro.kinetics.direct.DirectMethodSimulator` — Gillespie's direct
+  stochastic simulation algorithm (continuous time),
+* :class:`~repro.kinetics.next_reaction.NextReactionSimulator` — the
+  Gibson–Bruck next-reaction method (continuous time, per-reaction clocks),
+* :class:`~repro.kinetics.jump_chain.JumpChainSimulator` — the embedded
+  discrete-time jump chain the paper's theorems are stated for,
+* :class:`~repro.kinetics.tau_leaping.TauLeapingSimulator` — approximate
+  tau-leaping for large populations (not used by the experiments but useful
+  for exploratory work).
+
+All simulators share the :class:`~repro.kinetics.trajectory.Trajectory`
+container and the stopping conditions from :mod:`repro.kinetics.stopping`.
+"""
+
+from repro.kinetics.trajectory import Trajectory, TrajectoryStep
+from repro.kinetics.stopping import (
+    StoppingCondition,
+    ConsensusReached,
+    ExtinctionReached,
+    MaxEvents,
+    MaxTime,
+    TargetCount,
+    AnyOf,
+)
+from repro.kinetics.events import EventKind, classify_reaction
+from repro.kinetics.direct import DirectMethodSimulator
+from repro.kinetics.next_reaction import NextReactionSimulator
+from repro.kinetics.jump_chain import JumpChainSimulator
+from repro.kinetics.tau_leaping import TauLeapingSimulator
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryStep",
+    "StoppingCondition",
+    "ConsensusReached",
+    "ExtinctionReached",
+    "MaxEvents",
+    "MaxTime",
+    "TargetCount",
+    "AnyOf",
+    "EventKind",
+    "classify_reaction",
+    "DirectMethodSimulator",
+    "NextReactionSimulator",
+    "JumpChainSimulator",
+    "TauLeapingSimulator",
+]

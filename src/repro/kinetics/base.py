@@ -1,0 +1,155 @@
+"""Shared machinery for stochastic simulators."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species
+from repro.exceptions import SimulationError
+from repro.kinetics.events import EventKind, classify_reaction
+from repro.kinetics.stopping import StoppingCondition
+from repro.kinetics.trajectory import Trajectory
+from repro.rng import SeedLike, as_generator
+
+__all__ = ["StochasticSimulator"]
+
+#: Hard cap on events per run to protect against non-terminating models when
+#: the caller supplies no explicit budget.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+class StochasticSimulator:
+    """Base class for exact stochastic simulators over a reaction network.
+
+    Subclasses implement :meth:`_advance`, which picks the next reaction and
+    waiting time given the current state vector.  The base class handles state
+    bookkeeping, event classification, stopping conditions, and trajectory
+    recording, so that the direct method, next-reaction method and jump chain
+    differ only in their sampling core.
+    """
+
+    #: Whether the simulator advances a physical (continuous) clock.  The jump
+    #: chain sets this to ``False`` and uses the event index as "time".
+    continuous_time = True
+
+    def __init__(self, network: ReactionNetwork):
+        if network.num_reactions == 0:
+            raise SimulationError("cannot simulate a network with no reactions")
+        self.network = network
+        self._kinds = [classify_reaction(reaction) for reaction in network.reactions]
+        self._changes = network.stoichiometry_matrix().T.copy()  # (R, S)
+        self._labels = [reaction.label for reaction in network.reactions]
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial_state: Mapping[Species, int] | Sequence[int],
+        *,
+        stop: StoppingCondition | None = None,
+        max_events: int | None = None,
+        record_steps: bool = False,
+        rng: SeedLike = None,
+    ) -> Trajectory:
+        """Simulate one trajectory from *initial_state*.
+
+        Parameters
+        ----------
+        initial_state:
+            Either a ``{Species: count}`` mapping or a count vector in the
+            network's species order.
+        stop:
+            Optional stopping condition; the run also ends when the total
+            propensity reaches zero ("absorbed").
+        max_events:
+            Safety budget on the number of reaction events.  When the budget
+            is hit the trajectory terminates with reason ``"max-events"``.
+        record_steps:
+            Whether to keep per-event history (memory-heavy for long runs).
+        rng:
+            Seed or generator controlling the run.
+
+        Returns
+        -------
+        Trajectory
+        """
+        generator = as_generator(rng)
+        trajectory = Trajectory.begin(self.network, initial_state, record_steps=record_steps)
+        state = np.array(trajectory.initial_state, dtype=np.int64)
+        if stop is not None:
+            stop = stop.bind(self.network)
+        budget = DEFAULT_MAX_EVENTS if max_events is None else int(max_events)
+        if budget <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+
+        time = 0.0
+        state_map = self.network.vector_to_state(state)
+        if stop is not None and stop.should_stop(state_map, time=time, num_events=0):
+            return trajectory.finish(stop.reason)
+
+        self._prepare(state, generator)
+        while trajectory.num_events < budget:
+            step = self._advance(state, time, generator)
+            if step is None:
+                return trajectory.finish("absorbed")
+            reaction_index, waiting_time = step
+            if waiting_time < 0 or not np.isfinite(waiting_time):
+                raise SimulationError(
+                    f"simulator produced an invalid waiting time: {waiting_time!r}"
+                )
+            time += waiting_time if self.continuous_time else 1.0
+            state += self._changes[reaction_index]
+            if np.any(state < 0):
+                raise SimulationError(
+                    f"reaction {self._labels[reaction_index]!r} drove a count negative; "
+                    "this indicates an inconsistent model definition"
+                )
+            trajectory.record_event(
+                time=time,
+                reaction_label=self._labels[reaction_index],
+                kind=self._kinds[reaction_index],
+                state=state,
+            )
+            state_map = self.network.vector_to_state(state)
+            if stop is not None and stop.should_stop(
+                state_map, time=time, num_events=trajectory.num_events
+            ):
+                return trajectory.finish(stop.reason)
+        return trajectory.finish("max-events")
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _prepare(self, state: np.ndarray, rng: np.random.Generator) -> None:
+        """Hook called once before the event loop (e.g. to build clocks)."""
+
+    def _advance(
+        self, state: np.ndarray, time: float, rng: np.random.Generator
+    ) -> tuple[int, float] | None:
+        """Select the next reaction.
+
+        Returns ``(reaction_index, waiting_time)`` or ``None`` when no
+        reaction can fire (total propensity zero).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _propensities(self, state: np.ndarray) -> np.ndarray:
+        state_map = {
+            species: int(state[i]) for i, species in enumerate(self.network.species)
+        }
+        return np.array(
+            [reaction.propensity(state_map) for reaction in self.network.reactions],
+            dtype=float,
+        )
+
+    @property
+    def event_kinds(self) -> tuple[EventKind, ...]:
+        """Classification of each reaction, in reaction order."""
+        return tuple(self._kinds)

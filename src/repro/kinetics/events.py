@@ -1,0 +1,82 @@
+"""Classification of reaction events.
+
+The paper's analysis distinguishes *individual* reactions (one reactant:
+births and deaths) from *pairwise interactions* (two reactants: interspecific
+and intraspecific competition).  This module provides a small enum and a
+classifier keyed on the reaction-label scheme used by
+:mod:`repro.crn.builders` (``birth:``, ``death:``, ``inter:``, ``intra:``),
+falling back to a structural classification for arbitrary networks.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.crn.reaction import Reaction
+
+__all__ = ["EventKind", "classify_reaction"]
+
+
+class EventKind(enum.Enum):
+    """High-level category of a reaction event."""
+
+    BIRTH = "birth"
+    DEATH = "death"
+    INTERSPECIFIC = "interspecific"
+    INTRASPECIFIC = "intraspecific"
+    OTHER = "other"
+
+    @property
+    def is_individual(self) -> bool:
+        """True for single-reactant (non-competitive) events.
+
+        These are the events the paper calls *individual reactions*; they are
+        the only source of demographic noise under self-destructive
+        competition (Section 6).
+        """
+        return self in (EventKind.BIRTH, EventKind.DEATH)
+
+    @property
+    def is_competitive(self) -> bool:
+        """True for pairwise interference-competition events."""
+        return self in (EventKind.INTERSPECIFIC, EventKind.INTRASPECIFIC)
+
+
+_LABEL_PREFIXES = {
+    "birth": EventKind.BIRTH,
+    "death": EventKind.DEATH,
+    "inter": EventKind.INTERSPECIFIC,
+    "intra": EventKind.INTRASPECIFIC,
+}
+
+
+def classify_reaction(reaction: Reaction) -> EventKind:
+    """Classify *reaction* into an :class:`EventKind`.
+
+    The label prefix (text before the first ``:``) takes precedence when it
+    matches the builder conventions; otherwise the classification falls back
+    to the reaction's structure:
+
+    * order-1 reactions that increase their reactant's count are births,
+    * order-1 reactions that decrease it are deaths,
+    * order-2 reactions between distinct species are interspecific,
+    * order-2 reactions within one species are intraspecific,
+    * anything else is :attr:`EventKind.OTHER`.
+    """
+    prefix = reaction.label.split(":", 1)[0] if reaction.label else ""
+    if prefix in _LABEL_PREFIXES:
+        return _LABEL_PREFIXES[prefix]
+
+    if reaction.is_unary:
+        (species, _), = reaction.reactants.items()
+        delta = reaction.net_change().get(species, 0)
+        if delta > 0:
+            return EventKind.BIRTH
+        if delta < 0:
+            return EventKind.DEATH
+        return EventKind.OTHER
+    if reaction.is_binary:
+        if reaction.is_homogeneous_pair:
+            return EventKind.INTRASPECIFIC
+        return EventKind.INTERSPECIFIC
+    return EventKind.OTHER

@@ -1,0 +1,46 @@
+"""The embedded discrete-time jump chain.
+
+The paper's results are stated for the jump chain ``S = (S_t)`` of the
+continuous-time process ``X``: given the current configuration ``x`` with
+total propensity ``φ(x) > 0``, the next configuration is ``y`` with
+probability ``Q(x, y) / φ(x)``, i.e. the waiting times are discarded and only
+the sequence of visited configurations matters (Section 1.3).
+
+Consensus probabilities ``ρ(S)`` are identical between the jump chain and the
+continuous-time chain (the embedded chain visits exactly the same states), so
+experiments use the jump chain where "time" means "number of reactions", which
+matches statements like "consensus within O(n) events" (Theorem 13).
+"""
+
+from __future__ import annotations
+
+from repro.kinetics.base import StochasticSimulator
+
+__all__ = ["JumpChainSimulator"]
+
+
+class JumpChainSimulator(StochasticSimulator):
+    """Discrete-time simulation of the embedded jump chain.
+
+    The trajectory's ``final_time`` equals the number of events, matching the
+    paper's convention where ``S_t`` is the configuration after ``t``
+    reactions.
+    """
+
+    continuous_time = False
+
+    def _advance(self, state, time, rng):
+        propensities = self._propensities(state)
+        total = float(propensities.sum())
+        if total <= 0.0:
+            return None
+        threshold = rng.random() * total
+        cumulative = 0.0
+        reaction_index = len(propensities) - 1
+        for index, value in enumerate(propensities):
+            cumulative += value
+            if threshold < cumulative:
+                reaction_index = index
+                break
+        # Unit "waiting time": the caller counts events, not physical time.
+        return reaction_index, 1.0

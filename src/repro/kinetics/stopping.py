@@ -1,0 +1,182 @@
+"""Stopping conditions for stochastic simulations.
+
+Simulators run until either no reaction can fire (total propensity zero) or a
+user-supplied :class:`StoppingCondition` triggers.  The conditions relevant to
+the paper are:
+
+* :class:`ConsensusReached` — one of a designated pair of species has count
+  zero (the consensus time ``T(S)`` of Section 1.3),
+* :class:`ExtinctionReached` — a designated species (or all species) has
+  reached count zero (the extinction time of single-species chains, Sec. 4),
+* :class:`MaxEvents` / :class:`MaxTime` — safety budgets,
+* :class:`TargetCount` — a species reached a target count (used by the
+  threshold experiments to detect early winners), and
+* :class:`AnyOf` — disjunction of conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species
+from repro.exceptions import ModelError
+
+__all__ = [
+    "StoppingCondition",
+    "ConsensusReached",
+    "ExtinctionReached",
+    "MaxEvents",
+    "MaxTime",
+    "TargetCount",
+    "AnyOf",
+]
+
+
+class StoppingCondition:
+    """Base class for stopping conditions.
+
+    Subclasses implement :meth:`should_stop` and expose a short ``reason``
+    string recorded in the trajectory's ``termination`` field.
+    """
+
+    reason = "stopped"
+
+    def bind(self, network: ReactionNetwork) -> "StoppingCondition":
+        """Resolve species references against *network*; returns ``self``."""
+        return self
+
+    def should_stop(
+        self, state: Mapping[Species, int], *, time: float, num_events: int
+    ) -> bool:
+        raise NotImplementedError
+
+
+class ConsensusReached(StoppingCondition):
+    """Stop as soon as at least one of two tracked species is extinct.
+
+    This is the consensus event of the paper: the configuration ``(x0, x1)``
+    has reached consensus when ``x0 = 0`` or ``x1 = 0``.
+    """
+
+    reason = "consensus"
+
+    def __init__(self, species_a: Species, species_b: Species):
+        if species_a == species_b:
+            raise ModelError("consensus requires two distinct species")
+        self.species_a = species_a
+        self.species_b = species_b
+
+    def bind(self, network: ReactionNetwork) -> "ConsensusReached":
+        network.species_index(self.species_a)
+        network.species_index(self.species_b)
+        return self
+
+    def should_stop(
+        self, state: Mapping[Species, int], *, time: float, num_events: int
+    ) -> bool:
+        return state.get(self.species_a, 0) == 0 or state.get(self.species_b, 0) == 0
+
+
+class ExtinctionReached(StoppingCondition):
+    """Stop when the tracked species (or every species) reaches count zero."""
+
+    reason = "extinction"
+
+    def __init__(self, species: Species | None = None):
+        self.species = species
+
+    def bind(self, network: ReactionNetwork) -> "ExtinctionReached":
+        if self.species is not None:
+            network.species_index(self.species)
+        return self
+
+    def should_stop(
+        self, state: Mapping[Species, int], *, time: float, num_events: int
+    ) -> bool:
+        if self.species is not None:
+            return state.get(self.species, 0) == 0
+        return all(count == 0 for count in state.values())
+
+
+class MaxEvents(StoppingCondition):
+    """Stop after a fixed number of reaction events (a safety budget)."""
+
+    reason = "max-events"
+
+    def __init__(self, limit: int):
+        if limit <= 0:
+            raise ValueError(f"event limit must be positive, got {limit}")
+        self.limit = int(limit)
+
+    def should_stop(
+        self, state: Mapping[Species, int], *, time: float, num_events: int
+    ) -> bool:
+        return num_events >= self.limit
+
+
+class MaxTime(StoppingCondition):
+    """Stop once continuous simulation time exceeds a limit."""
+
+    reason = "max-time"
+
+    def __init__(self, limit: float):
+        if limit <= 0:
+            raise ValueError(f"time limit must be positive, got {limit}")
+        self.limit = float(limit)
+
+    def should_stop(
+        self, state: Mapping[Species, int], *, time: float, num_events: int
+    ) -> bool:
+        return time >= self.limit
+
+
+class TargetCount(StoppingCondition):
+    """Stop when a species' count reaches (or crosses) a target value."""
+
+    reason = "target-count"
+
+    def __init__(self, species: Species, target: int, *, direction: str = "above"):
+        if direction not in ("above", "below"):
+            raise ValueError(f"direction must be 'above' or 'below', got {direction!r}")
+        if target < 0:
+            raise ValueError(f"target must be non-negative, got {target}")
+        self.species = species
+        self.target = int(target)
+        self.direction = direction
+
+    def bind(self, network: ReactionNetwork) -> "TargetCount":
+        network.species_index(self.species)
+        return self
+
+    def should_stop(
+        self, state: Mapping[Species, int], *, time: float, num_events: int
+    ) -> bool:
+        count = state.get(self.species, 0)
+        if self.direction == "above":
+            return count >= self.target
+        return count <= self.target
+
+
+class AnyOf(StoppingCondition):
+    """Disjunction of stopping conditions; the first triggered gives the reason."""
+
+    def __init__(self, conditions: Sequence[StoppingCondition]):
+        if not conditions:
+            raise ValueError("AnyOf requires at least one condition")
+        self.conditions = list(conditions)
+        self.reason = "stopped"
+
+    def bind(self, network: ReactionNetwork) -> "AnyOf":
+        for condition in self.conditions:
+            condition.bind(network)
+        return self
+
+    def should_stop(
+        self, state: Mapping[Species, int], *, time: float, num_events: int
+    ) -> bool:
+        for condition in self.conditions:
+            if condition.should_stop(state, time=time, num_events=num_events):
+                self.reason = condition.reason
+                return True
+        return False

@@ -1,0 +1,133 @@
+"""Approximate tau-leaping simulation.
+
+Tau-leaping advances the system by a fixed (or adaptively chosen) time step
+``τ`` and fires each reaction a Poisson-distributed number of times with mean
+``a_j(x) · τ``.  It trades exactness for speed and is provided for exploratory
+work with large populations; none of the paper's experiments rely on it, and
+the test suite only checks its statistical agreement with the exact methods in
+regimes where the approximation is valid.
+
+The implementation uses the simple "binomial capping" safeguard: if a leap
+would drive any species negative, the step size is halved and the leap is
+re-attempted, falling back to single-reaction (SSA-like) steps when ``τ``
+becomes very small.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.crn.species import Species
+from repro.exceptions import SimulationError
+from repro.kinetics.base import StochasticSimulator
+from repro.kinetics.stopping import StoppingCondition
+from repro.kinetics.trajectory import Trajectory
+from repro.rng import SeedLike, as_generator
+
+__all__ = ["TauLeapingSimulator"]
+
+
+class TauLeapingSimulator(StochasticSimulator):
+    """Approximate simulation with Poisson leaps of length ``tau``.
+
+    Parameters
+    ----------
+    network:
+        The reaction network to simulate.
+    tau:
+        Leap length in simulation time units.
+    min_tau:
+        When repeated halving pushes the step below this value the leap fires
+        at most one reaction, which keeps the simulator exact in the
+        small-population limit (at the cost of speed).
+    """
+
+    continuous_time = True
+
+    def __init__(self, network, *, tau: float = 0.01, min_tau: float = 1e-6):
+        super().__init__(network)
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        if min_tau <= 0 or min_tau > tau:
+            raise ValueError("min_tau must satisfy 0 < min_tau <= tau")
+        self.tau = float(tau)
+        self.min_tau = float(min_tau)
+
+    def run(
+        self,
+        initial_state: Mapping[Species, int] | Sequence[int],
+        *,
+        stop: StoppingCondition | None = None,
+        max_events: int | None = None,
+        record_steps: bool = False,
+        rng: SeedLike = None,
+    ) -> Trajectory:
+        """Simulate one trajectory; ``num_events`` counts *leaps*, not reactions.
+
+        The per-leap aggregate state changes are recorded with the synthetic
+        reaction label ``"tau-leap"`` and kind ``OTHER`` since a single leap
+        may bundle many reactions of different kinds.
+        """
+        from repro.kinetics.events import EventKind
+
+        generator = as_generator(rng)
+        trajectory = Trajectory.begin(self.network, initial_state, record_steps=record_steps)
+        state = np.array(trajectory.initial_state, dtype=np.int64)
+        if stop is not None:
+            stop = stop.bind(self.network)
+        budget = 10_000_000 if max_events is None else int(max_events)
+        if budget <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+
+        time = 0.0
+        state_map = self.network.vector_to_state(state)
+        if stop is not None and stop.should_stop(state_map, time=time, num_events=0):
+            return trajectory.finish(stop.reason)
+
+        while trajectory.num_events < budget:
+            propensities = self._propensities(state)
+            total = float(propensities.sum())
+            if total <= 0.0:
+                return trajectory.finish("absorbed")
+
+            tau = self.tau
+            while True:
+                firings = generator.poisson(propensities * tau)
+                delta = firings @ self._changes
+                if np.all(state + delta >= 0):
+                    break
+                tau /= 2.0
+                if tau < self.min_tau:
+                    # Degenerate to a single exact SSA step.
+                    threshold = generator.random() * total
+                    cumulative = 0.0
+                    index = len(propensities) - 1
+                    for j, value in enumerate(propensities):
+                        cumulative += value
+                        if threshold < cumulative:
+                            index = j
+                            break
+                    firings = np.zeros(len(propensities), dtype=np.int64)
+                    firings[index] = 1
+                    delta = self._changes[index]
+                    tau = float(generator.exponential(1.0 / total))
+                    break
+
+            state = state + delta
+            if np.any(state < 0):
+                raise SimulationError("tau-leaping drove a species count negative")
+            time += tau
+            trajectory.record_event(
+                time=time,
+                reaction_label="tau-leap",
+                kind=EventKind.OTHER,
+                state=state,
+            )
+            state_map = self.network.vector_to_state(state)
+            if stop is not None and stop.should_stop(
+                state_map, time=time, num_events=trajectory.num_events
+            ):
+                return trajectory.finish(stop.reason)
+        return trajectory.finish("max-events")

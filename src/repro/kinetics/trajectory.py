@@ -1,0 +1,184 @@
+"""Trajectory containers for stochastic simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.crn.network import ReactionNetwork
+from repro.crn.species import Species
+from repro.kinetics.events import EventKind
+
+__all__ = ["TrajectoryStep", "Trajectory"]
+
+
+@dataclass(frozen=True)
+class TrajectoryStep:
+    """One recorded event of a stochastic simulation.
+
+    Attributes
+    ----------
+    index:
+        Zero-based index of the event (the initial state is not a step).
+    time:
+        Continuous simulation time immediately *after* the event.  For
+        discrete-time (jump-chain) simulations this equals ``index + 1``.
+    reaction_label:
+        Label of the fired reaction.
+    kind:
+        Event classification of the fired reaction.
+    state:
+        Configuration vector immediately after the event, in the network's
+        species order.
+    """
+
+    index: int
+    time: float
+    reaction_label: str
+    kind: EventKind
+    state: tuple[int, ...]
+
+
+@dataclass
+class Trajectory:
+    """A (possibly thinned) record of a single simulation run.
+
+    A trajectory always stores the initial and final states, total elapsed
+    time, event counts per :class:`EventKind`, and the termination reason.
+    Full per-event history is only retained when the simulator is asked to
+    record it (``record_steps=True``), since the paper's experiments need
+    millions of runs where only summary statistics matter.
+    """
+
+    network: ReactionNetwork
+    initial_state: tuple[int, ...]
+    final_state: tuple[int, ...] = ()
+    final_time: float = 0.0
+    num_events: int = 0
+    event_counts: dict[EventKind, int] = field(default_factory=dict)
+    termination: str = "running"
+    steps: list[TrajectoryStep] = field(default_factory=list)
+    record_steps: bool = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers used by simulators
+    # ------------------------------------------------------------------
+    @classmethod
+    def begin(
+        cls,
+        network: ReactionNetwork,
+        initial_state: Mapping[Species, int] | Sequence[int],
+        *,
+        record_steps: bool = False,
+    ) -> "Trajectory":
+        """Create an empty trajectory starting at *initial_state*."""
+        if isinstance(initial_state, Mapping):
+            vector = network.state_to_vector(initial_state)
+        else:
+            vector = np.asarray(initial_state, dtype=np.int64)
+            network.vector_to_state(vector)  # validation only
+        start = tuple(int(v) for v in vector)
+        return cls(
+            network=network,
+            initial_state=start,
+            final_state=start,
+            record_steps=record_steps,
+        )
+
+    def record_event(
+        self,
+        *,
+        time: float,
+        reaction_label: str,
+        kind: EventKind,
+        state: Sequence[int],
+    ) -> None:
+        """Append one event to the trajectory."""
+        state_tuple = tuple(int(v) for v in state)
+        self.final_state = state_tuple
+        self.final_time = float(time)
+        self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+        if self.record_steps:
+            self.steps.append(
+                TrajectoryStep(
+                    index=self.num_events,
+                    time=float(time),
+                    reaction_label=reaction_label,
+                    kind=kind,
+                    state=state_tuple,
+                )
+            )
+        self.num_events += 1
+
+    def finish(self, termination: str) -> "Trajectory":
+        """Mark the trajectory as finished with the given *termination* reason."""
+        self.termination = termination
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def species(self) -> tuple[Species, ...]:
+        return self.network.species
+
+    def count(self, species: Species, *, final: bool = True) -> int:
+        """Final (or initial) count of *species*."""
+        state = self.final_state if final else self.initial_state
+        return state[self.network.species_index(species)]
+
+    def final_mapping(self) -> dict[Species, int]:
+        """Final configuration as a ``{Species: count}`` mapping."""
+        return self.network.vector_to_state(self.final_state)
+
+    def events_of_kind(self, kind: EventKind) -> int:
+        """Number of recorded events of the given kind."""
+        return self.event_counts.get(kind, 0)
+
+    @property
+    def individual_events(self) -> int:
+        """Number of individual (birth or death) events, I(S) in the paper."""
+        return self.events_of_kind(EventKind.BIRTH) + self.events_of_kind(EventKind.DEATH)
+
+    @property
+    def competitive_events(self) -> int:
+        """Number of competitive (inter- or intraspecific) events, K(S)."""
+        return self.events_of_kind(EventKind.INTERSPECIFIC) + self.events_of_kind(
+            EventKind.INTRASPECIFIC
+        )
+
+    def times(self) -> np.ndarray:
+        """Event times (requires ``record_steps=True``)."""
+        self._require_steps()
+        return np.array([step.time for step in self.steps], dtype=float)
+
+    def states(self) -> np.ndarray:
+        """Event-by-event state matrix of shape ``(num_events, num_species)``."""
+        self._require_steps()
+        return np.array([step.state for step in self.steps], dtype=np.int64)
+
+    def species_series(self, species: Species) -> np.ndarray:
+        """Count of *species* after every event (requires recorded steps)."""
+        index = self.network.species_index(species)
+        return self.states()[:, index] if self.steps else np.array([], dtype=np.int64)
+
+    def _require_steps(self) -> None:
+        if not self.record_steps:
+            raise ValueError(
+                "per-event history was not recorded; construct the trajectory "
+                "with record_steps=True to use this accessor"
+            )
+
+    def __iter__(self) -> Iterator[TrajectoryStep]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return self.num_events
+
+    def __repr__(self) -> str:
+        return (
+            f"<Trajectory events={self.num_events} time={self.final_time:.4g} "
+            f"final={self.final_state} termination={self.termination!r}>"
+        )

@@ -1,0 +1,39 @@
+"""Two-species competitive Lotka–Volterra models (the paper's model class).
+
+This subpackage contains the discrete, stochastic two-species LV models of
+Section 1.3 and the deterministic ODE of Section 2.1:
+
+* :class:`~repro.lv.params.LVParams` — the rate parameterisation
+  (β, δ, α₀, α₁, γ₀, γ₁) plus the competition mechanism,
+* :class:`~repro.lv.state.LVState` — a two-species configuration with gap,
+  majority, and consensus helpers,
+* :class:`~repro.lv.models.LVModel` — compiles parameters to a
+  :class:`~repro.crn.network.ReactionNetwork` for the generic simulators,
+* :class:`~repro.lv.simulator.LVJumpChainSimulator` — a fast, specialised
+  jump-chain simulator for the two-species system with per-event
+  classification and gap/noise accounting (the workhorse of the experiments),
+* :mod:`~repro.lv.ode` — the deterministic competitive LV ODE (Eq. 4),
+* :mod:`~repro.lv.regimes` — classification of parameter choices into the
+  rows of Table 1.
+"""
+
+from repro.lv.params import CompetitionMechanism, LVParams
+from repro.lv.state import LVState
+from repro.lv.models import LVModel
+from repro.lv.simulator import LVJumpChainSimulator, LVRunResult, StepRecord
+from repro.lv.ode import DeterministicLV, ODEResult
+from repro.lv.regimes import Table1Row, classify_regime
+
+__all__ = [
+    "CompetitionMechanism",
+    "LVParams",
+    "LVState",
+    "LVModel",
+    "LVJumpChainSimulator",
+    "LVRunResult",
+    "StepRecord",
+    "DeterministicLV",
+    "ODEResult",
+    "Table1Row",
+    "classify_regime",
+]

@@ -1,0 +1,149 @@
+"""Classification of LV parameter choices into the rows of Table 1.
+
+Table 1 of the paper summarises the majority-consensus thresholds for five
+parameter regimes.  Given an :class:`~repro.lv.params.LVParams` instance, the
+:func:`classify_regime` function reports which row applies together with the
+threshold bounds the paper states for it, which the experiment harness uses to
+annotate its outputs and which the theory module uses to pick predictions.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.lv.params import LVParams
+
+__all__ = ["Table1Row", "RegimeClassification", "classify_regime"]
+
+_TOLERANCE = 1e-12
+
+
+class Table1Row(enum.Enum):
+    """Rows of Table 1 in the paper."""
+
+    INTERSPECIFIC_ONLY = "interspecific-only"
+    INTER_AND_INTRA = "inter-and-intraspecific"
+    INTRASPECIFIC_ONLY = "intraspecific-only"
+    INTERSPECIFIC_NO_DEATH = "interspecific-delta-zero"
+    NO_COMPETITION = "no-competition"
+
+
+@dataclass(frozen=True)
+class RegimeClassification:
+    """The Table-1 row a parameter choice falls into, with threshold bounds.
+
+    Attributes
+    ----------
+    row:
+        The matching row of Table 1.
+    lower_bound, upper_bound:
+        Human-readable asymptotic threshold bounds stated by the paper for
+        this row and mechanism (``"inf"`` encodes "no threshold exists").
+    exact_consensus_probability:
+        ``True`` when the paper gives an exact formula ``ρ = a/(a+b)`` for the
+        regime (rows 2 and 5 under the stated rate relations).
+    notes:
+        Short free-text comment (e.g. which theorem applies).
+    """
+
+    row: Table1Row
+    lower_bound: str
+    upper_bound: str
+    exact_consensus_probability: bool
+    notes: str
+
+
+def _is_zero(value: float) -> bool:
+    return abs(value) <= _TOLERANCE
+
+
+def classify_regime(params: LVParams) -> RegimeClassification:
+    """Classify *params* into a row of Table 1.
+
+    The classification follows the paper's case analysis:
+
+    1. ``α > 0, γ = 0, δ > 0`` → interspecific only (row 1; Sections 6–7),
+    2. ``α > 0, γ > 0`` → both inter- and intraspecific (row 2; Section 8.1);
+       the exact ``ρ = a/(a+b)`` statement additionally needs ``α = γ`` for
+       self-destructive or ``γ = 2α`` for non-self-destructive competition,
+    3. ``α = 0, γ > 0`` → intraspecific only (row 3; Section 8.2),
+    4. ``α > 0, γ = 0, δ = 0`` → the δ=0 special case studied by prior work
+       (row 4; Cho et al. / Andaur et al.),
+    5. ``α = γ = 0`` → no competition (row 5).
+    """
+    has_inter = params.has_interspecific
+    has_intra = params.has_intraspecific
+    sd = params.is_self_destructive
+
+    if not has_inter and not has_intra:
+        return RegimeClassification(
+            row=Table1Row.NO_COMPETITION,
+            lower_bound="n - 1",
+            upper_bound="n - 1",
+            exact_consensus_probability=True,
+            notes="Two independent birth-death chains; rho = a/(a+b) when beta = delta "
+            "(prior work, Andaur et al.).",
+        )
+    if has_inter and has_intra:
+        # Theorem 20 ("alpha = gamma" in the paper's Section-8 notation, where
+        # alpha is the *total* interspecific rate and gamma the *per-species*
+        # intraspecific rate) and Theorem 23 ("gamma = 2*alpha") both translate
+        # to gamma0 = gamma1 = alpha0 + alpha1 in this library's notation.
+        intra_balanced = math.isclose(
+            params.gamma0, params.gamma1, rel_tol=1e-9
+        ) and math.isclose(params.gamma0, params.alpha, rel_tol=1e-9)
+        if sd:
+            exact = intra_balanced
+            relation = "gamma0 = gamma1 = alpha0 + alpha1"
+            theorem = "Theorem 20"
+        else:
+            exact = intra_balanced and math.isclose(
+                params.alpha0, params.alpha1, rel_tol=1e-9
+            )
+            relation = "gamma0 = gamma1 = 2*alpha0 (neutral)"
+            theorem = "Theorem 23"
+        return RegimeClassification(
+            row=Table1Row.INTER_AND_INTRA,
+            lower_bound="n - 1",
+            upper_bound="n - 1",
+            exact_consensus_probability=exact,
+            notes=f"{theorem}: rho = a/(a+b) exactly when {relation}; threshold >= n - 1.",
+        )
+    if has_intra and not has_inter:
+        return RegimeClassification(
+            row=Table1Row.INTRASPECIFIC_ONLY,
+            lower_bound="inf",
+            upper_bound="inf",
+            exact_consensus_probability=False,
+            notes="Theorem 25: no majority consensus threshold exists; failure probability "
+            "is bounded below by a positive constant for every gap.",
+        )
+    # Interspecific competition only (γ = 0).
+    if _is_zero(params.delta):
+        return RegimeClassification(
+            row=Table1Row.INTERSPECIFIC_NO_DEATH,
+            lower_bound="Omega(sqrt(log n))" if sd else "Omega(sqrt(n))",
+            upper_bound="O(sqrt(n log n))",
+            exact_consensus_probability=False,
+            notes="delta = 0 special case of prior work (Cho et al. for SD, Andaur et al. "
+            "for NSD); the paper's new bounds still apply.",
+        )
+    if sd:
+        return RegimeClassification(
+            row=Table1Row.INTERSPECIFIC_ONLY,
+            lower_bound="Omega(sqrt(log n))",
+            upper_bound="O(log^2 n)",
+            exact_consensus_probability=False,
+            notes="Theorems 14 and 17: polylogarithmic threshold under self-destructive "
+            "interspecific competition.",
+        )
+    return RegimeClassification(
+        row=Table1Row.INTERSPECIFIC_ONLY,
+        lower_bound="Omega(sqrt(n))",
+        upper_bound="O(sqrt(n) log n)",
+        exact_consensus_probability=False,
+        notes="Theorems 18 and 19: polynomial threshold under non-self-destructive "
+        "interspecific competition.",
+    )

@@ -1,0 +1,146 @@
+"""Two-species configurations and majority/consensus predicates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidConfigurationError
+
+__all__ = ["LVState"]
+
+
+@dataclass(frozen=True, order=True)
+class LVState:
+    """A configuration ``(x0, x1)`` of the two-species LV chain.
+
+    The paper's conventions are baked in:
+
+    * species ``i`` is *the majority species* in a state when ``x_i > x_{1-i}``,
+    * a state *has reached consensus* when ``x0 == 0`` or ``x1 == 0``,
+    * species ``i`` *has won* in a consensus state when ``x_i > 0``,
+    * the *gap* of a state is ``x0 - x1`` (signed, positive when species 0
+      leads), matching ``Δ_t = S_{t,0} - S_{t,1}`` with the paper's WLOG
+      assumption that species 0 is the initial majority.
+
+    Examples
+    --------
+    >>> state = LVState(12, 8)
+    >>> state.total, state.gap, state.majority_species
+    (20, 4, 0)
+    >>> LVState(5, 0).has_consensus, LVState(5, 0).winner
+    (True, 0)
+    """
+
+    x0: int
+    x1: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("x0", self.x0), ("x1", self.x1)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise InvalidConfigurationError(
+                    f"count {name} must be an integer, got {value!r}"
+                )
+            if value < 0:
+                raise InvalidConfigurationError(
+                    f"count {name} must be non-negative, got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_gap(cls, total: int, gap: int) -> "LVState":
+        """Build the initial state with population *total* and gap *gap*.
+
+        The majority species is species 0 (the paper's WLOG convention):
+        ``x0 = (total + gap) / 2``, ``x1 = (total - gap) / 2``.  *total* and
+        *gap* must have the same parity so that the counts are integers.
+        """
+        if total <= 0:
+            raise InvalidConfigurationError(f"total must be positive, got {total}")
+        if gap < 0 or gap > total:
+            raise InvalidConfigurationError(
+                f"gap must lie in [0, total]; got gap={gap}, total={total}"
+            )
+        if (total + gap) % 2 != 0:
+            raise InvalidConfigurationError(
+                f"total and gap must have the same parity; got total={total}, gap={gap}"
+            )
+        x0 = (total + gap) // 2
+        x1 = (total - gap) // 2
+        return cls(x0, x1)
+
+    # ------------------------------------------------------------------
+    # Predicates and derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> tuple[int, int]:
+        return (self.x0, self.x1)
+
+    @property
+    def total(self) -> int:
+        """Total population size ``n = x0 + x1``."""
+        return self.x0 + self.x1
+
+    @property
+    def gap(self) -> int:
+        """Signed gap ``x0 - x1`` (positive when species 0 leads)."""
+        return self.x0 - self.x1
+
+    @property
+    def abs_gap(self) -> int:
+        """Absolute difference between the two counts."""
+        return abs(self.gap)
+
+    @property
+    def minimum(self) -> int:
+        """Count of the currently smaller species, ``min S_t``."""
+        return min(self.x0, self.x1)
+
+    @property
+    def maximum(self) -> int:
+        """Count of the currently larger species."""
+        return max(self.x0, self.x1)
+
+    @property
+    def majority_species(self) -> int | None:
+        """Index of the current majority species, or ``None`` on a tie."""
+        if self.x0 > self.x1:
+            return 0
+        if self.x1 > self.x0:
+            return 1
+        return None
+
+    @property
+    def has_consensus(self) -> bool:
+        """Whether at least one species is extinct."""
+        return self.x0 == 0 or self.x1 == 0
+
+    @property
+    def winner(self) -> int | None:
+        """Index of the surviving species in a consensus state.
+
+        ``None`` if the state has not reached consensus or if both species are
+        extinct (so no species "won").
+        """
+        if not self.has_consensus:
+            return None
+        if self.x0 > 0 and self.x1 == 0:
+            return 0
+        if self.x1 > 0 and self.x0 == 0:
+            return 1
+        return None
+
+    def count(self, species: int) -> int:
+        """Count of species *species* (0 or 1)."""
+        if species == 0:
+            return self.x0
+        if species == 1:
+            return self.x1
+        raise InvalidConfigurationError(f"species index must be 0 or 1, got {species}")
+
+    def with_counts(self, x0: int, x1: int) -> "LVState":
+        return LVState(x0, x1)
+
+    def __str__(self) -> str:
+        return f"({self.x0}, {self.x1})"

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lv.params import LVParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need one-off randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sd_params() -> LVParams:
+    """Neutral self-destructive LV system with unit rates and no intraspecific competition."""
+    return LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+
+
+@pytest.fixture
+def nsd_params() -> LVParams:
+    """Neutral non-self-destructive LV system with unit rates."""
+    return LVParams.non_self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+
+
+@pytest.fixture
+def sd_balanced_params() -> LVParams:
+    """Self-destructive system with balanced intraspecific competition (Theorem 20)."""
+    return LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0, gamma=2.0)
+
+
+@pytest.fixture
+def nsd_balanced_params() -> LVParams:
+    """Non-self-destructive system with gamma = 2*alpha (Theorem 23)."""
+    return LVParams.non_self_destructive(beta=1.0, delta=1.0, alpha=1.0, gamma=2.0)

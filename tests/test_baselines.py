@@ -1,0 +1,170 @@
+"""Tests for the baseline protocols and prior-work models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.andaur_resource import AndaurResourceModel
+from repro.baselines.approximate_majority import ApproximateMajorityProtocol
+from repro.baselines.cho_growth import ChoGrowthModel
+from repro.baselines.exact_majority import ExactMajorityProtocol
+from repro.baselines.population import PopulationProtocol
+from repro.exceptions import InvalidConfigurationError, ModelError
+from repro.lv.state import LVState
+
+
+class TestPopulationProtocolScheduler:
+    def test_initial_counts(self):
+        protocol = ApproximateMajorityProtocol()
+        counts = protocol.initial_counts(7, 3)
+        assert counts["A"] == 7 and counts["B"] == 3 and counts["U"] == 0
+
+    def test_initial_counts_validation(self):
+        protocol = ApproximateMajorityProtocol()
+        with pytest.raises(InvalidConfigurationError):
+            protocol.initial_counts(0, 3)
+
+    def test_population_of_one_rejected(self):
+        protocol = ApproximateMajorityProtocol()
+        with pytest.raises(InvalidConfigurationError):
+            protocol.run(1, 0)
+
+    def test_population_size_conserved(self):
+        protocol = ApproximateMajorityProtocol()
+        result = protocol.run(30, 20, rng=0)
+        assert sum(result.final_counts.values()) == 50
+
+    def test_unimplemented_protocol_raises(self):
+        class Empty(PopulationProtocol):
+            states = ("s",)
+
+        with pytest.raises(NotImplementedError):
+            Empty().run(2, 1, rng=0)
+
+
+class TestApproximateMajority:
+    def test_converges_to_majority_with_large_gap(self):
+        protocol = ApproximateMajorityProtocol()
+        wins = sum(
+            protocol.run(70, 30, rng=seed).majority_consensus for seed in range(20)
+        )
+        assert wins >= 18
+
+    def test_transition_table(self):
+        protocol = ApproximateMajorityProtocol()
+        assert protocol.transition("A", "B") == ("A", "U")
+        assert protocol.transition("B", "A") == ("B", "U")
+        assert protocol.transition("A", "U") == ("A", "A")
+        assert protocol.transition("B", "U") == ("B", "B")
+        assert protocol.transition("A", "A") == ("A", "A")
+        assert protocol.transition("U", "A") == ("U", "A")
+
+    def test_interaction_count_near_linear(self):
+        """With a constant-fraction gap the protocol finishes in O(n log n) interactions."""
+        protocol = ApproximateMajorityProtocol()
+        n = 300
+        result = protocol.run(200, 100, rng=1)
+        assert result.converged
+        assert result.interactions < 40 * n * np.log(n)
+
+    def test_small_gap_can_fail(self):
+        """With gap 2 the protocol errs with noticeable probability (approximate majority)."""
+        protocol = ApproximateMajorityProtocol()
+        outcomes = [protocol.run(26, 24, rng=seed).output for seed in range(40)]
+        assert 1 in outcomes or outcomes.count(0) < 40
+
+
+class TestExactMajority:
+    def test_always_correct_with_positive_gap(self):
+        protocol = ExactMajorityProtocol()
+        for seed in range(15):
+            result = protocol.run(27, 23, rng=seed)
+            assert result.converged
+            assert result.output == 0
+
+    def test_correct_even_with_gap_one(self):
+        protocol = ExactMajorityProtocol()
+        wins = [protocol.run(16, 15, rng=seed).majority_consensus for seed in range(10)]
+        assert all(wins)
+
+    def test_transition_table(self):
+        protocol = ExactMajorityProtocol()
+        assert protocol.transition("A", "B") == ("a", "b")
+        assert protocol.transition("B", "A") == ("b", "a")
+        assert protocol.transition("A", "b") == ("A", "a")
+        assert protocol.transition("B", "a") == ("B", "b")
+        assert protocol.transition("a", "b") == ("a", "b")
+
+    def test_outputs(self):
+        protocol = ExactMajorityProtocol()
+        assert protocol.output("A") == protocol.output("a") == 0
+        assert protocol.output("B") == protocol.output("b") == 1
+
+
+class TestChoGrowthModel:
+    def test_params_have_no_deaths(self):
+        model = ChoGrowthModel(beta=1.0, alpha=1.0)
+        assert model.params.delta == 0.0
+        assert model.params.is_self_destructive
+
+    def test_rejects_invalid_rates(self):
+        with pytest.raises(ModelError):
+            ChoGrowthModel(beta=0.0, alpha=1.0)
+        with pytest.raises(ModelError):
+            ChoGrowthModel(beta=1.0, alpha=0.0)
+
+    def test_threshold_shapes(self):
+        assert ChoGrowthModel.original_threshold_shape(256) == pytest.approx(
+            np.sqrt(256 * np.log(256))
+        )
+        assert ChoGrowthModel.improved_threshold_shape(256) == pytest.approx(np.log(256) ** 2)
+        with pytest.raises(ModelError):
+            ChoGrowthModel.original_threshold_shape(1)
+
+    def test_polylog_gap_suffices(self):
+        """The paper's improvement: a ~log^2 n gap already wins in the Cho et al. model."""
+        model = ChoGrowthModel(beta=1.0, alpha=1.0)
+        gap = 2 * int(np.log(256) ** 2 / 4)  # even gap of order log^2 n
+        estimate = model.estimate(LVState.from_gap(256, gap), num_runs=150, rng=0)
+        assert estimate.majority_probability > 0.85
+
+
+class TestAndaurResourceModel:
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            AndaurResourceModel(beta=1.0, alpha=0.0, carrying_capacity=100)
+        with pytest.raises(ModelError):
+            AndaurResourceModel(beta=1.0, alpha=1.0, carrying_capacity=1)
+
+    def test_birth_propensity_is_bounded(self):
+        model = AndaurResourceModel(beta=1.0, alpha=1.0, carrying_capacity=100)
+        assert model.birth_propensity(50, 100) == 0.0
+        assert model.birth_propensity(50, 50) == pytest.approx(25.0)
+        assert model.birth_propensity(0, 10) == 0.0
+
+    def test_initial_state_above_capacity_rejected(self):
+        model = AndaurResourceModel(beta=1.0, alpha=1.0, carrying_capacity=50)
+        with pytest.raises(ModelError):
+            model.run(LVState(40, 20))
+
+    def test_reaches_consensus(self):
+        model = AndaurResourceModel(beta=1.0, alpha=1.0, carrying_capacity=400)
+        result = model.run(LVState(60, 30), rng=0)
+        assert result.reached_consensus
+        assert result.final_state.has_consensus
+
+    def test_sqrt_gap_wins_small_gap_does_not_always(self):
+        model = AndaurResourceModel(beta=1.0, alpha=1.0, carrying_capacity=2000)
+        n = 256
+        large_gap = 2 * int(np.sqrt(n * np.log(n)) / 2)  # even gap ~ sqrt(n log n)
+        small_gap = 2
+        confident = model.estimate(LVState.from_gap(n, large_gap), num_runs=100, rng=1)
+        marginal = model.estimate(LVState.from_gap(n, small_gap), num_runs=100, rng=2)
+        assert confident.majority_probability > 0.9
+        assert marginal.majority_probability < 0.75
+
+    def test_estimate_validation(self):
+        model = AndaurResourceModel(beta=1.0, alpha=1.0, carrying_capacity=100)
+        with pytest.raises(ModelError):
+            model.estimate(LVState(10, 5), num_runs=0)

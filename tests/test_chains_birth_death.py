@@ -1,0 +1,218 @@
+"""Tests for birth-death chains, nice chains and exact absorption solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chains.absorption import (
+    absorption_probabilities,
+    expected_absorption_time,
+    expected_births_before_absorption,
+)
+from repro.chains.birth_death import BirthDeathChain, BirthDeathSummary
+from repro.chains.nice import certify_nice, lv_dominating_birth_death, simulate_extinction
+from repro.exceptions import AbsorptionError, BudgetExceededError, ModelError
+
+
+def pure_death_chain() -> BirthDeathChain:
+    return BirthDeathChain(lambda n: 0.0, lambda n: 1.0, name="pure death")
+
+
+def lazy_random_walk(p: float = 0.3, q: float = 0.4) -> BirthDeathChain:
+    return BirthDeathChain(lambda n: p, lambda n: q, name="lazy walk")
+
+
+def fast_dominating_chain() -> BirthDeathChain:
+    """Dominating chain with alpha_min comparable to theta (no uphill stretch).
+
+    With beta = delta = 0.25 and alpha0 = alpha1 = 1 the death probability
+    (1/3) exceeds the birth probability everywhere, so simulated extinction
+    times stay close to n and the Monte-Carlo tests below run in milliseconds.
+    """
+    return lv_dominating_birth_death(beta=0.25, delta=0.25, alpha0=1.0, alpha1=1.0)
+
+
+class TestBirthDeathChainBasics:
+    def test_absorbing_at_zero(self):
+        chain = lazy_random_walk()
+        assert chain.birth_probability(0) == 0.0
+        assert chain.death_probability(0) == 0.0
+        assert chain.holding_probability(0) == 1.0
+        assert chain.is_absorbing(0)
+        assert not chain.is_absorbing(3)
+
+    def test_probability_validation(self):
+        bad = BirthDeathChain(lambda n: 0.8, lambda n: 0.6)
+        with pytest.raises(ModelError):
+            bad.birth_probability(1)
+
+    def test_negative_state_rejected(self):
+        with pytest.raises(ModelError):
+            lazy_random_walk().birth_probability(-1)
+
+    def test_step_from_zero_stays(self):
+        assert pure_death_chain().step(0, rng=0) == 0
+
+    def test_step_moves_down_for_pure_death(self):
+        assert pure_death_chain().step(5, rng=0) == 4
+
+    def test_pure_death_extinction_time_is_initial_state(self):
+        summary = pure_death_chain().simulate_to_absorption(9, rng=1)
+        assert summary.extinction_time == 9
+        assert summary.births == 0
+        assert summary.deaths == 9
+        assert summary.holding_steps == 0
+        assert summary.max_state == 9
+
+    def test_budget_exceeded(self):
+        # A chain that can never die below state 5 within the budget.
+        stuck = BirthDeathChain(lambda n: 0.0, lambda n: 0.0)
+        with pytest.raises(BudgetExceededError):
+            stuck.simulate_to_absorption(5, rng=0, max_steps=100)
+
+    def test_sample_path_length(self):
+        path = lazy_random_walk().sample_path(4, 20, rng=2)
+        assert len(path) == 21
+        assert path[0] == 4
+        assert np.all(path >= 0)
+
+    def test_summary_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            BirthDeathSummary(
+                initial_state=3, extinction_time=5, births=1, deaths=3, holding_steps=2, max_state=4
+            )
+
+    def test_transition_matrix_rows_sum_to_one(self):
+        matrix = lazy_random_walk().transition_matrix(10)
+        assert matrix.shape == (11, 11)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_transition_matrix_requires_positive_bound(self):
+        with pytest.raises(ValueError):
+            lazy_random_walk().transition_matrix(0)
+
+
+class TestNiceChain:
+    def test_lv_dominating_chain_matches_paper_formulas(self):
+        beta, delta, alpha0, alpha1 = 1.0, 0.5, 0.4, 0.6
+        chain = lv_dominating_birth_death(beta=beta, delta=delta, alpha0=alpha0, alpha1=alpha1)
+        theta = beta + delta
+        alpha = alpha0 + alpha1
+        for m in (1, 2, 5, 17, 100):
+            assert chain.birth_probability(m) == pytest.approx(theta / (alpha * m + theta))
+            assert chain.death_probability(m) == pytest.approx(min(alpha0, alpha1) / (alpha + 2 * theta))
+
+    def test_lv_dominating_chain_probabilities_valid(self):
+        chain = lv_dominating_birth_death(beta=2.0, delta=2.0, alpha0=0.1, alpha1=0.1)
+        for m in range(1, 200):
+            p = chain.birth_probability(m)
+            q = chain.death_probability(m)
+            assert 0.0 <= p and 0.0 <= q and p + q <= 1.0 + 1e-12
+
+    def test_requires_positive_alpha_min(self):
+        with pytest.raises(ModelError):
+            lv_dominating_birth_death(beta=1.0, delta=1.0, alpha0=0.0, alpha1=1.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ModelError):
+            lv_dominating_birth_death(beta=-1.0, delta=1.0, alpha0=1.0, alpha1=1.0)
+
+    def test_certificate_confirms_niceness(self):
+        chain = lv_dominating_birth_death(beta=1.0, delta=1.0, alpha0=0.5, alpha1=0.5)
+        certificate = certify_nice(chain, max_state=500)
+        assert certificate.is_nice
+        assert certificate.death_constant > 0.0
+        # C = max_n n * p(n) = max_n n*theta/(alpha*n+theta) <= theta/alpha = 2.
+        assert certificate.birth_constant <= 2.0 + 1e-9
+
+    def test_certificate_flags_non_nice_chain(self):
+        # Constant birth probability does not satisfy p(n) <= C/n in spirit,
+        # but the finite check reports the empirical constants; a chain with
+        # zero death probability is flagged as not nice.
+        chain = BirthDeathChain(lambda n: 0.2, lambda n: 0.0)
+        certificate = certify_nice(chain, max_state=50)
+        assert not certificate.is_nice
+
+    def test_simulate_extinction_statistics(self):
+        chain = fast_dominating_chain()
+        stats = simulate_extinction(chain, 100, num_runs=50, rng=3)
+        assert stats.num_runs == 50
+        # E(n) >= n always; expected Theta(n) so the mean should not explode.
+        assert stats.mean_extinction_time >= 100
+        assert stats.mean_extinction_time < 100 * 30
+        # Births should be logarithmic, i.e. tiny compared with n.
+        assert stats.mean_births < 25
+
+    def test_simulate_extinction_validates_runs(self):
+        chain = lv_dominating_birth_death(beta=1.0, delta=1.0, alpha0=0.5, alpha1=0.5)
+        with pytest.raises(ValueError):
+            simulate_extinction(chain, 10, num_runs=0)
+
+
+class TestExactAbsorption:
+    def test_pure_death_expected_time_is_state(self):
+        times = expected_absorption_time(pure_death_chain(), 20)
+        assert np.allclose(times, np.arange(1, 21))
+
+    def test_lazy_walk_times_are_increasing(self):
+        times = expected_absorption_time(lazy_random_walk(0.2, 0.5), 30)
+        assert np.all(np.diff(times) > 0)
+
+    def test_expected_births_pure_death_is_zero(self):
+        births = expected_births_before_absorption(pure_death_chain(), 20)
+        assert np.allclose(births, 0.0)
+
+    def test_expected_births_nice_chain_is_logarithmic(self):
+        chain = fast_dominating_chain()
+        births = expected_births_before_absorption(chain, 400)
+        # Lemma 6: E[B(n)] = O(log n).  Check against C * H_n with a generous constant.
+        harmonic = np.cumsum(1.0 / np.arange(1, 401))
+        assert np.all(births <= 4.0 * harmonic + 1.0)
+        # And it should grow, however slowly.
+        assert births[-1] > births[0]
+
+    def test_absorption_probability_approaches_one_for_subcritical(self):
+        chain = lazy_random_walk(0.2, 0.5)
+        probabilities = absorption_probabilities(chain, 60)
+        assert probabilities[0] > 0.99
+        assert np.all((0.0 <= probabilities) & (probabilities <= 1.0))
+
+    def test_absorption_probability_below_one_for_supercritical(self):
+        chain = lazy_random_walk(0.5, 0.2)
+        probabilities = absorption_probabilities(chain, 60)
+        assert probabilities[10] < 0.5
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(AbsorptionError):
+            expected_absorption_time(pure_death_chain(), 0)
+
+    def test_monte_carlo_agrees_with_exact_expectation(self):
+        chain = fast_dominating_chain()
+        exact = expected_absorption_time(chain, 200)[49]  # start state 50
+        stats = simulate_extinction(chain, 50, num_runs=300, rng=5)
+        assert stats.mean_extinction_time == pytest.approx(exact, rel=0.15)
+
+
+class TestNiceChainProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        beta=st.floats(min_value=0.0, max_value=5.0),
+        delta=st.floats(min_value=0.0, max_value=5.0),
+        alpha0=st.floats(min_value=0.05, max_value=5.0),
+        alpha1=st.floats(min_value=0.05, max_value=5.0),
+        state=st.integers(min_value=1, max_value=10_000),
+    )
+    def test_dominating_chain_is_always_a_valid_nice_chain(self, beta, delta, alpha0, alpha1, state):
+        chain = lv_dominating_birth_death(beta=beta, delta=delta, alpha0=alpha0, alpha1=alpha1)
+        p = chain.birth_probability(state)
+        q = chain.death_probability(state)
+        assert 0.0 <= p <= 1.0
+        assert 0.0 < q <= 1.0
+        assert p + q <= 1.0 + 1e-12
+        # Nice-chain conditions with explicit constants from Section 5.2.
+        theta = beta + delta
+        alpha = alpha0 + alpha1
+        assert p <= (theta / alpha) / state + 1e-12
+        assert q >= min(alpha0, alpha1) / (alpha + 2 * theta) - 1e-12

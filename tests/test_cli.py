@@ -1,0 +1,105 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command_parses(self):
+        arguments = build_parser().parse_args(["list"])
+        assert arguments.command == "list"
+
+    def test_run_command_defaults(self):
+        arguments = build_parser().parse_args(["run", "T1R3"])
+        assert arguments.identifiers == ["T1R3"]
+        assert arguments.scale == "quick"
+        assert not arguments.all
+
+    def test_estimate_requires_population_and_gap(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--population", "100"])
+
+
+class TestCommands:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for identifier in ("T1R1-SD", "T1R2", "FIG-NOISE", "FIG-DOM"):
+            assert identifier in output
+
+    def test_run_without_selection_is_an_error(self, capsys):
+        assert main(["run"]) == 2
+        assert "no experiments selected" in capsys.readouterr().out
+
+    def test_run_single_experiment_with_outputs(self, tmp_path, capsys):
+        json_path = tmp_path / "results.json"
+        report_path = tmp_path / "report.md"
+        exit_code = main(
+            [
+                "run",
+                "FIG-NOISE",
+                "--scale",
+                "quick",
+                "--seed",
+                "1",
+                "--json",
+                str(json_path),
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "FIG-NOISE" in output
+        payload = json.loads(json_path.read_text())
+        assert payload[0]["identifier"] == "FIG-NOISE"
+        assert "FIG-NOISE" in report_path.read_text()
+
+    def test_estimate_command(self, capsys):
+        exit_code = main(
+            [
+                "estimate",
+                "--mechanism",
+                "sd",
+                "--population",
+                "128",
+                "--gap",
+                "32",
+                "--runs",
+                "100",
+                "--seed",
+                "0",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "rho estimate" in output
+        assert "mean consensus time" in output
+
+    def test_estimate_command_nsd_with_gamma(self, capsys):
+        exit_code = main(
+            [
+                "estimate",
+                "--mechanism",
+                "nsd",
+                "--population",
+                "64",
+                "--gap",
+                "8",
+                "--gamma",
+                "0.5",
+                "--runs",
+                "50",
+            ]
+        )
+        assert exit_code == 0
+        assert "NSD" in capsys.readouterr().out

@@ -1,0 +1,193 @@
+"""Tests for reaction networks and the LV network builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crn.builders import (
+    build_birth_death_network,
+    build_lv_network,
+    build_pure_birth_network,
+    build_single_species_logistic_network,
+)
+from repro.crn.network import ReactionNetwork
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species
+from repro.exceptions import InvalidConfigurationError, ModelError
+
+
+class TestReactionNetwork:
+    def setup_method(self):
+        self.x = Species("X")
+        self.y = Species("Y")
+        self.network = ReactionNetwork(
+            species=[self.x, self.y],
+            reactions=[
+                Reaction({self.x: 1}, {self.x: 2}, rate=1.0, label="birth"),
+                Reaction({self.x: 1, self.y: 1}, {}, rate=0.5, label="annihilate"),
+            ],
+            name="demo",
+        )
+
+    def test_counts(self):
+        assert self.network.num_species == 2
+        assert self.network.num_reactions == 2
+        assert len(self.network) == 2
+
+    def test_species_auto_registration(self):
+        z = Species("Z")
+        network = ReactionNetwork(reactions=[Reaction({z: 1}, {}, rate=1.0)])
+        assert z in network.species
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ModelError):
+            self.network.add_reaction(Reaction({self.x: 1}, {}, rate=1.0, label="birth"))
+
+    def test_reaction_by_label(self):
+        assert self.network.reaction_by_label("birth").rate == 1.0
+        with pytest.raises(ModelError):
+            self.network.reaction_by_label("missing")
+
+    def test_species_index(self):
+        assert self.network.species_index(self.x) == 0
+        with pytest.raises(ModelError):
+            self.network.species_index(Species("missing"))
+
+    def test_state_vector_round_trip(self):
+        state = {self.x: 3, self.y: 7}
+        vector = self.network.state_to_vector(state)
+        assert vector.tolist() == [3, 7]
+        assert self.network.vector_to_state(vector) == state
+
+    def test_validate_state_fills_missing(self):
+        validated = self.network.validate_state({self.x: 2})
+        assert validated[self.y] == 0
+
+    def test_validate_state_rejects_negative(self):
+        with pytest.raises(InvalidConfigurationError):
+            self.network.validate_state({self.x: -1})
+
+    def test_validate_state_rejects_unknown_species(self):
+        with pytest.raises(InvalidConfigurationError):
+            self.network.validate_state({Species("Z"): 1})
+
+    def test_vector_wrong_shape_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            self.network.vector_to_state([1, 2, 3])
+
+    def test_propensities(self):
+        state = {self.x: 4, self.y: 3}
+        propensities = self.network.propensities(state)
+        assert propensities.tolist() == [4.0, 6.0]
+        assert self.network.total_propensity(state) == 10.0
+
+    def test_stoichiometry_matrix(self):
+        matrix = self.network.stoichiometry_matrix()
+        assert matrix.shape == (2, 2)
+        # birth adds one X; annihilate removes one of each.
+        assert matrix[:, 0].tolist() == [1, 0]
+        assert matrix[:, 1].tolist() == [-1, -1]
+
+    def test_conserved_total(self):
+        assert not self.network.conserved_total()
+        x = Species("X")
+        swap = ReactionNetwork(
+            reactions=[Reaction({x: 2}, {x: 2}, rate=1.0, label="noop")]
+        )
+        assert swap.conserved_total()
+
+    def test_describe_mentions_reactions(self):
+        text = self.network.describe()
+        assert "birth" in text and "annihilate" in text
+
+
+class TestLVNetworkBuilder:
+    def test_self_destructive_reaction_count(self):
+        network = build_lv_network(beta=1, delta=1, alpha0=0.5, alpha1=0.5)
+        # 2 births + 2 deaths + 2 interspecific (no intraspecific).
+        assert network.num_reactions == 6
+
+    def test_full_model_has_eight_reactions(self):
+        network = build_lv_network(
+            beta=1, delta=1, alpha0=0.5, alpha1=0.5, gamma0=0.5, gamma1=0.5
+        )
+        assert network.num_reactions == 8
+
+    def test_zero_rate_reactions_omitted(self):
+        network = build_lv_network(beta=1, delta=0, alpha0=0.5, alpha1=0.0)
+        labels = {reaction.label for reaction in network.reactions}
+        assert "death:X0" not in labels
+        assert "inter:X1" not in labels
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            build_lv_network(beta=-1, delta=1, alpha0=1, alpha1=1)
+
+    def test_self_destructive_removes_both(self):
+        network = build_lv_network(beta=1, delta=1, alpha0=1, alpha1=1)
+        reaction = network.reaction_by_label("inter:X0")
+        change = reaction.net_change()
+        assert set(change.values()) == {-1}
+        assert len(change) == 2
+
+    def test_non_self_destructive_removes_victim_only(self):
+        network = build_lv_network(
+            beta=1, delta=1, alpha0=1, alpha1=1, self_destructive=False
+        )
+        reaction = network.reaction_by_label("inter:X0")
+        x0, x1 = network.species
+        assert reaction.net_change() == {x1: -1}
+
+    def test_total_propensity_matches_paper_formula(self):
+        beta, delta, alpha0, alpha1, gamma0, gamma1 = 1.0, 0.5, 0.3, 0.7, 0.2, 0.4
+        network = build_lv_network(
+            beta=beta, delta=delta, alpha0=alpha0, alpha1=alpha1, gamma0=gamma0, gamma1=gamma1
+        )
+        x0, x1 = network.species
+        a, b = 6, 4
+        expected = (
+            (alpha0 + alpha1) * a * b
+            + (beta + delta) * (a + b)
+            + gamma0 * a * (a - 1) / 2
+            + gamma1 * b * (b - 1) / 2
+        )
+        assert network.total_propensity({x0: a, x1: b}) == pytest.approx(expected)
+
+    def test_custom_species_names(self):
+        network = build_lv_network(
+            beta=1, delta=1, alpha0=1, alpha1=1, species_names=("A", "B")
+        )
+        assert [species.name for species in network.species] == ["A", "B"]
+
+
+class TestOtherBuilders:
+    def test_birth_death_network(self):
+        network = build_birth_death_network(birth_rate=0.5, death_rate=1.0)
+        assert network.num_reactions == 2
+        x = network.species[0]
+        assert network.total_propensity({x: 10}) == pytest.approx(15.0)
+
+    def test_pure_birth_network(self):
+        network = build_pure_birth_network(birth_rate=2.0)
+        assert network.num_reactions == 1
+
+    def test_logistic_network_self_destructive(self):
+        network = build_single_species_logistic_network(
+            birth_rate=1.0, death_rate=1.0, intra_rate=0.5
+        )
+        x = network.species[0]
+        intra = network.reaction_by_label("intra:X")
+        assert intra.net_change() == {x: -2}
+
+    def test_logistic_network_non_self_destructive(self):
+        network = build_single_species_logistic_network(
+            birth_rate=1.0, death_rate=1.0, intra_rate=0.5, self_destructive=False
+        )
+        x = network.species[0]
+        intra = network.reaction_by_label("intra:X")
+        assert intra.net_change() == {x: -1}
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ModelError):
+            build_birth_death_network(birth_rate=1.0, death_rate=-0.5)

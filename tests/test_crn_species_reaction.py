@@ -1,0 +1,150 @@
+"""Tests for species and reaction definitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species
+from repro.exceptions import InvalidReactionError
+
+
+X = Species("X")
+Y = Species("Y")
+
+
+class TestSpecies:
+    def test_equality_by_name(self):
+        assert Species("X0") == Species("X0")
+        assert Species("X0") != Species("X1")
+
+    def test_metadata_excluded_from_equality(self):
+        assert Species("X0", metadata={"role": "majority"}) == Species("X0")
+
+    def test_hashable(self):
+        assert len({Species("A"), Species("A"), Species("B")}) == 2
+
+    def test_ordering(self):
+        assert Species("A") < Species("B")
+
+    def test_str(self):
+        assert str(Species("X0")) == "X0"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Species("")
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(ValueError):
+            Species("X 0")
+
+    def test_with_metadata_merges(self):
+        species = Species("X", metadata={"a": 1}).with_metadata(b=2)
+        assert species.metadata == {"a": 1, "b": 2}
+        assert species == Species("X")
+
+
+class TestReactionValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(InvalidReactionError):
+            Reaction({X: 1}, {}, rate=-1.0)
+
+    def test_negative_stoichiometry_rejected(self):
+        with pytest.raises(InvalidReactionError):
+            Reaction({X: -1}, {}, rate=1.0)
+
+    def test_non_integer_stoichiometry_rejected(self):
+        with pytest.raises(InvalidReactionError):
+            Reaction({X: 1.5}, {}, rate=1.0)
+
+    def test_non_species_key_rejected(self):
+        with pytest.raises(InvalidReactionError):
+            Reaction({"X": 1}, {}, rate=1.0)
+
+    def test_order_above_two_rejected(self):
+        with pytest.raises(InvalidReactionError):
+            Reaction({X: 2, Y: 1}, {}, rate=1.0)
+
+    def test_default_label_generated(self):
+        reaction = Reaction({X: 1}, {X: 2}, rate=1.0)
+        assert "X" in reaction.label
+
+    def test_zero_coefficients_dropped(self):
+        reaction = Reaction({X: 1, Y: 0}, {X: 2}, rate=1.0)
+        assert Y not in reaction.reactants
+
+
+class TestReactionStructure:
+    def test_order_unary(self):
+        assert Reaction({X: 1}, {X: 2}, rate=1.0).order == 1
+
+    def test_order_binary_heterogeneous(self):
+        reaction = Reaction({X: 1, Y: 1}, {}, rate=1.0)
+        assert reaction.order == 2
+        assert reaction.is_binary
+        assert not reaction.is_homogeneous_pair
+
+    def test_order_binary_homogeneous(self):
+        reaction = Reaction({X: 2}, {}, rate=1.0)
+        assert reaction.is_homogeneous_pair
+
+    def test_net_change_birth(self):
+        assert Reaction({X: 1}, {X: 2}, rate=1.0).net_change() == {X: 1}
+
+    def test_net_change_death(self):
+        assert Reaction({X: 1}, {}, rate=1.0).net_change() == {X: -1}
+
+    def test_net_change_nsd_competition(self):
+        reaction = Reaction({X: 1, Y: 1}, {X: 1}, rate=1.0)
+        assert reaction.net_change() == {Y: -1}
+
+    def test_species_union(self):
+        reaction = Reaction({X: 1, Y: 1}, {X: 1}, rate=1.0)
+        assert reaction.species == frozenset({X, Y})
+
+
+class TestReactionKinetics:
+    def test_unary_propensity(self):
+        assert Reaction({X: 1}, {X: 2}, rate=2.0).propensity({X: 5}) == 10.0
+
+    def test_heterogeneous_propensity(self):
+        reaction = Reaction({X: 1, Y: 1}, {}, rate=0.5)
+        assert reaction.propensity({X: 4, Y: 3}) == 0.5 * 12
+
+    def test_homogeneous_propensity_uses_pairs(self):
+        reaction = Reaction({X: 2}, {}, rate=1.0)
+        assert reaction.propensity({X: 4}) == 6.0
+        assert reaction.propensity({X: 1}) == 0.0
+
+    def test_zero_order_propensity_is_rate(self):
+        reaction = Reaction({}, {X: 1}, rate=3.0)
+        assert reaction.propensity({X: 100}) == 3.0
+
+    def test_missing_species_counts_as_zero(self):
+        reaction = Reaction({X: 1, Y: 1}, {}, rate=1.0)
+        assert reaction.propensity({X: 4}) == 0.0
+
+    def test_can_fire(self):
+        reaction = Reaction({X: 2}, {}, rate=1.0)
+        assert reaction.can_fire({X: 2})
+        assert not reaction.can_fire({X: 1})
+
+    def test_apply(self):
+        reaction = Reaction({X: 1, Y: 1}, {X: 1}, rate=1.0)
+        assert reaction.apply({X: 3, Y: 2}) == {X: 3, Y: 1}
+
+    def test_apply_rejects_infeasible(self):
+        reaction = Reaction({X: 1}, {}, rate=1.0)
+        with pytest.raises(InvalidReactionError):
+            reaction.apply({X: 0})
+
+    @given(st.integers(min_value=0, max_value=1000), st.floats(min_value=0.0, max_value=100.0))
+    def test_unary_propensity_is_rate_times_count(self, count, rate):
+        reaction = Reaction({X: 1}, {}, rate=rate)
+        assert reaction.propensity({X: count}) == pytest.approx(rate * count)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_homogeneous_propensity_matches_pair_count(self, count):
+        reaction = Reaction({X: 2}, {}, rate=1.0)
+        assert reaction.propensity({X: count}) == pytest.approx(count * (count - 1) / 2)

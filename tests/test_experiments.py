@@ -1,0 +1,215 @@
+"""Tests for the experiment harness (registry, workloads, results, report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentResult, ExperimentSpec, SCALES
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
+from repro.experiments.report import render_report
+from repro.experiments.runner import load_results, run_all, save_results
+from repro.experiments.workloads import (
+    consortium_scenarios,
+    gap_grid,
+    noisy_sensor_split,
+    population_grid,
+    state_with_gap,
+)
+
+
+EXPECTED_IDS = {
+    "T1R1-SD",
+    "T1R1-NSD",
+    "T1R2",
+    "T1R3",
+    "T1R4",
+    "T1R5",
+    "FIG-GAP",
+    "FIG-THRESH",
+    "FIG-TIME",
+    "FIG-BAD",
+    "FIG-NOISE",
+    "FIG-ODE",
+    "FIG-DOM",
+}
+
+
+class TestRegistry:
+    def test_all_design_doc_experiments_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_list_is_sorted_and_complete(self):
+        specs = list_experiments()
+        assert [spec.identifier for spec in specs] == sorted(EXPECTED_IDS)
+
+    def test_get_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("T1R9")
+
+    def test_specs_have_claims_and_titles(self):
+        for spec in list_experiments():
+            assert spec.title
+            assert spec.paper_claim
+
+    def test_invalid_scale_rejected(self):
+        spec = get_experiment("T1R3")
+        with pytest.raises(ExperimentError):
+            spec.run(scale="enormous")
+
+    def test_scales_constant(self):
+        assert SCALES == ("quick", "full")
+
+
+class TestWorkloads:
+    def test_population_grid_scales(self):
+        quick = population_grid("quick")
+        full = population_grid("full")
+        assert quick == [64, 128, 256]
+        assert len(full) > len(quick)
+        assert all(b == 2 * a for a, b in zip(full, full[1:]))
+
+    def test_gap_grid_is_increasing_and_bounded(self):
+        grid = gap_grid(256)
+        assert grid == sorted(set(grid))
+        assert grid[0] >= 1
+        assert grid[-1] <= 254
+
+    def test_gap_grid_validation(self):
+        with pytest.raises(ExperimentError):
+            gap_grid(4)
+        with pytest.raises(ExperimentError):
+            gap_grid(256, max_fraction=0.0)
+
+    def test_state_with_gap_respects_parity(self):
+        for n, gap in [(128, 25), (128, 24), (65, 2), (65, 64), (64, 63), (64, 200)]:
+            state = state_with_gap(n, gap)
+            assert state.total == n
+            assert abs(state.abs_gap - min(gap, n)) <= 1
+
+    def test_state_with_gap_validation(self):
+        with pytest.raises(ExperimentError):
+            state_with_gap(0, 2)
+
+    def test_consortium_scenarios(self):
+        scenarios = consortium_scenarios()
+        assert len(scenarios) == 3
+        names = {scenario.name for scenario in scenarios}
+        assert {"strong-sensor", "weak-sensor", "borderline-sensor"} == names
+        for scenario in scenarios:
+            state = scenario.sample_initial_state(rng=0)
+            assert state.total == scenario.population_size
+            assert state.x0 > 0 and state.x1 > 0
+
+    def test_noisy_sensor_split(self):
+        state = noisy_sensor_split(200, 30, 5.0, rng=1)
+        assert state.total == 200
+        assert state.minimum > 0
+
+
+class TestExperimentResult:
+    def _dummy_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            identifier="T1R9-DUMMY",
+            title="Dummy",
+            paper_claim="Nothing.",
+            scale="quick",
+            seed=0,
+            parameters={"n": 64},
+            rows=[{"n": 64, "value": 1.5}],
+            findings=["it works"],
+            shape_matches_paper=True,
+        )
+
+    def test_render_text_contains_table_and_verdict(self):
+        text = self._dummy_result().render_text()
+        assert "T1R9-DUMMY" in text
+        assert "64" in text
+        assert "MATCHES" in text
+
+    def test_render_markdown(self):
+        markdown = self._dummy_result().render_markdown()
+        assert markdown.startswith("### T1R9-DUMMY")
+        assert "| n | value |" in markdown
+
+    def test_round_trip_serialisation(self):
+        result = self._dummy_result()
+        restored = ExperimentResult.from_dict(result.to_dict())
+        assert restored == result
+
+    def test_from_dict_missing_keys(self):
+        with pytest.raises(ExperimentError):
+            ExperimentResult.from_dict({"identifier": "x"})
+
+    def test_spec_rejects_mislabelled_result(self):
+        def bad_runner(scale, seed):
+            result = self._dummy_result()
+            result.identifier = "WRONG"
+            return result
+
+        spec = ExperimentSpec("T1R9-DUMMY", "Dummy", "claim", bad_runner)
+        with pytest.raises(ExperimentError):
+            spec.run()
+
+
+class TestRunnerAndReport:
+    def test_run_save_load_round_trip(self, tmp_path):
+        results = run_all(["T1R3"], scale="quick", seed=0)
+        assert len(results) == 1
+        assert results[0].identifier == "T1R3"
+        path = save_results(results, tmp_path / "results.json")
+        restored = load_results(path)
+        assert restored == results
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_results(tmp_path / "missing.json")
+
+    def test_report_rendering(self):
+        results = run_all(["FIG-NOISE"], scale="quick", seed=0)
+        report = render_report(results)
+        assert "# EXPERIMENTS" in report
+        assert "FIG-NOISE" in report
+        assert "| Experiment | Paper claim | Shape matches? |" in report
+
+
+@pytest.mark.slow
+class TestExperimentOutcomes:
+    """End-to-end checks that the quick-scale experiments reproduce the paper's shapes.
+
+    These are the most expensive tests in the suite (tens of seconds each);
+    they are marked ``slow`` so that ``pytest -m "not slow"`` gives a fast
+    development loop, while the default run still exercises them.
+    """
+
+    def test_t1r2_exactness(self):
+        result = run_experiment("T1R2", scale="quick", seed=0)
+        assert result.shape_matches_paper
+
+    def test_t1r3_no_threshold(self):
+        result = run_experiment("T1R3", scale="quick", seed=0)
+        assert result.shape_matches_paper
+
+    def test_t1r5_proportional(self):
+        result = run_experiment("T1R5", scale="quick", seed=0)
+        assert result.shape_matches_paper
+
+    def test_fig_noise_decomposition(self):
+        result = run_experiment("FIG-NOISE", scale="quick", seed=0)
+        assert result.shape_matches_paper
+
+    def test_fig_ode_contrast(self):
+        result = run_experiment("FIG-ODE", scale="quick", seed=0)
+        assert result.shape_matches_paper
+
+    def test_fig_dominating(self):
+        result = run_experiment("FIG-DOM", scale="quick", seed=0)
+        assert result.shape_matches_paper
+
+    def test_t1r1_sd_is_sub_polynomial(self):
+        result = run_experiment("T1R1-SD", scale="quick", seed=0)
+        assert result.shape_matches_paper
+
+    def test_t1r1_nsd_is_polynomial(self):
+        result = run_experiment("T1R1-NSD", scale="quick", seed=0)
+        assert result.shape_matches_paper

@@ -1,0 +1,175 @@
+"""Tests for event classification, stopping conditions and trajectories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crn.builders import build_lv_network
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species
+from repro.exceptions import ModelError
+from repro.kinetics.events import EventKind, classify_reaction
+from repro.kinetics.stopping import (
+    AnyOf,
+    ConsensusReached,
+    ExtinctionReached,
+    MaxEvents,
+    MaxTime,
+    TargetCount,
+)
+from repro.kinetics.trajectory import Trajectory
+
+
+X = Species("X")
+Y = Species("Y")
+
+
+class TestEventClassification:
+    def test_label_prefixes(self):
+        network = build_lv_network(
+            beta=1, delta=1, alpha0=0.5, alpha1=0.5, gamma0=0.5, gamma1=0.5
+        )
+        kinds = {reaction.label: classify_reaction(reaction) for reaction in network.reactions}
+        assert kinds["birth:X0"] is EventKind.BIRTH
+        assert kinds["death:X1"] is EventKind.DEATH
+        assert kinds["inter:X0"] is EventKind.INTERSPECIFIC
+        assert kinds["intra:X1"] is EventKind.INTRASPECIFIC
+
+    def test_structural_fallback_birth(self):
+        assert classify_reaction(Reaction({X: 1}, {X: 2}, rate=1.0, label="custom")) is EventKind.BIRTH
+
+    def test_structural_fallback_death(self):
+        assert classify_reaction(Reaction({X: 1}, {}, rate=1.0, label="custom")) is EventKind.DEATH
+
+    def test_structural_fallback_interspecific(self):
+        reaction = Reaction({X: 1, Y: 1}, {X: 1}, rate=1.0, label="custom")
+        assert classify_reaction(reaction) is EventKind.INTERSPECIFIC
+
+    def test_structural_fallback_intraspecific(self):
+        reaction = Reaction({X: 2}, {X: 1}, rate=1.0, label="custom")
+        assert classify_reaction(reaction) is EventKind.INTRASPECIFIC
+
+    def test_other_for_no_change(self):
+        reaction = Reaction({X: 1}, {X: 1}, rate=1.0, label="noop")
+        assert classify_reaction(reaction) is EventKind.OTHER
+
+    def test_kind_predicates(self):
+        assert EventKind.BIRTH.is_individual
+        assert EventKind.DEATH.is_individual
+        assert EventKind.INTERSPECIFIC.is_competitive
+        assert EventKind.INTRASPECIFIC.is_competitive
+        assert not EventKind.BIRTH.is_competitive
+        assert not EventKind.OTHER.is_individual
+
+
+class TestStoppingConditions:
+    def test_consensus_requires_distinct_species(self):
+        with pytest.raises(ModelError):
+            ConsensusReached(X, X)
+
+    def test_consensus_triggers_on_extinction(self):
+        condition = ConsensusReached(X, Y)
+        assert condition.should_stop({X: 0, Y: 3}, time=0.0, num_events=0)
+        assert condition.should_stop({X: 3, Y: 0}, time=0.0, num_events=0)
+        assert not condition.should_stop({X: 1, Y: 1}, time=0.0, num_events=0)
+
+    def test_extinction_specific_species(self):
+        condition = ExtinctionReached(X)
+        assert condition.should_stop({X: 0, Y: 5}, time=0.0, num_events=0)
+        assert not condition.should_stop({X: 1, Y: 0}, time=0.0, num_events=0)
+
+    def test_extinction_all_species(self):
+        condition = ExtinctionReached()
+        assert condition.should_stop({X: 0, Y: 0}, time=0.0, num_events=0)
+        assert not condition.should_stop({X: 0, Y: 1}, time=0.0, num_events=0)
+
+    def test_max_events(self):
+        condition = MaxEvents(10)
+        assert condition.should_stop({}, time=0.0, num_events=10)
+        assert not condition.should_stop({}, time=0.0, num_events=9)
+        with pytest.raises(ValueError):
+            MaxEvents(0)
+
+    def test_max_time(self):
+        condition = MaxTime(2.5)
+        assert condition.should_stop({}, time=2.5, num_events=0)
+        assert not condition.should_stop({}, time=2.4, num_events=0)
+        with pytest.raises(ValueError):
+            MaxTime(-1.0)
+
+    def test_target_count_above_and_below(self):
+        above = TargetCount(X, 5, direction="above")
+        below = TargetCount(X, 2, direction="below")
+        assert above.should_stop({X: 5}, time=0.0, num_events=0)
+        assert not above.should_stop({X: 4}, time=0.0, num_events=0)
+        assert below.should_stop({X: 2}, time=0.0, num_events=0)
+        assert not below.should_stop({X: 3}, time=0.0, num_events=0)
+        with pytest.raises(ValueError):
+            TargetCount(X, 1, direction="sideways")
+
+    def test_any_of_reports_triggering_reason(self):
+        condition = AnyOf([MaxEvents(5), ExtinctionReached(X)])
+        assert condition.should_stop({X: 0}, time=0.0, num_events=0)
+        assert condition.reason == "extinction"
+        assert condition.should_stop({X: 3}, time=0.0, num_events=5)
+        assert condition.reason == "max-events"
+        with pytest.raises(ValueError):
+            AnyOf([])
+
+
+class TestTrajectory:
+    def setup_method(self):
+        self.network = build_lv_network(beta=1, delta=1, alpha0=0.5, alpha1=0.5)
+        self.x0, self.x1 = self.network.species
+
+    def test_begin_from_mapping(self):
+        trajectory = Trajectory.begin(self.network, {self.x0: 5, self.x1: 3})
+        assert trajectory.initial_state == (5, 3)
+        assert trajectory.final_state == (5, 3)
+        assert trajectory.num_events == 0
+
+    def test_begin_from_vector(self):
+        trajectory = Trajectory.begin(self.network, [5, 3])
+        assert trajectory.initial_state == (5, 3)
+
+    def test_record_event_updates_counts(self):
+        trajectory = Trajectory.begin(self.network, (5, 3))
+        trajectory.record_event(
+            time=0.5, reaction_label="birth:X0", kind=EventKind.BIRTH, state=(6, 3)
+        )
+        assert trajectory.num_events == 1
+        assert trajectory.final_state == (6, 3)
+        assert trajectory.events_of_kind(EventKind.BIRTH) == 1
+        assert trajectory.individual_events == 1
+        assert trajectory.competitive_events == 0
+
+    def test_steps_only_recorded_when_requested(self):
+        trajectory = Trajectory.begin(self.network, (5, 3), record_steps=False)
+        trajectory.record_event(
+            time=0.5, reaction_label="birth:X0", kind=EventKind.BIRTH, state=(6, 3)
+        )
+        assert trajectory.steps == []
+        with pytest.raises(ValueError):
+            trajectory.times()
+
+    def test_recorded_steps_accessible(self):
+        trajectory = Trajectory.begin(self.network, (5, 3), record_steps=True)
+        trajectory.record_event(
+            time=0.5, reaction_label="birth:X0", kind=EventKind.BIRTH, state=(6, 3)
+        )
+        trajectory.record_event(
+            time=0.9, reaction_label="inter:X0", kind=EventKind.INTERSPECIFIC, state=(5, 2)
+        )
+        assert len(trajectory) == 2
+        assert trajectory.times().tolist() == [0.5, 0.9]
+        assert trajectory.states().shape == (2, 2)
+        assert trajectory.species_series(self.x1).tolist() == [3, 2]
+
+    def test_count_accessor(self):
+        trajectory = Trajectory.begin(self.network, (5, 3))
+        assert trajectory.count(self.x0) == 5
+        assert trajectory.count(self.x1, final=False) == 3
+
+    def test_finish_sets_termination(self):
+        trajectory = Trajectory.begin(self.network, (5, 3))
+        assert trajectory.finish("consensus").termination == "consensus"

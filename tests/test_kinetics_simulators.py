@@ -1,0 +1,188 @@
+"""Tests for the generic stochastic simulators (direct, next-reaction, jump chain, tau-leaping)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crn.builders import build_birth_death_network, build_lv_network
+from repro.exceptions import SimulationError
+from repro.crn.network import ReactionNetwork
+from repro.kinetics import (
+    ConsensusReached,
+    DirectMethodSimulator,
+    ExtinctionReached,
+    JumpChainSimulator,
+    MaxEvents,
+    NextReactionSimulator,
+    TauLeapingSimulator,
+)
+
+
+def _death_only_network():
+    return build_birth_death_network(birth_rate=0.0, death_rate=1.0)
+
+
+class TestDirectMethod:
+    def test_pure_death_reaches_extinction(self):
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = DirectMethodSimulator(network)
+        trajectory = simulator.run({x: 10}, stop=ExtinctionReached(x), rng=0)
+        assert trajectory.termination == "extinction"
+        assert trajectory.final_state == (0,)
+        assert trajectory.num_events == 10
+
+    def test_continuous_time_advances(self):
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = DirectMethodSimulator(network)
+        trajectory = simulator.run({x: 10}, stop=ExtinctionReached(x), rng=0)
+        assert trajectory.final_time > 0.0
+
+    def test_absorbed_when_no_reaction_possible(self):
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = DirectMethodSimulator(network)
+        trajectory = simulator.run({x: 0}, rng=0)
+        assert trajectory.termination == "absorbed"
+        assert trajectory.num_events == 0
+
+    def test_max_events_budget(self):
+        network = build_birth_death_network(birth_rate=5.0, death_rate=0.1)
+        x = network.species[0]
+        simulator = DirectMethodSimulator(network)
+        trajectory = simulator.run({x: 5}, max_events=20, rng=0)
+        assert trajectory.termination == "max-events"
+        assert trajectory.num_events == 20
+
+    def test_reproducible_with_seed(self):
+        network = build_lv_network(beta=1, delta=1, alpha0=0.5, alpha1=0.5)
+        x0, x1 = network.species
+        simulator = DirectMethodSimulator(network)
+        stop = ConsensusReached(x0, x1)
+        first = simulator.run({x0: 20, x1: 10}, stop=stop, rng=42)
+        second = simulator.run({x0: 20, x1: 10}, stop=stop, rng=42)
+        assert first.final_state == second.final_state
+        assert first.num_events == second.num_events
+
+    def test_rejects_empty_network(self):
+        with pytest.raises(SimulationError):
+            DirectMethodSimulator(ReactionNetwork())
+
+    def test_invalid_max_events(self):
+        network = _death_only_network()
+        simulator = DirectMethodSimulator(network)
+        with pytest.raises(ValueError):
+            simulator.run({network.species[0]: 3}, max_events=0)
+
+
+class TestJumpChain:
+    def test_time_equals_events(self):
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = JumpChainSimulator(network)
+        trajectory = simulator.run({x: 7}, stop=ExtinctionReached(x), rng=1)
+        assert trajectory.final_time == trajectory.num_events == 7
+
+    def test_consensus_stop_on_lv_network(self):
+        network = build_lv_network(beta=1, delta=1, alpha0=0.5, alpha1=0.5)
+        x0, x1 = network.species
+        simulator = JumpChainSimulator(network)
+        trajectory = simulator.run({x0: 30, x1: 10}, stop=ConsensusReached(x0, x1), rng=3)
+        assert trajectory.termination == "consensus"
+        final = trajectory.final_mapping()
+        assert final[x0] == 0 or final[x1] == 0
+
+    def test_event_kind_counts_sum_to_total(self):
+        network = build_lv_network(beta=1, delta=1, alpha0=0.5, alpha1=0.5)
+        x0, x1 = network.species
+        simulator = JumpChainSimulator(network)
+        trajectory = simulator.run({x0: 30, x1: 10}, stop=ConsensusReached(x0, x1), rng=3)
+        assert trajectory.individual_events + trajectory.competitive_events == trajectory.num_events
+
+
+class TestNextReaction:
+    def test_pure_death_reaches_extinction(self):
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = NextReactionSimulator(network)
+        trajectory = simulator.run({x: 12}, stop=ExtinctionReached(x), rng=5)
+        assert trajectory.final_state == (0,)
+        assert trajectory.num_events == 12
+
+    def test_agrees_with_direct_method_statistically(self):
+        """Mean extinction time of a subcritical chain matches between simulators."""
+        network = build_birth_death_network(birth_rate=0.5, death_rate=1.5)
+        x = network.species[0]
+        stop = ExtinctionReached(x)
+        rng = np.random.default_rng(7)
+        direct = DirectMethodSimulator(network)
+        nrm = NextReactionSimulator(network)
+        direct_times = [
+            direct.run({x: 20}, stop=stop, rng=rng).final_time for _ in range(150)
+        ]
+        nrm_times = [nrm.run({x: 20}, stop=stop, rng=rng).final_time for _ in range(150)]
+        assert np.mean(direct_times) == pytest.approx(np.mean(nrm_times), rel=0.25)
+
+
+class TestTauLeaping:
+    def test_parameter_validation(self):
+        network = _death_only_network()
+        with pytest.raises(ValueError):
+            TauLeapingSimulator(network, tau=0.0)
+        with pytest.raises(ValueError):
+            TauLeapingSimulator(network, tau=0.1, min_tau=1.0)
+
+    def test_reaches_extinction_without_negative_counts(self):
+        network = build_birth_death_network(birth_rate=0.2, death_rate=1.0)
+        x = network.species[0]
+        simulator = TauLeapingSimulator(network, tau=0.05)
+        trajectory = simulator.run({x: 200}, stop=ExtinctionReached(x), rng=11)
+        assert trajectory.termination == "extinction"
+        assert trajectory.final_state == (0,)
+
+    def test_mean_decay_matches_exact_simulation(self):
+        """Population mean after a fixed horizon matches the direct method."""
+        network = build_birth_death_network(birth_rate=0.0, death_rate=1.0)
+        x = network.species[0]
+        rng = np.random.default_rng(3)
+        exact_finals = []
+        leap_finals = []
+        from repro.kinetics import MaxTime
+
+        for _ in range(120):
+            exact_finals.append(
+                DirectMethodSimulator(network).run({x: 100}, stop=MaxTime(0.5), rng=rng).final_state[0]
+            )
+            leap_finals.append(
+                TauLeapingSimulator(network, tau=0.02)
+                .run({x: 100}, stop=MaxTime(0.5), rng=rng)
+                .final_state[0]
+            )
+        # Expected mean is 100 * exp(-0.5) ~ 60.6; both should be close.
+        assert np.mean(exact_finals) == pytest.approx(100 * np.exp(-0.5), rel=0.1)
+        assert np.mean(leap_finals) == pytest.approx(100 * np.exp(-0.5), rel=0.1)
+
+
+class TestCrossSimulatorAgreement:
+    def test_majority_probability_agrees_between_jump_chain_and_direct(self):
+        """Consensus probability is invariant between continuous time and the jump chain."""
+        network = build_lv_network(beta=1, delta=1, alpha0=0.5, alpha1=0.5)
+        x0, x1 = network.species
+        stop = ConsensusReached(x0, x1)
+        rng = np.random.default_rng(17)
+        runs = 150
+
+        def success_rate(simulator) -> float:
+            wins = 0
+            for _ in range(runs):
+                trajectory = simulator.run({x0: 24, x1: 8}, stop=stop, rng=rng)
+                final = trajectory.final_mapping()
+                wins += int(final[x0] > 0 and final[x1] == 0)
+            return wins / runs
+
+        direct_rate = success_rate(DirectMethodSimulator(network))
+        jump_rate = success_rate(JumpChainSimulator(network))
+        assert direct_rate == pytest.approx(jump_rate, abs=0.12)
+        assert direct_rate > 0.7

@@ -1,0 +1,93 @@
+"""Tests for the deterministic competitive LV model (Eq. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.lv.ode import DeterministicLV
+from repro.lv.params import LVParams
+
+
+class TestDerivedRates:
+    def test_growth_rate(self, sd_params):
+        assert DeterministicLV(sd_params).growth_rate == 0.0
+        grow = LVParams.self_destructive(beta=2.0, delta=0.5, alpha=1.0)
+        assert DeterministicLV(grow).growth_rate == 1.5
+
+    def test_interspecific_rate_depends_on_mechanism(self, sd_params, nsd_params):
+        assert DeterministicLV(sd_params).interspecific_rate == pytest.approx(1.0)
+        assert DeterministicLV(nsd_params).interspecific_rate == pytest.approx(0.5)
+
+    def test_requires_neutral_system(self):
+        asymmetric = LVParams(beta=1.0, delta=1.0, alpha0=0.2, alpha1=0.8)
+        with pytest.raises(ModelError):
+            DeterministicLV(asymmetric)
+
+    def test_invalid_threshold(self, sd_params):
+        with pytest.raises(ModelError):
+            DeterministicLV(sd_params, extinction_threshold=0.0)
+
+
+class TestIntegration:
+    def test_derivative_matches_equation(self):
+        params = LVParams.self_destructive(beta=2.0, delta=1.0, alpha=1.0, gamma=0.5)
+        model = DeterministicLV(params)
+        x = np.array([3.0, 2.0])
+        r, a, g = model.growth_rate, model.interspecific_rate, model.intraspecific_rate
+        expected = np.array(
+            [3.0 * (r - a * 2.0 - g * 3.0), 2.0 * (r - a * 3.0 - g * 2.0)]
+        )
+        assert np.allclose(model.derivative(0.0, x), expected)
+
+    def test_majority_always_wins_deterministically(self):
+        """With alpha' > gamma' the larger initial density wins for every gap (Sec. 2.1)."""
+        params = LVParams.self_destructive(beta=2.0, delta=1.0, alpha=1.0)
+        model = DeterministicLV(params)
+        for gap in (2, 10, 50):
+            winner = model.deterministic_winner((100.0 + gap, 100.0))
+            assert winner == 0
+
+    def test_minority_never_wins_deterministically(self):
+        params = LVParams.self_destructive(beta=2.0, delta=1.0, alpha=1.0)
+        model = DeterministicLV(params)
+        assert model.deterministic_winner((100.0, 102.0)) == 1
+
+    def test_integration_result_structure(self):
+        params = LVParams.self_destructive(beta=2.0, delta=1.0, alpha=1.0)
+        model = DeterministicLV(params)
+        result = model.integrate((60.0, 40.0), t_max=50.0)
+        assert result.densities.shape[1] == 2
+        assert result.times[0] == 0.0
+        assert result.winner == 0
+        assert result.extinction_time is not None
+        assert result.final_densities[0] > result.final_densities[1]
+
+    def test_no_winner_within_short_horizon(self):
+        params = LVParams.self_destructive(beta=2.0, delta=1.0, alpha=1.0)
+        model = DeterministicLV(params)
+        result = model.integrate((60.0, 40.0), t_max=1e-3)
+        assert result.winner is None
+        assert result.extinction_time is None
+
+    def test_negative_densities_rejected(self, sd_params):
+        with pytest.raises(ModelError):
+            DeterministicLV(sd_params).integrate((-1.0, 2.0))
+
+    def test_invalid_horizon(self, sd_params):
+        with pytest.raises(ValueError):
+            DeterministicLV(sd_params).integrate((1.0, 2.0), t_max=0.0)
+
+    def test_coexistence_equilibrium(self):
+        params = LVParams.self_destructive(beta=2.0, delta=1.0, alpha=1.0, gamma=1.0)
+        model = DeterministicLV(params)
+        equilibrium = model.coexistence_equilibrium()
+        assert equilibrium is not None
+        value = model.growth_rate / (model.interspecific_rate + model.intraspecific_rate)
+        assert equilibrium == (pytest.approx(value), pytest.approx(value))
+        # The derivative vanishes at the equilibrium.
+        assert np.allclose(model.derivative(0.0, np.array(equilibrium)), 0.0, atol=1e-12)
+
+    def test_no_equilibrium_without_growth(self, sd_params):
+        assert DeterministicLV(sd_params).coexistence_equilibrium() is None

@@ -1,0 +1,196 @@
+"""Tests for the fast two-species jump-chain simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidConfigurationError
+from repro.lv.params import LVParams
+from repro.lv.simulator import LVJumpChainSimulator
+from repro.lv.state import LVState
+
+
+class TestRunBasics:
+    def test_reaches_consensus(self, sd_params):
+        result = LVJumpChainSimulator(sd_params).run(LVState(30, 10), rng=0)
+        assert result.reached_consensus
+        assert result.final_state.has_consensus
+        assert result.termination == "consensus"
+        assert result.consensus_time == result.total_events
+
+    def test_reproducible_with_seed(self, nsd_params):
+        simulator = LVJumpChainSimulator(nsd_params)
+        first = simulator.run(LVState(25, 15), rng=123)
+        second = simulator.run(LVState(25, 15), rng=123)
+        assert first.final_state == second.final_state
+        assert first.total_events == second.total_events
+        assert first.noise_individual == second.noise_individual
+
+    def test_accepts_tuple_initial_state(self, sd_params):
+        result = LVJumpChainSimulator(sd_params).run((20, 10), rng=1)
+        assert result.initial_state == LVState(20, 10)
+
+    def test_rejects_bad_initial_state(self, sd_params):
+        with pytest.raises(InvalidConfigurationError):
+            LVJumpChainSimulator(sd_params).run("bad", rng=1)
+
+    def test_max_events_budget(self, sd_params):
+        result = LVJumpChainSimulator(sd_params).run(LVState(500, 500), rng=1, max_events=10)
+        assert result.total_events == 10
+        assert result.termination == "max-events"
+        assert not result.reached_consensus
+        assert result.consensus_time is None
+
+    def test_invalid_max_events(self, sd_params):
+        with pytest.raises(ValueError):
+            LVJumpChainSimulator(sd_params).run(LVState(5, 5), max_events=0)
+
+    def test_start_at_consensus_is_noop(self, sd_params):
+        result = LVJumpChainSimulator(sd_params).run(LVState(5, 0), rng=0)
+        assert result.total_events == 0
+        assert result.reached_consensus
+        assert result.winner == 0
+        assert result.majority_consensus
+
+    def test_record_path(self, sd_params):
+        result = LVJumpChainSimulator(sd_params).run(LVState(12, 6), rng=2, record_path=True)
+        assert len(result.path) == result.total_events
+        assert result.path[-1].state == result.final_state.counts
+
+
+class TestEventAccounting:
+    def test_event_counts_sum_to_total(self, sd_params):
+        result = LVJumpChainSimulator(sd_params).run(LVState(40, 20), rng=3)
+        assert result.individual_events + result.competitive_events == result.total_events
+
+    def test_sd_competitive_noise_is_zero(self, sd_params):
+        """Under SD interspecific competition, competitive events never change the gap."""
+        simulator = LVJumpChainSimulator(sd_params)
+        for seed in range(10):
+            result = simulator.run(LVState(40, 24), rng=seed)
+            assert result.noise_competitive == 0
+
+    def test_nsd_competitive_noise_is_nonzero_typically(self, nsd_params):
+        simulator = LVJumpChainSimulator(nsd_params)
+        noises = [simulator.run(LVState(60, 40), rng=seed).noise_competitive for seed in range(10)]
+        assert any(noise != 0 for noise in noises)
+
+    def test_total_noise_equals_gap_change(self, sd_params, nsd_params):
+        """F = Delta_0 - Delta_T by construction (Eq. 3)."""
+        for params in (sd_params, nsd_params):
+            simulator = LVJumpChainSimulator(params)
+            for seed in range(5):
+                result = simulator.run(LVState(30, 18), rng=seed)
+                initial_gap = 30 - 18
+                final_gap = result.final_state.x0 - result.final_state.x1
+                assert result.noise_total == initial_gap - final_gap
+
+    def test_bad_events_bounded_by_individual_events(self, sd_params):
+        result = LVJumpChainSimulator(sd_params).run(LVState(50, 30), rng=5)
+        assert 0 <= result.bad_noncompetitive_events <= result.individual_events
+
+    def test_dead_heat_detection(self):
+        """A dead heat is possible under SD competition and flagged as such."""
+        params = LVParams.self_destructive(beta=0.0, delta=0.0, alpha=1.0)
+        simulator = LVJumpChainSimulator(params)
+        # With only SD interspecific reactions from (1, 1) the next event is
+        # always the mutual annihilation, so every run is a dead heat.
+        result = simulator.run(LVState(1, 1), rng=0)
+        assert result.dead_heat
+        assert not result.majority_consensus
+
+    def test_births_and_deaths_attributed_to_species(self, sd_params):
+        result = LVJumpChainSimulator(sd_params).run(LVState(30, 20), rng=7, record_path=True)
+        birth0 = sum(1 for step in result.path if step.event == "birth0")
+        death1 = sum(1 for step in result.path if step.event == "death1")
+        assert result.births[0] == birth0
+        assert result.deaths[1] == death1
+
+
+class TestBatchHelpers:
+    def test_run_batch_size(self, sd_params):
+        results = LVJumpChainSimulator(sd_params).run_batch(LVState(20, 10), 7, rng=0)
+        assert len(results) == 7
+
+    def test_majority_success_count_matches_batch(self, sd_params):
+        simulator = LVJumpChainSimulator(sd_params)
+        count = simulator.majority_success_count(LVState(24, 8), 50, rng=11)
+        assert 0 <= count <= 50
+        assert count > 35  # a 3:1 majority should win most of the time
+
+    def test_invalid_batch_size(self, sd_params):
+        with pytest.raises(ValueError):
+            LVJumpChainSimulator(sd_params).run_batch(LVState(5, 3), 0)
+
+
+class TestTransitionDistribution:
+    def test_probabilities_sum_to_one(self, sd_params, nsd_params):
+        for params in (sd_params, nsd_params):
+            simulator = LVJumpChainSimulator(params)
+            for state in (LVState(1, 1), LVState(5, 3), LVState(10, 10)):
+                distribution = simulator.transition_distribution(state)
+                assert sum(distribution.values()) == pytest.approx(1.0)
+                assert all(x0 >= 0 and x1 >= 0 for x0, x1 in distribution)
+
+    def test_absorbing_state_self_loops(self):
+        params = LVParams.self_destructive(beta=0.0, delta=1.0, alpha=1.0)
+        simulator = LVJumpChainSimulator(params)
+        assert simulator.transition_distribution(LVState(0, 0)) == {(0, 0): 1.0}
+
+    def test_sd_inter_moves_both_down(self, sd_params):
+        distribution = LVJumpChainSimulator(sd_params).transition_distribution(LVState(2, 2))
+        assert (1, 1) in distribution
+
+    def test_nsd_inter_moves_one_down(self, nsd_params):
+        distribution = LVJumpChainSimulator(nsd_params).transition_distribution(LVState(2, 2))
+        assert (1, 2) in distribution and (2, 1) in distribution
+        assert (1, 1) not in distribution
+
+    def test_matches_empirical_frequencies(self, nsd_params):
+        simulator = LVJumpChainSimulator(nsd_params)
+        state = LVState(4, 2)
+        distribution = simulator.transition_distribution(state)
+        rng = np.random.default_rng(5)
+        counts: dict[tuple[int, int], int] = {}
+        samples = 4000
+        for _ in range(samples):
+            result = simulator.run(state, rng=rng, max_events=1)
+            counts[result.final_state.counts] = counts.get(result.final_state.counts, 0) + 1
+        for target, probability in distribution.items():
+            assert counts.get(target, 0) / samples == pytest.approx(probability, abs=0.03)
+
+
+class TestStatisticalSanity:
+    def test_majority_advantage_increases_with_gap(self, sd_params):
+        simulator = LVJumpChainSimulator(sd_params)
+        small = simulator.majority_success_count(LVState.from_gap(60, 2), 200, rng=1) / 200
+        large = simulator.majority_success_count(LVState.from_gap(60, 30), 200, rng=2) / 200
+        assert large > small
+
+    def test_tie_is_a_coin_flip_for_neutral_systems(self, nsd_params):
+        simulator = LVJumpChainSimulator(nsd_params)
+        wins = 0
+        runs = 400
+        rng = np.random.default_rng(9)
+        for _ in range(runs):
+            result = simulator.run(LVState(20, 20), rng=rng)
+            if result.winner == 0:
+                wins += 1
+        assert wins / runs == pytest.approx(0.5, abs=0.08)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.integers(min_value=1, max_value=40),
+        b=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_invariants_hold_for_arbitrary_states(self, a, b, seed):
+        params = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+        result = LVJumpChainSimulator(params).run(LVState(a, b), rng=seed)
+        assert result.reached_consensus
+        assert result.final_state.x0 == 0 or result.final_state.x1 == 0
+        assert result.total_events == result.individual_events + result.competitive_events
+        assert result.max_total_population >= max(a + b - 2, max(a, b))
+        assert 0 <= result.bad_noncompetitive_events <= result.individual_events
