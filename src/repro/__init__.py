@@ -38,6 +38,7 @@ from repro.crn import (
     Species,
     Reaction,
     ReactionNetwork,
+    CompiledNetwork,
     build_lv_network,
     build_birth_death_network,
 )
@@ -47,6 +48,7 @@ from repro.kinetics import (
     JumpChainSimulator,
     TauLeapingSimulator,
     Trajectory,
+    EnsembleResult,
     ConsensusReached,
     ExtinctionReached,
     MaxEvents,
@@ -68,10 +70,12 @@ from repro.lv import (
     LVState,
     LVModel,
     LVJumpChainSimulator,
+    LVEnsembleSimulator,
     DeterministicLV,
     classify_regime,
     Table1Row,
 )
+from repro.experiments import ReplicaScheduler
 from repro.consensus import (
     MajorityConsensusEstimator,
     estimate_majority_probability,
@@ -106,6 +110,7 @@ __all__ = [
     "Species",
     "Reaction",
     "ReactionNetwork",
+    "CompiledNetwork",
     "build_lv_network",
     "build_birth_death_network",
     # Kinetics
@@ -114,6 +119,7 @@ __all__ = [
     "JumpChainSimulator",
     "TauLeapingSimulator",
     "Trajectory",
+    "EnsembleResult",
     "ConsensusReached",
     "ExtinctionReached",
     "MaxEvents",
@@ -133,9 +139,12 @@ __all__ = [
     "LVState",
     "LVModel",
     "LVJumpChainSimulator",
+    "LVEnsembleSimulator",
     "DeterministicLV",
     "classify_regime",
     "Table1Row",
+    # Experiment harness
+    "ReplicaScheduler",
     # Consensus analysis
     "MajorityConsensusEstimator",
     "estimate_majority_probability",

@@ -12,6 +12,12 @@ Three subcommands cover the common entry points without writing any Python:
 ``python -m repro estimate --mechanism sd --population 256 --gap 16``
     One-off Monte-Carlo estimate of the majority-consensus probability for a
     given configuration.
+
+``run`` and ``estimate`` accept ``--jobs N`` to fan replicate batches out to
+``N`` worker processes through the
+:class:`~repro.experiments.scheduler.ReplicaScheduler`; the results are
+identical for every job count because batch seeds are spawned from the root
+seed before dispatch.
 """
 
 from __future__ import annotations
@@ -20,13 +26,13 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.consensus.estimator import estimate_majority_probability
 from repro.experiments import (
     list_experiments,
     render_report,
     run_experiment,
     save_results,
 )
+from repro.experiments.scheduler import configure_default_scheduler, get_default_scheduler
 from repro.experiments.workloads import state_with_gap
 from repro.lv.params import LVParams
 
@@ -49,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--all", action="store_true", help="run every experiment")
     run_parser.add_argument("--scale", choices=("quick", "full"), default="quick")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for replicate batches"
+    )
     run_parser.add_argument("--json", type=Path, default=None, help="save raw results to this path")
     run_parser.add_argument(
         "--report", type=Path, default=None, help="write the markdown report to this path"
@@ -66,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_parser.add_argument("--gamma", type=float, default=0.0)
     estimate_parser.add_argument("--runs", type=int, default=500)
     estimate_parser.add_argument("--seed", type=int, default=0)
+    estimate_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for replicate batches"
+    )
     return parser
 
 
@@ -77,6 +89,10 @@ def _command_list(_arguments: argparse.Namespace) -> int:
 
 
 def _command_run(arguments: argparse.Namespace) -> int:
+    if arguments.jobs < 1:
+        print(f"--jobs must be at least 1, got {arguments.jobs}")
+        return 2
+    configure_default_scheduler(jobs=arguments.jobs)
     if arguments.all:
         identifiers = [spec.identifier for spec in list_experiments()]
     else:
@@ -106,6 +122,10 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 
 def _command_estimate(arguments: argparse.Namespace) -> int:
+    if arguments.jobs < 1:
+        print(f"--jobs must be at least 1, got {arguments.jobs}")
+        return 2
+    configure_default_scheduler(jobs=arguments.jobs)
     constructor = (
         LVParams.self_destructive if arguments.mechanism == "sd" else LVParams.non_self_destructive
     )
@@ -116,8 +136,8 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
         gamma=arguments.gamma,
     )
     state = state_with_gap(arguments.population, arguments.gap)
-    estimate = estimate_majority_probability(
-        params, state, num_runs=arguments.runs, rng=arguments.seed
+    estimate = get_default_scheduler().estimate(
+        params, state, arguments.runs, rng=arguments.seed
     )
     print(f"model: {params.describe()}")
     print(f"initial state: {state} (n = {state.total}, gap = {state.abs_gap})")

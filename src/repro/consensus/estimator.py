@@ -15,17 +15,33 @@ which together cover every quantity quoted by Theorems 13, 14, 17, 18 and 19.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.analysis.statistics import BinomialEstimate, binomial_estimate
 from repro.exceptions import EstimationError
+from repro.lv.ensemble import LVEnsembleResult, LVEnsembleSimulator
 from repro.lv.params import LVParams
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_generators
 
-__all__ = ["ConsensusEstimate", "MajorityConsensusEstimator", "estimate_majority_probability"]
+#: Signature of a pluggable replicate executor: (params, initial_state,
+#: num_runs, rng, max_events) -> per-replicate results.  The experiment
+#: harness's ReplicaScheduler provides one that adds batching and optional
+#: process parallelism.
+BatchRunner = Callable[
+    [LVParams, LVState, int, SeedLike, int], "list[LVRunResult]"
+]
+
+__all__ = [
+    "ConsensusEstimate",
+    "MajorityConsensusEstimator",
+    "estimate_majority_probability",
+    "summarise_runs",
+    "summarise_ensemble",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +135,18 @@ class MajorityConsensusEstimator:
     max_events:
         Per-run event budget (guards against non-terminating parameter
         choices; the regimes of Table 1 rows 1–2 terminate in ``O(n)`` events).
+    method:
+        How replicates are executed: ``"ensemble"`` (default) advances the
+        whole batch in lock-step through the vectorized
+        :class:`~repro.lv.ensemble.LVEnsembleSimulator`; ``"scalar"`` runs one
+        scalar jump chain per replicate with spawned generators (the original
+        replicate loop, kept for cross-validation and benchmarks).
+    batch_runner:
+        Optional executor overriding *method*, with signature
+        ``(params, initial_state, num_runs, rng, max_events) -> results``.
+        The experiment harness's
+        :class:`~repro.experiments.scheduler.ReplicaScheduler` plugs in here
+        to add batching and process parallelism.
 
     Examples
     --------
@@ -132,11 +160,17 @@ class MajorityConsensusEstimator:
     params: LVParams
     confidence: float = 0.95
     max_events: int = DEFAULT_MAX_EVENTS
+    method: str = "ensemble"
+    batch_runner: BatchRunner | None = None
     _simulator: LVJumpChainSimulator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.confidence < 1.0:
             raise EstimationError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.method not in ("ensemble", "scalar"):
+            raise EstimationError(
+                f"method must be 'ensemble' or 'scalar', got {self.method!r}"
+            )
         self._simulator = LVJumpChainSimulator(self.params)
 
     # ------------------------------------------------------------------
@@ -150,6 +184,13 @@ class MajorityConsensusEstimator:
         """Run *num_runs* independent trajectories (exposed for custom analyses)."""
         if num_runs <= 0:
             raise EstimationError(f"num_runs must be positive, got {num_runs}")
+        if self.batch_runner is not None:
+            state = LVJumpChainSimulator._coerce_state(initial_state)
+            return self.batch_runner(self.params, state, num_runs, rng, self.max_events)
+        if self.method == "ensemble":
+            return LVEnsembleSimulator(self.params).run_batch(
+                initial_state, num_runs, rng=rng, max_events=self.max_events
+            )
         generators = spawn_generators(rng, num_runs)
         return [
             self._simulator.run(initial_state, rng=generator, max_events=self.max_events)
@@ -164,6 +205,15 @@ class MajorityConsensusEstimator:
         rng: SeedLike = None,
     ) -> ConsensusEstimate:
         """Estimate ρ(S) and the associated event statistics."""
+        if num_runs <= 0:
+            raise EstimationError(f"num_runs must be positive, got {num_runs}")
+        if self.batch_runner is None and self.method == "ensemble":
+            # Fast path: summarise the ensemble arrays directly instead of
+            # materialising one LVRunResult object per replicate.
+            ensemble = LVEnsembleSimulator(self.params).run_ensemble(
+                initial_state, num_runs, rng=rng, max_events=self.max_events
+            )
+            return summarise_ensemble(ensemble, confidence=self.confidence)
         results = self.run_batch(initial_state, num_runs, rng=rng)
         return summarise_runs(results, confidence=self.confidence)
 
@@ -212,6 +262,48 @@ def summarise_runs(
     )
 
 
+def summarise_ensemble(
+    ensemble: LVEnsembleResult, *, confidence: float = 0.95
+) -> ConsensusEstimate:
+    """Aggregate a vectorized ensemble into a :class:`ConsensusEstimate`.
+
+    Computes exactly the statistics of :func:`summarise_runs` directly from
+    the ensemble's per-replica arrays, skipping the per-replica
+    :class:`~repro.lv.simulator.LVRunResult` materialisation.
+    """
+    num_runs = ensemble.num_replicates
+    successes = int(np.count_nonzero(ensemble.majority_consensus))
+    reached = ensemble.reached_consensus
+    times = ensemble.total_events[reached].astype(float)
+    individual = ensemble.individual_events.astype(float)
+    competitive = ensemble.competitive_events.astype(float)
+    bad = ensemble.bad_noncompetitive_events.astype(float)
+    noise_ind = ensemble.noise_individual.astype(float)
+    noise_comp = ensemble.noise_competitive.astype(float)
+    peaks = ensemble.max_total_population.astype(float)
+
+    return ConsensusEstimate(
+        params=ensemble.params,
+        initial_state=(ensemble.initial_state.x0, ensemble.initial_state.x1),
+        num_runs=num_runs,
+        success=binomial_estimate(successes, num_runs, confidence=confidence),
+        consensus_rate=int(np.count_nonzero(reached)) / num_runs,
+        tie_rate=int(np.count_nonzero(ensemble.hit_tie)) / num_runs,
+        dead_heat_rate=int(np.count_nonzero(ensemble.dead_heat)) / num_runs,
+        mean_consensus_time=float(times.mean()) if times.size else float("nan"),
+        q95_consensus_time=float(np.quantile(times, 0.95)) if times.size else float("nan"),
+        mean_individual_events=float(individual.mean()),
+        mean_competitive_events=float(competitive.mean()),
+        mean_bad_events=float(bad.mean()),
+        max_bad_events=int(bad.max()),
+        mean_noise_individual=float(noise_ind.mean()),
+        std_noise_individual=float(noise_ind.std(ddof=0)),
+        mean_noise_competitive=float(noise_comp.mean()),
+        std_noise_competitive=float(noise_comp.std(ddof=0)),
+        mean_max_population=float(peaks.mean()),
+    )
+
+
 def estimate_majority_probability(
     params: LVParams,
     initial_state: LVState | tuple[int, int],
@@ -220,6 +312,8 @@ def estimate_majority_probability(
     rng: SeedLike = None,
     confidence: float = 0.95,
     max_events: int = DEFAULT_MAX_EVENTS,
+    method: str = "ensemble",
+    batch_runner: BatchRunner | None = None,
 ) -> ConsensusEstimate:
     """One-shot convenience wrapper around :class:`MajorityConsensusEstimator`.
 
@@ -231,6 +325,10 @@ def estimate_majority_probability(
     40
     """
     estimator = MajorityConsensusEstimator(
-        params, confidence=confidence, max_events=max_events
+        params,
+        confidence=confidence,
+        max_events=max_events,
+        method=method,
+        batch_runner=batch_runner,
     )
     return estimator.estimate(initial_state, num_runs, rng=rng)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import EstimationError
+from repro.lv.ensemble import LVEnsembleSimulator
 from repro.lv.params import LVParams
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator
 from repro.lv.state import LVState
@@ -114,8 +115,12 @@ def decompose_noise(
     num_runs: int = 200,
     rng: SeedLike = None,
     max_events: int = DEFAULT_MAX_EVENTS,
+    method: str = "ensemble",
 ) -> NoiseDecomposition:
     """Measure the noise decomposition by Monte-Carlo simulation.
+
+    *method* selects the replicate executor: the vectorized lock-step
+    ensemble (default) or the scalar per-replicate loop (``"scalar"``).
 
     Examples
     --------
@@ -128,6 +133,22 @@ def decompose_noise(
         raise EstimationError(f"num_runs must be positive, got {num_runs}")
     if isinstance(initial_state, tuple):
         initial_state = LVState(int(initial_state[0]), int(initial_state[1]))
+    if method not in ("ensemble", "scalar"):
+        raise EstimationError(f"method must be 'ensemble' or 'scalar', got {method!r}")
+
+    if method == "ensemble":
+        ensemble = LVEnsembleSimulator(params).run_ensemble(
+            initial_state, num_runs, rng=rng, max_events=max_events
+        )
+        return NoiseDecomposition(
+            params=params,
+            initial_state=(initial_state.x0, initial_state.x1),
+            individual_noise=ensemble.noise_individual.astype(float),
+            competitive_noise=ensemble.noise_competitive.astype(float),
+            individual_events=ensemble.individual_events.astype(float),
+            competitive_events=ensemble.competitive_events.astype(float),
+        )
+
     simulator = LVJumpChainSimulator(params)
     generators = spawn_generators(rng, num_runs)
 

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.consensus.estimator import ConsensusEstimate, MajorityConsensusEstimator
+from repro.consensus.estimator import (
+    BatchRunner,
+    ConsensusEstimate,
+    MajorityConsensusEstimator,
+)
 from repro.exceptions import ThresholdSearchError
 from repro.lv.params import LVParams
 from repro.lv.simulator import DEFAULT_MAX_EVENTS
@@ -82,6 +86,11 @@ class ThresholdSearch:
         Confidence level for pass/fail decisions.
     max_events:
         Per-run event budget.
+    method, batch_runner:
+        Replicate execution policy, forwarded to
+        :class:`~repro.consensus.estimator.MajorityConsensusEstimator`
+        (vectorized ensemble by default; the experiment harness passes a
+        :class:`~repro.experiments.scheduler.ReplicaScheduler` runner here).
     """
 
     params: LVParams
@@ -89,6 +98,8 @@ class ThresholdSearch:
     max_refinement_rounds: int = 2
     confidence: float = 0.9
     max_events: int = DEFAULT_MAX_EVENTS
+    method: str = "ensemble"
+    batch_runner: BatchRunner | None = None
     _estimator: MajorityConsensusEstimator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -99,7 +110,11 @@ class ThresholdSearch:
                 f"max_refinement_rounds must be non-negative, got {self.max_refinement_rounds}"
             )
         self._estimator = MajorityConsensusEstimator(
-            self.params, confidence=self.confidence, max_events=self.max_events
+            self.params,
+            confidence=self.confidence,
+            max_events=self.max_events,
+            method=self.method,
+            batch_runner=self.batch_runner,
         )
 
     # ------------------------------------------------------------------
@@ -232,6 +247,8 @@ def find_threshold(
     rng: SeedLike = None,
     max_gap: int | None = None,
     max_events: int = DEFAULT_MAX_EVENTS,
+    method: str = "ensemble",
+    batch_runner: BatchRunner | None = None,
 ) -> ThresholdEstimate:
     """One-shot convenience wrapper around :class:`ThresholdSearch`.
 
@@ -242,7 +259,13 @@ def find_threshold(
     >>> estimate.has_threshold
     True
     """
-    search = ThresholdSearch(params, num_runs=num_runs, max_events=max_events)
+    search = ThresholdSearch(
+        params,
+        num_runs=num_runs,
+        max_events=max_events,
+        method=method,
+        batch_runner=batch_runner,
+    )
     return search.find(
         population_size,
         target_probability=target_probability,

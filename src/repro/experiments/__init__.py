@@ -15,6 +15,19 @@ Typical usage::
     for spec in list_experiments():
         result = run_experiment(spec.identifier, scale="quick", seed=0)
         print(result.render_text())
+
+Replica scheduling
+------------------
+All two-species replicate batches are executed through a process-wide
+:class:`~repro.experiments.scheduler.ReplicaScheduler`.  The scheduler splits
+each replicate budget into lock-step batches
+(:func:`~repro.experiments.workloads.replica_batches`), derives one seed per
+batch from the experiment's root seed (:func:`repro.rng.spawn_seeds`), and
+runs every batch through the vectorized
+:class:`~repro.lv.ensemble.LVEnsembleSimulator` — inline by default, or on a
+process pool when configured with ``jobs > 1`` (the CLI's ``--jobs``).
+Because batch seeds are spawned before dispatch, results are bit-identical
+for every job count.
 """
 
 from repro.experiments.config import (
@@ -29,9 +42,15 @@ from repro.experiments.registry import (
 )
 from repro.experiments.report import render_report
 from repro.experiments.runner import run_all, save_results, load_results
+from repro.experiments.scheduler import (
+    ReplicaScheduler,
+    configure_default_scheduler,
+    get_default_scheduler,
+)
 from repro.experiments.workloads import (
     population_grid,
     gap_grid,
+    replica_batches,
     consortium_scenarios,
 )
 
@@ -46,7 +65,11 @@ __all__ = [
     "run_all",
     "save_results",
     "load_results",
+    "ReplicaScheduler",
+    "configure_default_scheduler",
+    "get_default_scheduler",
     "population_grid",
     "gap_grid",
+    "replica_batches",
     "consortium_scenarios",
 ]

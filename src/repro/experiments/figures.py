@@ -14,6 +14,10 @@ series so the "shape" claims can be inspected directly:
 * `FIG-NOISE` — the decomposition ``F = F_ind + F_comp`` (Section 1.5),
 * `FIG-ODE` — deterministic ODE prediction versus stochastic reality,
 * `FIG-DOM` — the dominating chain over-approximates ``T(S)`` and ``J(S)``.
+
+Two-species replicate batches run through the process-wide
+:class:`~repro.experiments.scheduler.ReplicaScheduler`; the single-species
+chain simulations of `FIG-BAD` / `FIG-DOM` remain scalar.
 """
 
 from __future__ import annotations
@@ -23,10 +27,8 @@ import math
 from repro.analysis.scaling import select_scaling_law
 from repro.chains.dominating import compare_domination
 from repro.chains.nice import lv_dominating_birth_death, simulate_extinction
-from repro.consensus.estimator import estimate_majority_probability
-from repro.consensus.noise import decompose_noise
-from repro.consensus.threshold import find_threshold
 from repro.experiments.config import ExperimentResult
+from repro.experiments.scheduler import get_default_scheduler
 from repro.experiments.workloads import gap_grid, population_grid, state_with_gap
 from repro.lv.ode import DeterministicLV
 from repro.lv.params import LVParams
@@ -96,11 +98,12 @@ def run_fig_gap_curves(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     for n in sizes:
         for gap in gap_grid(n, num_points=6 if scale == "quick" else 10):
             state = state_with_gap(n, gap)
-            sd = estimate_majority_probability(
-                _sd_params(), state, num_runs=num_runs, rng=stable_seed("fig-gap-sd", n, gap, seed)
+            scheduler = get_default_scheduler()
+            sd = scheduler.estimate(
+                _sd_params(), state, num_runs, rng=stable_seed("fig-gap-sd", n, gap, seed)
             )
-            nsd = estimate_majority_probability(
-                _nsd_params(), state, num_runs=num_runs, rng=stable_seed("fig-gap-nsd", n, gap, seed)
+            nsd = scheduler.estimate(
+                _nsd_params(), state, num_runs, rng=stable_seed("fig-gap-nsd", n, gap, seed)
             )
             rows.append(
                 {
@@ -145,11 +148,12 @@ def run_fig_threshold_scaling(scale: str = "quick", seed: int = 0) -> Experiment
     rows = []
     sd_thresholds: list[tuple[int, int]] = []
     nsd_thresholds: list[tuple[int, int]] = []
+    scheduler = get_default_scheduler()
     for n in population_grid(scale):
-        sd = find_threshold(
+        sd = scheduler.find_threshold(
             _sd_params(), n, num_runs=num_runs, rng=stable_seed("fig-thresh-sd", n, seed)
         )
-        nsd = find_threshold(
+        nsd = scheduler.find_threshold(
             _nsd_params(), n, num_runs=num_runs, rng=stable_seed("fig-thresh-nsd", n, seed)
         )
         rows.append(
@@ -208,8 +212,8 @@ def run_fig_consensus_time(scale: str = "quick", seed: int = 0) -> ExperimentRes
         for n in population_grid(scale):
             gap = max(2, int(round(math.sqrt(n))))
             state = state_with_gap(n, gap)
-            estimate = estimate_majority_probability(
-                params, state, num_runs=num_runs, rng=stable_seed("fig-time", mechanism, n, seed)
+            estimate = get_default_scheduler().estimate(
+                params, state, num_runs, rng=stable_seed("fig-time", mechanism, n, seed)
             )
             rows.append(
                 {
@@ -261,8 +265,8 @@ def run_fig_bad_events(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     for n in population_grid(scale):
         gap = max(2, int(round(math.log(n) ** 2)))
         state = state_with_gap(n, gap)
-        estimate = estimate_majority_probability(
-            lv_params, state, num_runs=num_runs, rng=stable_seed("fig-bad", n, seed)
+        estimate = get_default_scheduler().estimate(
+            lv_params, state, num_runs, rng=stable_seed("fig-bad", n, seed)
         )
         chain_stats = simulate_extinction(
             chain, n, num_runs=chain_runs, rng=stable_seed("fig-bad-chain", n, seed)
@@ -319,8 +323,8 @@ def run_fig_noise(scale: str = "quick", seed: int = 0) -> ExperimentResult:
         gap = max(2, int(round(math.log(n) ** 2)))
         state = state_with_gap(n, gap)
         for label, params in (("SD", _sd_params()), ("NSD", _nsd_params())):
-            decomposition = decompose_noise(
-                params, state, num_runs=num_runs, rng=stable_seed("fig-noise", label, n, seed)
+            decomposition = get_default_scheduler().decompose_noise(
+                params, state, num_runs, rng=stable_seed("fig-noise", label, n, seed)
             )
             row = decomposition.summary_row()
             row["std F_comp / sqrt(n)"] = round(
@@ -366,8 +370,8 @@ def run_fig_ode(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     for gap in gaps:
         state = state_with_gap(n, gap)
         deterministic_winner = ode.deterministic_winner((float(state.x0), float(state.x1)))
-        estimate = estimate_majority_probability(
-            params, state, num_runs=num_runs, rng=stable_seed("fig-ode", gap, seed)
+        estimate = get_default_scheduler().estimate(
+            params, state, num_runs, rng=stable_seed("fig-ode", gap, seed)
         )
         rows.append(
             {

@@ -1,4 +1,10 @@
-"""Sweep runner and JSON result persistence for the experiment harness."""
+"""Sweep runner and JSON result persistence for the experiment harness.
+
+Replicate execution is delegated to the process-wide
+:class:`~repro.experiments.scheduler.ReplicaScheduler`; :func:`run_all`
+forwards its *jobs* argument to the scheduler so sweeps can fan replicate
+batches out to worker processes.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +16,10 @@ from typing import Iterable, Sequence
 from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentResult
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.scheduler import (
+    configure_default_scheduler,
+    get_default_scheduler,
+)
 
 __all__ = ["run_all", "save_results", "load_results"]
 
@@ -20,6 +30,7 @@ def run_all(
     scale: str = "quick",
     seed: int = 0,
     progress: bool = False,
+    jobs: int | None = None,
 ) -> list[ExperimentResult]:
     """Run all (or the selected) experiments sequentially.
 
@@ -32,7 +43,31 @@ def run_all(
     progress:
         Print a one-line progress message per experiment (used by the
         ``examples/`` scripts and the report generator).
+    jobs:
+        When given, run replicate batches on this many worker processes.
+        The override is scoped to this call (the previous default scheduler
+        is restored afterwards), and results are identical for every value
+        of *jobs* because batch seeds are spawned before dispatch.
     """
+    previous = get_default_scheduler()
+    if jobs is not None:
+        configure_default_scheduler(jobs=jobs)
+    try:
+        return _run_all(identifiers, scale=scale, seed=seed, progress=progress)
+    finally:
+        if jobs is not None:
+            configure_default_scheduler(
+                jobs=previous.jobs, batch_size=previous.batch_size
+            )
+
+
+def _run_all(
+    identifiers: Iterable[str] | None,
+    *,
+    scale: str,
+    seed: int,
+    progress: bool,
+) -> list[ExperimentResult]:
     if identifiers is None:
         specs = list_experiments()
     else:

@@ -1,0 +1,262 @@
+"""Replicate scheduling: batching, seeding, and process parallelism.
+
+Every experiment in the harness boils down to "run ``R`` independent
+replicates of a two-species jump chain and summarise them".  The
+:class:`ReplicaScheduler` centralises how that replicate budget is executed:
+
+* the budget is split into lock-step ensemble batches by
+  :func:`repro.experiments.workloads.replica_batches` (a pure function of the
+  budget and the batch size),
+* each batch receives its own integer seed spawned deterministically from the
+  root seed via :func:`repro.rng.spawn_seeds`, so the sweep is reproducible
+  from a single seed and **independent of the worker count**, and
+* batches are executed either inline or on a ``ProcessPoolExecutor`` when
+  ``jobs > 1`` (the CLI's ``--jobs`` flag), each batch running through the
+  vectorized :class:`~repro.lv.ensemble.LVEnsembleSimulator`.
+
+The scheduler also exposes the estimator-facing entry points the experiment
+modules use (:meth:`ReplicaScheduler.estimate`,
+:meth:`ReplicaScheduler.find_threshold`,
+:meth:`ReplicaScheduler.decompose_noise`), and a :meth:`batch_runner` hook
+matching the pluggable-executor signature of
+:class:`~repro.consensus.estimator.MajorityConsensusEstimator`.
+
+A module-level default scheduler is shared by ``table1.py`` and
+``figures.py``; the CLI and :func:`repro.experiments.runner.run_all` configure
+it through :func:`configure_default_scheduler`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.consensus.estimator import ConsensusEstimate, summarise_ensemble
+from repro.consensus.noise import NoiseDecomposition
+from repro.consensus.threshold import ThresholdEstimate, find_threshold
+from repro.exceptions import ExperimentError
+from repro.experiments.workloads import replica_batches
+from repro.lv.ensemble import LVEnsembleResult, LVEnsembleSimulator
+from repro.lv.params import LVParams
+from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
+from repro.lv.state import LVState
+from repro.rng import SeedLike, spawn_seeds
+
+__all__ = [
+    "ReplicaScheduler",
+    "get_default_scheduler",
+    "configure_default_scheduler",
+]
+
+#: Default replicas per lock-step batch.  Large enough to amortise the numpy
+#: per-step overhead across the batch, small enough that process-parallel
+#: sweeps still have several batches to distribute.
+DEFAULT_BATCH_SIZE = 512
+
+
+def _execute_batch(
+    params: LVParams,
+    counts: tuple[int, int],
+    num_runs: int,
+    seed: int,
+    max_events: int,
+) -> LVEnsembleResult:
+    """Run one lock-step batch (module-level so process pools can pickle it).
+
+    Returning the :class:`LVEnsembleResult` arrays keeps both the in-process
+    path and the pool IPC free of per-replicate Python objects.
+    """
+    simulator = LVEnsembleSimulator(params)
+    return simulator.run_ensemble(
+        LVState(counts[0], counts[1]), num_runs, rng=seed, max_events=max_events
+    )
+
+
+@dataclass
+class ReplicaScheduler:
+    """Deterministic replicate executor with batching and ``--jobs`` support.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.  ``1`` (the default) executes batches
+        inline; higher values fan batches out to a process pool.  The result
+        is bit-identical for every value of *jobs* because batch seeds are
+        derived from the root seed before dispatch.
+    batch_size:
+        Replicas per lock-step ensemble batch.
+
+    Examples
+    --------
+    >>> scheduler = ReplicaScheduler()
+    >>> params = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> estimate = scheduler.estimate(params, LVState(30, 10), 50, rng=0)
+    >>> estimate.num_runs
+    50
+    """
+
+    jobs: int = 1
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ExperimentError(f"jobs must be at least 1, got {self.jobs}")
+        if self.batch_size < 1:
+            raise ExperimentError(f"batch_size must be at least 1, got {self.batch_size}")
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    def plan(self, num_runs: int) -> list[int]:
+        """Batch sizes the replicate budget will be executed in."""
+        return replica_batches(num_runs, self.batch_size)
+
+    def run_ensembles(
+        self,
+        params: LVParams,
+        initial_state: LVState | tuple[int, int],
+        num_runs: int,
+        *,
+        rng: SeedLike = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> LVEnsembleResult:
+        """Run *num_runs* replicates and return the merged ensemble arrays.
+
+        Replicate ordering is deterministic (batch order times in-batch
+        order); the same root seed always yields the same results regardless
+        of ``jobs``.
+        """
+        state = LVJumpChainSimulator._coerce_state(initial_state)
+        sizes = self.plan(num_runs)
+        seeds = spawn_seeds(rng, len(sizes))
+        tasks = [
+            (params, (state.x0, state.x1), size, seed, max_events)
+            for size, seed in zip(sizes, seeds)
+        ]
+        if self.jobs == 1 or len(tasks) == 1:
+            batches = [_execute_batch(*task) for task in tasks]
+        else:
+            workers = min(self.jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                batches = list(pool.map(_execute_batch, *zip(*tasks)))
+        return LVEnsembleResult.concatenate(batches)
+
+    def run_replicates(
+        self,
+        params: LVParams,
+        initial_state: LVState | tuple[int, int],
+        num_runs: int,
+        *,
+        rng: SeedLike = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> list[LVRunResult]:
+        """Per-replicate view of :meth:`run_ensembles` (materialises objects).
+
+        Kept for callers that need :class:`LVRunResult` instances (e.g. the
+        estimator's pluggable ``batch_runner`` hook); the summary entry points
+        below stay on the array fast path.
+        """
+        return self.run_ensembles(
+            params, initial_state, num_runs, rng=rng, max_events=max_events
+        ).to_run_results()
+
+    def batch_runner(
+        self,
+        params: LVParams,
+        initial_state: LVState,
+        num_runs: int,
+        rng: SeedLike,
+        max_events: int,
+    ) -> list[LVRunResult]:
+        """Adapter matching the estimator's pluggable ``BatchRunner`` hook."""
+        return self.run_replicates(
+            params, initial_state, num_runs, rng=rng, max_events=max_events
+        )
+
+    # ------------------------------------------------------------------
+    # Estimator-facing entry points used by the experiment modules
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        params: LVParams,
+        initial_state: LVState | tuple[int, int],
+        num_runs: int,
+        *,
+        rng: SeedLike = None,
+        confidence: float = 0.95,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> ConsensusEstimate:
+        """Scheduled equivalent of :func:`estimate_majority_probability`."""
+        ensemble = self.run_ensembles(
+            params, initial_state, num_runs, rng=rng, max_events=max_events
+        )
+        return summarise_ensemble(ensemble, confidence=confidence)
+
+    def find_threshold(
+        self,
+        params: LVParams,
+        population_size: int,
+        *,
+        num_runs: int = 200,
+        target_probability: float | None = None,
+        rng: SeedLike = None,
+        max_gap: int | None = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> ThresholdEstimate:
+        """Scheduled equivalent of :func:`repro.consensus.threshold.find_threshold`."""
+        return find_threshold(
+            params,
+            population_size,
+            num_runs=num_runs,
+            target_probability=target_probability,
+            rng=rng,
+            max_gap=max_gap,
+            max_events=max_events,
+            batch_runner=self.batch_runner,
+        )
+
+    def decompose_noise(
+        self,
+        params: LVParams,
+        initial_state: LVState | tuple[int, int],
+        num_runs: int,
+        *,
+        rng: SeedLike = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> NoiseDecomposition:
+        """Scheduled equivalent of :func:`repro.consensus.noise.decompose_noise`."""
+        state = LVJumpChainSimulator._coerce_state(initial_state)
+        ensemble = self.run_ensembles(
+            params, state, num_runs, rng=rng, max_events=max_events
+        )
+        return NoiseDecomposition(
+            params=params,
+            initial_state=(state.x0, state.x1),
+            individual_noise=ensemble.noise_individual.astype(float),
+            competitive_noise=ensemble.noise_competitive.astype(float),
+            individual_events=ensemble.individual_events.astype(float),
+            competitive_events=ensemble.competitive_events.astype(float),
+        )
+
+
+#: The scheduler shared by the experiment modules, configurable via the CLI.
+_default_scheduler = ReplicaScheduler()
+
+
+def get_default_scheduler() -> ReplicaScheduler:
+    """The process-wide scheduler used by ``table1.py`` and ``figures.py``."""
+    return _default_scheduler
+
+
+def configure_default_scheduler(
+    *, jobs: int | None = None, batch_size: int | None = None
+) -> ReplicaScheduler:
+    """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``)."""
+    global _default_scheduler
+    _default_scheduler = ReplicaScheduler(
+        jobs=_default_scheduler.jobs if jobs is None else jobs,
+        batch_size=(
+            _default_scheduler.batch_size if batch_size is None else batch_size
+        ),
+    )
+    return _default_scheduler

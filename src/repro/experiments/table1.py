@@ -4,6 +4,10 @@ Each function reproduces one row of the paper's Table 1 and returns an
 :class:`~repro.experiments.config.ExperimentResult`.  The quick scale keeps
 every experiment within seconds (used by tests and the benchmark suite); the
 full scale produces the numbers recorded in ``EXPERIMENTS.md``.
+
+All replicate batches are executed through the process-wide
+:class:`~repro.experiments.scheduler.ReplicaScheduler` (vectorized lock-step
+ensembles, deterministic per-batch seeds, optional ``--jobs`` parallelism).
 """
 
 from __future__ import annotations
@@ -14,10 +18,9 @@ from repro.analysis.scaling import select_scaling_law
 from repro.baselines.andaur_resource import AndaurResourceModel
 from repro.baselines.cho_growth import ChoGrowthModel
 from repro.chains.first_step import exact_majority_probability
-from repro.consensus.estimator import estimate_majority_probability
 from repro.consensus.exact import applies_proportional_rule, proportional_win_probability
-from repro.consensus.threshold import find_threshold
 from repro.experiments.config import ExperimentResult
+from repro.experiments.scheduler import get_default_scheduler
 from repro.lv.params import LVParams
 from repro.lv.state import LVState
 from repro.experiments.workloads import population_grid, state_with_gap
@@ -47,8 +50,9 @@ def _threshold_sweep(
 ) -> list[dict[str, float]]:
     """Measure the empirical threshold for every population size in the grid."""
     rows: list[dict[str, float]] = []
+    scheduler = get_default_scheduler()
     for n in population_grid(scale):
-        estimate = find_threshold(
+        estimate = scheduler.find_threshold(
             params,
             n,
             num_runs=num_runs,
@@ -175,10 +179,10 @@ def run_t1r2(scale: str = "quick", seed: int = 0) -> ExperimentResult:
             exact = exact_majority_probability(
                 params, (a, b), max_count=3 * (a + b), dead_heat_value=0.5
             ).win_probability
-            simulated = estimate_majority_probability(
+            simulated = get_default_scheduler().estimate(
                 params,
                 LVState(a, b),
-                num_runs=num_runs,
+                num_runs,
                 rng=stable_seed("t1r2", label, a, b, seed),
             )
             consistent = (
@@ -233,10 +237,10 @@ def run_t1r3(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     ):
         for n in sizes:
             gap = n - 2  # the most favourable admissible gap
-            estimate = estimate_majority_probability(
+            estimate = get_default_scheduler().estimate(
                 params,
                 state_with_gap(n, gap),
-                num_runs=num_runs,
+                num_runs,
                 rng=stable_seed("t1r3", mechanism, n, seed),
             )
             failure = 1.0 - estimate.majority_probability
@@ -351,8 +355,8 @@ def run_t1r5(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     all_consistent = True
     for a, b in states:
         expected = proportional_win_probability((a, b))
-        simulated = estimate_majority_probability(
-            params, LVState(a, b), num_runs=num_runs, rng=stable_seed("t1r5", a, b, seed)
+        simulated = get_default_scheduler().estimate(
+            params, LVState(a, b), num_runs, rng=stable_seed("t1r5", a, b, seed)
         )
         consistent = (
             simulated.success.lower - 0.02 <= expected <= simulated.success.upper + 0.02

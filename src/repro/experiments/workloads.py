@@ -23,10 +23,35 @@ __all__ = [
     "population_grid",
     "gap_grid",
     "state_with_gap",
+    "replica_batches",
     "ConsortiumScenario",
     "consortium_scenarios",
     "noisy_sensor_split",
 ]
+
+
+def replica_batches(num_runs: int, batch_size: int) -> list[int]:
+    """Split a replicate budget into lock-step ensemble batch sizes.
+
+    The decomposition is a pure function of ``(num_runs, batch_size)`` — full
+    batches followed by one remainder batch — so the
+    :class:`~repro.experiments.scheduler.ReplicaScheduler` produces identical
+    per-batch seeds (and therefore identical results) no matter how many
+    worker processes execute the batches.
+
+    Examples
+    --------
+    >>> replica_batches(1000, 400)
+    [400, 400, 200]
+    >>> replica_batches(64, 256)
+    [64]
+    """
+    if num_runs <= 0:
+        raise ExperimentError(f"num_runs must be positive, got {num_runs}")
+    if batch_size <= 0:
+        raise ExperimentError(f"batch_size must be positive, got {batch_size}")
+    full, remainder = divmod(num_runs, batch_size)
+    return [batch_size] * full + ([remainder] if remainder else [])
 
 
 def state_with_gap(population_size: int, gap: int) -> LVState:

@@ -17,9 +17,33 @@ alternatives:
 
 All simulators share the :class:`~repro.kinetics.trajectory.Trajectory`
 container and the stopping conditions from :mod:`repro.kinetics.stopping`.
+
+Engine architecture
+-------------------
+Every simulator runs on the *compiled propensity engine*: at construction the
+:class:`~repro.crn.network.ReactionNetwork` is lowered once into a
+:class:`~repro.crn.compiled.CompiledNetwork` (dense rate/stoichiometry arrays
+plus per-reaction index vectors), and the per-event propensity evaluation is a
+fixed sequence of vectorized numpy operations that matches the dict-based
+:meth:`Reaction.propensity <repro.crn.reaction.Reaction.propensity>` values
+bitwise-exactly.  The event loop never rebuilds ``{Species: count}``
+dictionaries; stopping conditions are consulted through their
+``should_stop_vector`` fast path.
+
+Replica ensembles
+-----------------
+Experiments need many independent replicates of the same system.
+:meth:`StochasticSimulator.run_ensemble
+<repro.kinetics.base.StochasticSimulator.run_ensemble>` runs ``R`` replicates
+with deterministic per-replicate seeds spawned from one root seed and returns
+an :class:`~repro.kinetics.ensemble.EnsembleResult` (trajectories + recorded
+seeds + aggregate summaries).  For the two-species LV system,
+:class:`repro.lv.ensemble.LVEnsembleSimulator` goes further and advances the
+whole batch in lock-step with vectorized draws.
 """
 
 from repro.kinetics.trajectory import Trajectory, TrajectoryStep
+from repro.kinetics.ensemble import EnsembleResult
 from repro.kinetics.stopping import (
     StoppingCondition,
     ConsensusReached,
@@ -38,6 +62,7 @@ from repro.kinetics.tau_leaping import TauLeapingSimulator
 __all__ = [
     "Trajectory",
     "TrajectoryStep",
+    "EnsembleResult",
     "StoppingCondition",
     "ConsensusReached",
     "ExtinctionReached",

@@ -1,4 +1,14 @@
-"""Shared machinery for stochastic simulators."""
+"""Shared machinery for stochastic simulators.
+
+The event loop is built on the compiled propensity engine
+(:class:`repro.crn.compiled.CompiledNetwork`): the network is lowered once, at
+simulator construction, into dense numpy arrays, and every per-event propensity
+evaluation is a fixed sequence of vectorized gathers and multiplies.  Neither
+the hot loop nor the stopping-condition checks rebuild ``{Species: count}``
+dictionaries; stopping conditions are consulted through their vector fast path
+(:meth:`StoppingCondition.should_stop_vector
+<repro.kinetics.stopping.StoppingCondition.should_stop_vector>`).
+"""
 
 from __future__ import annotations
 
@@ -6,13 +16,15 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.crn.compiled import CompiledNetwork
 from repro.crn.network import ReactionNetwork
 from repro.crn.species import Species
 from repro.exceptions import SimulationError
+from repro.kinetics.ensemble import EnsembleResult
 from repro.kinetics.events import EventKind, classify_reaction
 from repro.kinetics.stopping import StoppingCondition
 from repro.kinetics.trajectory import Trajectory
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike, as_generator, spawn_seeds
 
 __all__ = ["StochasticSimulator"]
 
@@ -39,9 +51,10 @@ class StochasticSimulator:
         if network.num_reactions == 0:
             raise SimulationError("cannot simulate a network with no reactions")
         self.network = network
+        self.compiled = CompiledNetwork(network)
         self._kinds = [classify_reaction(reaction) for reaction in network.reactions]
-        self._changes = network.stoichiometry_matrix().T.copy()  # (R, S)
-        self._labels = [reaction.label for reaction in network.reactions]
+        self._changes = self.compiled.changes  # (R, S)
+        self._labels = list(self.compiled.labels)
 
     # ------------------------------------------------------------------
     # Public API
@@ -77,6 +90,11 @@ class StochasticSimulator:
         -------
         Trajectory
         """
+        if self.network.num_reactions != self.compiled.num_reactions:
+            raise SimulationError(
+                "the network gained reactions after this simulator was built; "
+                "construct a new simulator to pick them up"
+            )
         generator = as_generator(rng)
         trajectory = Trajectory.begin(self.network, initial_state, record_steps=record_steps)
         state = np.array(trajectory.initial_state, dtype=np.int64)
@@ -87,8 +105,10 @@ class StochasticSimulator:
             raise ValueError(f"max_events must be positive, got {max_events}")
 
         time = 0.0
-        state_map = self.network.vector_to_state(state)
-        if stop is not None and stop.should_stop(state_map, time=time, num_events=0):
+        network = self.network
+        if stop is not None and stop.should_stop_vector(
+            state, network=network, time=time, num_events=0
+        ):
             return trajectory.finish(stop.reason)
 
         self._prepare(state, generator)
@@ -114,12 +134,59 @@ class StochasticSimulator:
                 kind=self._kinds[reaction_index],
                 state=state,
             )
-            state_map = self.network.vector_to_state(state)
-            if stop is not None and stop.should_stop(
-                state_map, time=time, num_events=trajectory.num_events
+            if stop is not None and stop.should_stop_vector(
+                state, network=network, time=time, num_events=trajectory.num_events
             ):
                 return trajectory.finish(stop.reason)
         return trajectory.finish("max-events")
+
+    def run_ensemble(
+        self,
+        initial_state: Mapping[Species, int] | Sequence[int],
+        num_replicates: int,
+        *,
+        stop: StoppingCondition | None = None,
+        max_events: int | None = None,
+        record_steps: bool = False,
+        rng: SeedLike = None,
+    ) -> EnsembleResult:
+        """Run *num_replicates* independent replicates from *initial_state*.
+
+        Each replicate receives its own integer seed spawned deterministically
+        from *rng* via :func:`repro.rng.spawn_seeds`, so the whole ensemble is
+        reproducible from the root seed while the replicate streams stay
+        statistically independent.  The seeds are recorded on the returned
+        :class:`~repro.kinetics.ensemble.EnsembleResult` so any single
+        replicate can be re-run in isolation.
+
+        Examples
+        --------
+        >>> from repro.crn import build_birth_death_network
+        >>> from repro.kinetics import JumpChainSimulator
+        >>> network = build_birth_death_network(birth_rate=0.5, death_rate=1.0)
+        >>> x = network.species[0]
+        >>> ensemble = JumpChainSimulator(network).run_ensemble({x: 5}, 8, rng=0)
+        >>> ensemble.num_replicates
+        8
+        >>> ensemble.termination_counts()
+        {'absorbed': 8}
+        """
+        if num_replicates <= 0:
+            raise ValueError(f"num_replicates must be positive, got {num_replicates}")
+        seeds = spawn_seeds(rng, num_replicates)
+        trajectories = [
+            self.run(
+                initial_state,
+                stop=stop,
+                max_events=max_events,
+                record_steps=record_steps,
+                rng=seed,
+            )
+            for seed in seeds
+        ]
+        return EnsembleResult(
+            network=self.network, seeds=seeds, trajectories=trajectories
+        )
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -141,13 +208,7 @@ class StochasticSimulator:
     # Shared helpers
     # ------------------------------------------------------------------
     def _propensities(self, state: np.ndarray) -> np.ndarray:
-        state_map = {
-            species: int(state[i]) for i, species in enumerate(self.network.species)
-        }
-        return np.array(
-            [reaction.propensity(state_map) for reaction in self.network.reactions],
-            dtype=float,
-        )
+        return self.compiled.propensities(state)
 
     @property
     def event_kinds(self) -> tuple[EventKind, ...]:

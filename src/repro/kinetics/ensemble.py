@@ -1,0 +1,112 @@
+"""Replica ensembles for the generic CRN simulators.
+
+The paper's experiments aggregate thousands of independent replicates of the
+same small system.  :class:`EnsembleResult` is the shared container for such a
+batch: it records the per-replicate trajectories together with the exact
+integer seeds that produced them (derived from a single root seed via
+:func:`repro.rng.spawn_seeds`), so any replicate can be re-run in isolation
+for debugging, and exposes the aggregate views experiments actually consume
+(event counts, final states, termination tallies).
+
+:meth:`StochasticSimulator.run_ensemble
+<repro.kinetics.base.StochasticSimulator.run_ensemble>` produces one of these
+from any simulator; the two-species LV stack has an additional, fully
+vectorized ensemble engine in :mod:`repro.lv.ensemble` that advances all
+replicas in lock-step instead of looping over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.crn.network import ReactionNetwork
+from repro.exceptions import SimulationError
+from repro.kinetics.trajectory import Trajectory
+
+__all__ = ["EnsembleResult"]
+
+
+@dataclass
+class EnsembleResult:
+    """Trajectories and summaries of a batch of independent replicates.
+
+    Attributes
+    ----------
+    network:
+        The simulated network.
+    seeds:
+        The integer seed that drove each replicate, in replicate order.
+        Re-running the simulator with ``rng=seeds[i]`` reproduces
+        ``trajectories[i]`` exactly.
+    trajectories:
+        One :class:`~repro.kinetics.trajectory.Trajectory` per replicate.
+    """
+
+    network: ReactionNetwork
+    seeds: list[int]
+    trajectories: list[Trajectory] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.seeds) != len(self.trajectories):
+            raise SimulationError(
+                f"got {len(self.seeds)} seeds for {len(self.trajectories)} trajectories"
+            )
+        if not self.trajectories:
+            raise SimulationError("an ensemble requires at least one replicate")
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_replicates(self) -> int:
+        return len(self.trajectories)
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    def __getitem__(self, index: int) -> Trajectory:
+        return self.trajectories[index]
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    def num_events(self) -> np.ndarray:
+        """Per-replicate event counts, in replicate order."""
+        return np.array([t.num_events for t in self.trajectories], dtype=np.int64)
+
+    def final_times(self) -> np.ndarray:
+        """Per-replicate final simulation times."""
+        return np.array([t.final_time for t in self.trajectories], dtype=float)
+
+    def final_states(self) -> np.ndarray:
+        """Final-state matrix of shape ``(num_replicates, num_species)``."""
+        return np.array([t.final_state for t in self.trajectories], dtype=np.int64)
+
+    def termination_counts(self) -> dict[str, int]:
+        """How many replicates ended with each termination reason."""
+        counts: dict[str, int] = {}
+        for trajectory in self.trajectories:
+            counts[trajectory.termination] = counts.get(trajectory.termination, 0) + 1
+        return counts
+
+    def terminated_by(self, reason: str) -> list[Trajectory]:
+        """The replicates that ended with the given termination *reason*."""
+        return [t for t in self.trajectories if t.termination == reason]
+
+    def summary(self) -> dict[str, float | int | dict[str, int]]:
+        """Flat summary row: replicate count, event statistics, terminations."""
+        events = self.num_events()
+        times = self.final_times()
+        return {
+            "replicates": self.num_replicates,
+            "mean events": float(events.mean()),
+            "max events": int(events.max()),
+            "mean final time": float(times.mean()),
+            "terminations": self.termination_counts(),
+        }

@@ -38,6 +38,12 @@ class StoppingCondition:
 
     Subclasses implement :meth:`should_stop` and expose a short ``reason``
     string recorded in the trajectory's ``termination`` field.
+
+    Simulators call :meth:`should_stop_vector` once per event with the raw
+    count vector.  The default implementation rebuilds the ``{Species: count}``
+    mapping and delegates to :meth:`should_stop`, so user-defined conditions
+    keep working unchanged; the built-in conditions override it with O(1)
+    vector checks so the hot loop never materialises a dictionary.
     """
 
     reason = "stopped"
@@ -50,6 +56,19 @@ class StoppingCondition:
         self, state: Mapping[Species, int], *, time: float, num_events: int
     ) -> bool:
         raise NotImplementedError
+
+    def should_stop_vector(
+        self,
+        vector: Sequence[int],
+        *,
+        network: ReactionNetwork,
+        time: float,
+        num_events: int,
+    ) -> bool:
+        """Fast path taking the count vector in the network's species order."""
+        return self.should_stop(
+            network.vector_to_state(vector), time=time, num_events=num_events
+        )
 
 
 class ConsensusReached(StoppingCondition):
@@ -66,16 +85,30 @@ class ConsensusReached(StoppingCondition):
             raise ModelError("consensus requires two distinct species")
         self.species_a = species_a
         self.species_b = species_b
+        self._index_a: int | None = None
+        self._index_b: int | None = None
 
     def bind(self, network: ReactionNetwork) -> "ConsensusReached":
-        network.species_index(self.species_a)
-        network.species_index(self.species_b)
+        self._index_a = network.species_index(self.species_a)
+        self._index_b = network.species_index(self.species_b)
         return self
 
     def should_stop(
         self, state: Mapping[Species, int], *, time: float, num_events: int
     ) -> bool:
         return state.get(self.species_a, 0) == 0 or state.get(self.species_b, 0) == 0
+
+    def should_stop_vector(
+        self,
+        vector: Sequence[int],
+        *,
+        network: ReactionNetwork,
+        time: float,
+        num_events: int,
+    ) -> bool:
+        a = self._index_a if self._index_a is not None else network.species_index(self.species_a)
+        b = self._index_b if self._index_b is not None else network.species_index(self.species_b)
+        return vector[a] == 0 or vector[b] == 0
 
 
 class ExtinctionReached(StoppingCondition):
@@ -85,10 +118,11 @@ class ExtinctionReached(StoppingCondition):
 
     def __init__(self, species: Species | None = None):
         self.species = species
+        self._index: int | None = None
 
     def bind(self, network: ReactionNetwork) -> "ExtinctionReached":
         if self.species is not None:
-            network.species_index(self.species)
+            self._index = network.species_index(self.species)
         return self
 
     def should_stop(
@@ -97,6 +131,19 @@ class ExtinctionReached(StoppingCondition):
         if self.species is not None:
             return state.get(self.species, 0) == 0
         return all(count == 0 for count in state.values())
+
+    def should_stop_vector(
+        self,
+        vector: Sequence[int],
+        *,
+        network: ReactionNetwork,
+        time: float,
+        num_events: int,
+    ) -> bool:
+        if self.species is not None:
+            index = self._index if self._index is not None else network.species_index(self.species)
+            return vector[index] == 0
+        return all(count == 0 for count in vector)
 
 
 class MaxEvents(StoppingCondition):
@@ -111,6 +158,16 @@ class MaxEvents(StoppingCondition):
 
     def should_stop(
         self, state: Mapping[Species, int], *, time: float, num_events: int
+    ) -> bool:
+        return num_events >= self.limit
+
+    def should_stop_vector(
+        self,
+        vector: Sequence[int],
+        *,
+        network: ReactionNetwork,
+        time: float,
+        num_events: int,
     ) -> bool:
         return num_events >= self.limit
 
@@ -130,6 +187,16 @@ class MaxTime(StoppingCondition):
     ) -> bool:
         return time >= self.limit
 
+    def should_stop_vector(
+        self,
+        vector: Sequence[int],
+        *,
+        network: ReactionNetwork,
+        time: float,
+        num_events: int,
+    ) -> bool:
+        return time >= self.limit
+
 
 class TargetCount(StoppingCondition):
     """Stop when a species' count reaches (or crosses) a target value."""
@@ -144,15 +211,30 @@ class TargetCount(StoppingCondition):
         self.species = species
         self.target = int(target)
         self.direction = direction
+        self._index: int | None = None
 
     def bind(self, network: ReactionNetwork) -> "TargetCount":
-        network.species_index(self.species)
+        self._index = network.species_index(self.species)
         return self
 
     def should_stop(
         self, state: Mapping[Species, int], *, time: float, num_events: int
     ) -> bool:
         count = state.get(self.species, 0)
+        if self.direction == "above":
+            return count >= self.target
+        return count <= self.target
+
+    def should_stop_vector(
+        self,
+        vector: Sequence[int],
+        *,
+        network: ReactionNetwork,
+        time: float,
+        num_events: int,
+    ) -> bool:
+        index = self._index if self._index is not None else network.species_index(self.species)
+        count = vector[index]
         if self.direction == "above":
             return count >= self.target
         return count <= self.target
@@ -177,6 +259,22 @@ class AnyOf(StoppingCondition):
     ) -> bool:
         for condition in self.conditions:
             if condition.should_stop(state, time=time, num_events=num_events):
+                self.reason = condition.reason
+                return True
+        return False
+
+    def should_stop_vector(
+        self,
+        vector: Sequence[int],
+        *,
+        network: ReactionNetwork,
+        time: float,
+        num_events: int,
+    ) -> bool:
+        for condition in self.conditions:
+            if condition.should_stop_vector(
+                vector, network=network, time=time, num_events=num_events
+            ):
                 self.reason = condition.reason
                 return True
         return False

@@ -82,8 +82,9 @@ class TauLeapingSimulator(StochasticSimulator):
             raise ValueError(f"max_events must be positive, got {max_events}")
 
         time = 0.0
-        state_map = self.network.vector_to_state(state)
-        if stop is not None and stop.should_stop(state_map, time=time, num_events=0):
+        if stop is not None and stop.should_stop_vector(
+            state, network=self.network, time=time, num_events=0
+        ):
             return trajectory.finish(stop.reason)
 
         while trajectory.num_events < budget:
@@ -125,9 +126,8 @@ class TauLeapingSimulator(StochasticSimulator):
                 kind=EventKind.OTHER,
                 state=state,
             )
-            state_map = self.network.vector_to_state(state)
-            if stop is not None and stop.should_stop(
-                state_map, time=time, num_events=trajectory.num_events
+            if stop is not None and stop.should_stop_vector(
+                state, network=self.network, time=time, num_events=trajectory.num_events
             ):
                 return trajectory.finish(stop.reason)
         return trajectory.finish("max-events")

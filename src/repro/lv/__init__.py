@@ -11,7 +11,10 @@ Section 1.3 and the deterministic ODE of Section 2.1:
   :class:`~repro.crn.network.ReactionNetwork` for the generic simulators,
 * :class:`~repro.lv.simulator.LVJumpChainSimulator` — a fast, specialised
   jump-chain simulator for the two-species system with per-event
-  classification and gap/noise accounting (the workhorse of the experiments),
+  classification and gap/noise accounting,
+* :class:`~repro.lv.ensemble.LVEnsembleSimulator` — the vectorized replica
+  engine that advances a whole batch of jump chains in lock-step with the
+  same event accounting (the workhorse of the experiments),
 * :mod:`~repro.lv.ode` — the deterministic competitive LV ODE (Eq. 4),
 * :mod:`~repro.lv.regimes` — classification of parameter choices into the
   rows of Table 1.
@@ -21,6 +24,7 @@ from repro.lv.params import CompetitionMechanism, LVParams
 from repro.lv.state import LVState
 from repro.lv.models import LVModel
 from repro.lv.simulator import LVJumpChainSimulator, LVRunResult, StepRecord
+from repro.lv.ensemble import LVEnsembleSimulator, LVEnsembleResult
 from repro.lv.ode import DeterministicLV, ODEResult
 from repro.lv.regimes import Table1Row, classify_regime
 
@@ -32,6 +36,8 @@ __all__ = [
     "LVJumpChainSimulator",
     "LVRunResult",
     "StepRecord",
+    "LVEnsembleSimulator",
+    "LVEnsembleResult",
     "DeterministicLV",
     "ODEResult",
     "Table1Row",

@@ -1,0 +1,561 @@
+"""Vectorized replica ensembles for the two-species LV jump chain.
+
+The scalar :class:`~repro.lv.simulator.LVJumpChainSimulator` pays the full
+Python interpreter cost for every single reaction event.  The experiments,
+however, always run *batches* of independent replicates from the same initial
+configuration, so :class:`LVEnsembleSimulator` advances the whole batch in
+lock-step: one numpy-vectorized step fires one event in every still-active
+replica, with a single batched uniform draw, a shared cumulative-propensity
+table, and scatter updates into per-replica accumulators.  Replicas that
+reach consensus (or exhaust their event budget, or get absorbed) drop out of
+the active set; the loop ends when the slowest replica terminates.
+
+The ensemble produces exactly the same per-replica event accounting as the
+scalar simulator — ``I(S)`` (individual events), ``K(S)`` (competitive
+events), ``J(S)`` (bad non-competitive events), the noise decomposition
+``F_ind`` / ``F_comp``, the winner, and the consensus time — so a batch can be
+converted replica-by-replica into :class:`~repro.lv.simulator.LVRunResult`
+objects and fed through the existing estimator summaries.  Statistical
+agreement with the scalar simulator is enforced by the integration tests.
+
+Event-index convention (shared with the scalar simulator's selection order):
+``0=birth0, 1=birth1, 2=death0, 3=death1, 4=inter0, 5=inter1, 6=intra0,
+7=intra1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidConfigurationError
+from repro.lv.params import LVParams
+from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
+from repro.lv.state import LVState
+from repro.rng import SeedLike, as_generator
+
+__all__ = ["LVEnsembleSimulator", "LVEnsembleResult"]
+
+#: Termination codes used in the result arrays.
+_CONSENSUS, _ABSORBED, _MAX_EVENTS = 0, 1, 2
+_TERMINATION_NAMES = ("consensus", "absorbed", "max-events")
+
+#: Event indices: births, deaths, interspecific, intraspecific.
+_BIRTH0, _BIRTH1, _DEATH0, _DEATH1, _INTER0, _INTER1, _INTRA0, _INTRA1 = range(8)
+
+#: Once at most this many replicas remain active, the lock-step loop hands
+#: them to the scalar simulator: a vectorized step costs the same regardless
+#: of width, so the long tail of the consensus-time distribution is cheaper
+#: to finish with the plain Python event loop.
+_SCALAR_FINISH_WIDTH = 8
+
+#: Lock-step iterations worth of uniforms drawn per RNG call (amortises the
+#: per-call generator overhead across steps).
+_UNIFORM_STEPS = 64
+
+
+@dataclass
+class LVEnsembleResult:
+    """Per-replica arrays of a lock-step ensemble run.
+
+    Every attribute is an array of length ``num_replicates`` (or
+    ``(num_replicates, 2)`` for per-species counters), indexed by replica.
+    The scalar-simulator notation carries over: ``total_events`` is ``T(S)``
+    for replicas that reached consensus, ``bad_noncompetitive_events`` is
+    ``J(S)``, and ``noise_individual`` / ``noise_competitive`` are the
+    components of ``F = F_ind + F_comp``.
+    """
+
+    params: LVParams
+    initial_state: LVState
+    final_x0: np.ndarray
+    final_x1: np.ndarray
+    total_events: np.ndarray
+    termination_codes: np.ndarray
+    births: np.ndarray  # (R, 2)
+    deaths: np.ndarray  # (R, 2)
+    interspecific_events: np.ndarray
+    intraspecific_events: np.ndarray  # (R, 2)
+    bad_noncompetitive_events: np.ndarray
+    good_events: np.ndarray
+    noise_individual: np.ndarray
+    noise_competitive: np.ndarray
+    max_total_population: np.ndarray
+    min_gap_seen: np.ndarray
+    hit_tie: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def num_replicates(self) -> int:
+        return int(self.total_events.size)
+
+    def __len__(self) -> int:
+        return self.num_replicates
+
+    @property
+    def reached_consensus(self) -> np.ndarray:
+        """Boolean mask: replica ended with at least one species extinct."""
+        return (self.final_x0 == 0) | (self.final_x1 == 0)
+
+    @property
+    def winners(self) -> np.ndarray:
+        """Winner per replica: 0, 1, or -1 (no winner / no consensus)."""
+        winners = np.full(self.num_replicates, -1, dtype=np.int64)
+        winners[(self.final_x1 == 0) & (self.final_x0 > 0)] = 0
+        winners[(self.final_x0 == 0) & (self.final_x1 > 0)] = 1
+        return winners
+
+    @property
+    def majority_consensus(self) -> np.ndarray:
+        """Boolean mask: the initial majority species is the sole survivor."""
+        majority = self.initial_state.majority_species
+        reference = 0 if majority is None else majority
+        return self.winners == reference
+
+    @property
+    def consensus_times(self) -> np.ndarray:
+        """``T(S)`` for replicas that reached consensus (float, NaN otherwise)."""
+        times = np.where(self.reached_consensus, self.total_events, np.nan)
+        return times.astype(float)
+
+    @property
+    def dead_heat(self) -> np.ndarray:
+        """Boolean mask: both species extinct simultaneously."""
+        return (self.final_x0 == 0) & (self.final_x1 == 0)
+
+    @property
+    def individual_events(self) -> np.ndarray:
+        """``I(S)`` per replica: births plus deaths (mirrors ``LVRunResult``)."""
+        return self.births.sum(axis=1) + self.deaths.sum(axis=1)
+
+    @property
+    def competitive_events(self) -> np.ndarray:
+        """``K(S)`` per replica: inter- plus intraspecific competition events."""
+        return self.interspecific_events + self.intraspecific_events.sum(axis=1)
+
+    def termination_counts(self) -> dict[str, int]:
+        """How many replicas ended with each termination reason."""
+        counts: dict[str, int] = {}
+        for code, name in enumerate(_TERMINATION_NAMES):
+            tally = int(np.count_nonzero(self.termination_codes == code))
+            if tally:
+                counts[name] = tally
+        return counts
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    @classmethod
+    def concatenate(cls, results: "list[LVEnsembleResult]") -> "LVEnsembleResult":
+        """Merge ensembles of the same system into one (replica order kept).
+
+        Used by the replica scheduler to combine independently-seeded batches
+        into a single result without materialising per-replica objects.
+        """
+        if not results:
+            raise InvalidConfigurationError("cannot concatenate an empty list of ensembles")
+        first = results[0]
+        if len(results) == 1:
+            return first
+        for other in results[1:]:
+            if other.params != first.params or other.initial_state != first.initial_state:
+                raise InvalidConfigurationError(
+                    "can only concatenate ensembles with identical parameters "
+                    "and initial state"
+                )
+        return cls(
+            params=first.params,
+            initial_state=first.initial_state,
+            final_x0=np.concatenate([r.final_x0 for r in results]),
+            final_x1=np.concatenate([r.final_x1 for r in results]),
+            total_events=np.concatenate([r.total_events for r in results]),
+            termination_codes=np.concatenate([r.termination_codes for r in results]),
+            births=np.concatenate([r.births for r in results]),
+            deaths=np.concatenate([r.deaths for r in results]),
+            interspecific_events=np.concatenate(
+                [r.interspecific_events for r in results]
+            ),
+            intraspecific_events=np.concatenate(
+                [r.intraspecific_events for r in results]
+            ),
+            bad_noncompetitive_events=np.concatenate(
+                [r.bad_noncompetitive_events for r in results]
+            ),
+            good_events=np.concatenate([r.good_events for r in results]),
+            noise_individual=np.concatenate([r.noise_individual for r in results]),
+            noise_competitive=np.concatenate([r.noise_competitive for r in results]),
+            max_total_population=np.concatenate(
+                [r.max_total_population for r in results]
+            ),
+            min_gap_seen=np.concatenate([r.min_gap_seen for r in results]),
+            hit_tie=np.concatenate([r.hit_tie for r in results]),
+        )
+
+    # ------------------------------------------------------------------
+    # Interop with the scalar stack
+    # ------------------------------------------------------------------
+    def to_run_results(self) -> list[LVRunResult]:
+        """Materialise one :class:`LVRunResult` per replica.
+
+        The results carry the exact accounting of the lock-step run and are
+        interchangeable with scalar-simulator results everywhere summaries
+        are computed (e.g. :func:`repro.consensus.estimator.summarise_runs`).
+        """
+        majority = self.initial_state.majority_species
+        reference = 0 if majority is None else majority
+        results: list[LVRunResult] = []
+        for i in range(self.num_replicates):
+            final_state = LVState(int(self.final_x0[i]), int(self.final_x1[i]))
+            reached = final_state.has_consensus
+            winner = final_state.winner
+            termination = (
+                "consensus" if reached else _TERMINATION_NAMES[self.termination_codes[i]]
+            )
+            results.append(
+                LVRunResult(
+                    params=self.params,
+                    initial_state=self.initial_state,
+                    final_state=final_state,
+                    total_events=int(self.total_events[i]),
+                    termination=termination,
+                    reached_consensus=reached,
+                    winner=winner,
+                    majority_consensus=bool(
+                        reached and winner is not None and winner == reference
+                    ),
+                    births=(int(self.births[i, 0]), int(self.births[i, 1])),
+                    deaths=(int(self.deaths[i, 0]), int(self.deaths[i, 1])),
+                    interspecific_events=int(self.interspecific_events[i]),
+                    intraspecific_events=(
+                        int(self.intraspecific_events[i, 0]),
+                        int(self.intraspecific_events[i, 1]),
+                    ),
+                    bad_noncompetitive_events=int(self.bad_noncompetitive_events[i]),
+                    good_events=int(self.good_events[i]),
+                    noise_individual=int(self.noise_individual[i]),
+                    noise_competitive=int(self.noise_competitive[i]),
+                    max_total_population=int(self.max_total_population[i]),
+                    min_gap_seen=int(self.min_gap_seen[i]),
+                    hit_tie=bool(self.hit_tie[i]),
+                )
+            )
+        return results
+
+
+class LVEnsembleSimulator:
+    """Advance a batch of independent two-species jump chains in lock-step.
+
+    Parameters
+    ----------
+    params:
+        Rates and competition mechanism, shared by all replicas.
+
+    Examples
+    --------
+    >>> params = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> ensemble = LVEnsembleSimulator(params).run_ensemble(LVState(40, 20), 32, rng=7)
+    >>> ensemble.num_replicates
+    32
+    >>> bool(ensemble.reached_consensus.all())
+    True
+    """
+
+    def __init__(self, params: LVParams):
+        self.params = params
+        sd = params.is_self_destructive
+        # Net change per event index, matching the scalar simulator's moves.
+        self._dx0 = np.array(
+            [+1, 0, -1, 0, -1 if sd else 0, -1, -2 if sd else -1, 0], dtype=np.int64
+        )
+        self._dx1 = np.array(
+            [0, +1, 0, -1, -1, -1 if sd else 0, 0, -2 if sd else -1], dtype=np.int64
+        )
+        # good_table[m, e]: event e decreases the current minority's count
+        # (row 1: species 0 is the minority, row 0: species 1 is), following
+        # the scalar simulator's accounting where every interspecific event
+        # counts as good.
+        good_table = np.zeros((2, 8), dtype=bool)
+        good_table[0, [_DEATH1, _INTRA1, _INTER0, _INTER1]] = True
+        good_table[1, [_DEATH0, _INTRA0, _INTER0, _INTER1]] = True
+        self._good_table = good_table
+
+    # ------------------------------------------------------------------
+    def run_ensemble(
+        self,
+        initial_state: LVState | tuple[int, int],
+        num_replicates: int,
+        *,
+        rng: SeedLike = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> LVEnsembleResult:
+        """Run *num_replicates* independent jump chains from *initial_state*.
+
+        All replicas consume one shared vectorized random stream (a single
+        :class:`numpy.random.Generator` seeded from *rng*), so the ensemble is
+        reproducible from the root seed.  Each replica is statistically
+        identical to a scalar :meth:`LVJumpChainSimulator.run
+        <repro.lv.simulator.LVJumpChainSimulator.run>` trajectory.
+        """
+        state = LVJumpChainSimulator._coerce_state(initial_state)
+        if num_replicates <= 0:
+            raise InvalidConfigurationError(
+                f"num_replicates must be positive, got {num_replicates}"
+            )
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        generator = as_generator(rng)
+
+        params = self.params
+        beta, delta = params.beta, params.delta
+        alpha0, alpha1 = params.alpha0, params.alpha1
+        gamma0, gamma1 = params.gamma0, params.gamma1
+        majority = state.majority_species
+        # Gap sign convention: +1 measures the gap as x0 - x1 (species 0 is
+        # the reference majority, also on ties), -1 as x1 - x0.
+        sign = -1 if majority == 1 else 1
+
+        size = num_replicates
+        x0 = np.full(size, state.x0, dtype=np.int64)
+        x1 = np.full(size, state.x1, dtype=np.int64)
+        events = np.zeros(size, dtype=np.int64)
+        termination = np.full(size, _CONSENSUS, dtype=np.int8)
+        histogram = np.zeros((size, 8), dtype=np.int64)
+        bad = np.zeros(size, dtype=np.int64)
+        good = np.zeros(size, dtype=np.int64)
+        noise_ind = np.zeros(size, dtype=np.int64)
+        noise_comp = np.zeros(size, dtype=np.int64)
+        max_total = np.full(size, state.total, dtype=np.int64)
+        min_gap = np.full(size, state.abs_gap, dtype=np.int64)
+        hit_tie = np.full(size, state.x0 == state.x1, dtype=bool)
+        active = (x0 > 0) & (x1 > 0)
+        num_active = int(np.count_nonzero(active))
+
+        dx0, dx1 = self._dx0, self._dx1
+        # Zero-rate reaction classes contribute constant-zero rows; fill them
+        # once so the step only recomputes the live classes.
+        rows = np.zeros((8, size), dtype=np.float64)
+        replica_index = np.arange(size)
+        scalar = LVJumpChainSimulator(params)
+        # Absorption (zero total propensity with both species alive) is only
+        # possible in the intraspecific-only regime stuck at (1, 1): births,
+        # deaths, and interspecific competition each guarantee a positive
+        # propensity whenever both counts are positive.
+        can_absorb = params.theta == 0.0 and params.alpha == 0.0
+        uniforms = np.empty((0, size))
+        uniform_cursor = 0
+
+        # Every active replica fires exactly one event per lock-step
+        # iteration, so a replica's event count at retirement equals the step
+        # index; no per-step counter updates are needed.
+        step = 0
+        while num_active > 0:
+            if num_active <= _SCALAR_FINISH_WIDTH:
+                # The per-step numpy dispatch cost is width-independent, so a
+                # thin active set is cheaper to finish with the scalar loop.
+                remaining = np.nonzero(active)[0]
+                events[remaining] = step
+                self._finish_scalar(
+                    scalar,
+                    remaining,
+                    generator,
+                    max_events,
+                    sign,
+                    x0,
+                    x1,
+                    events,
+                    termination,
+                    histogram,
+                    bad,
+                    good,
+                    noise_ind,
+                    noise_comp,
+                    max_total,
+                    min_gap,
+                    hit_tie,
+                )
+                break
+            if step >= max_events:
+                events[active] = step
+                termination[active] = _MAX_EVENTS
+                break
+
+            # Propensities of the eight reaction classes, full width; retired
+            # replicas are frozen by masking the state deltas below.
+            if beta > 0.0:
+                rows[_BIRTH0] = beta * x0
+                rows[_BIRTH1] = beta * x1
+            if delta > 0.0:
+                rows[_DEATH0] = delta * x0
+                rows[_DEATH1] = delta * x1
+            if alpha0 > 0.0 or alpha1 > 0.0:
+                pair = x0 * x1
+                rows[_INTER0] = alpha0 * pair
+                rows[_INTER1] = alpha1 * pair
+            if gamma0 > 0.0:
+                rows[_INTRA0] = gamma0 * (x0 * (x0 - 1)) / 2.0
+            if gamma1 > 0.0:
+                rows[_INTRA1] = gamma1 * (x1 * (x1 - 1)) / 2.0
+            cumulative = np.cumsum(rows, axis=0)
+            total = cumulative[7]
+
+            if can_absorb:
+                absorbed = active & (total <= 0.0)
+                if absorbed.any():
+                    termination[absorbed] = _ABSORBED
+                    events[absorbed] = step
+                    active &= ~absorbed
+                    num_active = int(np.count_nonzero(active))
+                    if num_active == 0:
+                        break
+
+            if uniform_cursor >= uniforms.shape[0]:
+                uniforms = generator.random((_UNIFORM_STEPS, size))
+                uniform_cursor = 0
+            threshold = uniforms[uniform_cursor] * total
+            uniform_cursor += 1
+            # First event index whose cumulative propensity exceeds the
+            # threshold; zero-propensity reactions can never be selected.
+            event = np.minimum((cumulative <= threshold).sum(axis=0), 7)
+
+            delta0 = dx0[event]
+            delta1 = dx1[event]
+            delta0 *= active
+            delta1 *= active
+            gap_before = x0 - x1
+            x0 += delta0
+            x1 += delta1
+            gap_after = x0 - x1
+            histogram[replica_index, event] += active
+            step += 1
+
+            # Retired replicas have zero deltas, so their step noise vanishes
+            # and the accumulators below need no extra masking.
+            step_noise = sign * (gap_before - gap_after)
+            individual = event < 4
+            individual_noise = step_noise * individual
+            noise_ind += individual_noise
+            noise_comp += step_noise
+            noise_comp -= individual_noise
+
+            abs_before = np.abs(gap_before)
+            abs_after = np.abs(gap_after)
+            bad += individual & (abs_after < abs_before)
+
+            # "Good" events mirror the scalar simulator's accounting: a death
+            # or intraspecific event of the current minority, or any
+            # interspecific event, counted only while the counts differ.
+            minority_is_0 = gap_before < 0
+            good += (
+                active
+                & (gap_before != 0)
+                & self._good_table[minority_is_0.view(np.int8), event]
+            )
+
+            max_total = np.maximum(max_total, x0 + x1)
+            min_gap = np.minimum(min_gap, abs_after)
+            hit_tie |= active & (gap_after == 0)
+
+            finished = active & ((x0 == 0) | (x1 == 0))
+            if finished.any():
+                events[finished] = step
+                active &= ~finished
+                num_active = int(np.count_nonzero(active))
+
+        return LVEnsembleResult(
+            params=params,
+            initial_state=state,
+            final_x0=x0,
+            final_x1=x1,
+            total_events=events,
+            termination_codes=termination,
+            births=histogram[:, [_BIRTH0, _BIRTH1]].copy(),
+            deaths=histogram[:, [_DEATH0, _DEATH1]].copy(),
+            interspecific_events=histogram[:, _INTER0] + histogram[:, _INTER1],
+            intraspecific_events=histogram[:, [_INTRA0, _INTRA1]].copy(),
+            bad_noncompetitive_events=bad,
+            good_events=good,
+            noise_individual=noise_ind,
+            noise_competitive=noise_comp,
+            max_total_population=max_total,
+            min_gap_seen=min_gap,
+            hit_tie=hit_tie,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finish_scalar(
+        scalar: LVJumpChainSimulator,
+        idx: np.ndarray,
+        generator: np.random.Generator,
+        max_events: int,
+        sign: int,
+        x0: np.ndarray,
+        x1: np.ndarray,
+        events: np.ndarray,
+        termination: np.ndarray,
+        histogram: np.ndarray,
+        bad: np.ndarray,
+        good: np.ndarray,
+        noise_ind: np.ndarray,
+        noise_comp: np.ndarray,
+        max_total: np.ndarray,
+        min_gap: np.ndarray,
+        hit_tie: np.ndarray,
+    ) -> None:
+        """Finish the last few active replicas with the scalar simulator.
+
+        The scalar sub-run continues each replica from its mid-run state and
+        its counters are merged into the ensemble arrays.  The sub-run
+        measures noise relative to the majority of *its* initial (mid-run)
+        state, so its noise components are negated when that reference
+        disagrees with the ensemble's.
+        """
+        reference = 0 if sign == 1 else 1
+        for i in idx:
+            remaining = max_events - int(events[i])
+            if remaining <= 0:
+                termination[i] = _MAX_EVENTS
+                continue
+            state = LVState(int(x0[i]), int(x1[i]))
+            result = scalar.run(state, rng=generator, max_events=remaining)
+            x0[i] = result.final_state.x0
+            x1[i] = result.final_state.x1
+            events[i] += result.total_events
+            histogram[i, _BIRTH0] += result.births[0]
+            histogram[i, _BIRTH1] += result.births[1]
+            histogram[i, _DEATH0] += result.deaths[0]
+            histogram[i, _DEATH1] += result.deaths[1]
+            histogram[i, _INTER0] += result.interspecific_events
+            histogram[i, _INTRA0] += result.intraspecific_events[0]
+            histogram[i, _INTRA1] += result.intraspecific_events[1]
+            bad[i] += result.bad_noncompetitive_events
+            good[i] += result.good_events
+            sub_majority = state.majority_species
+            sub_reference = 0 if sub_majority is None else sub_majority
+            flip = -1 if sub_reference != reference else 1
+            noise_ind[i] += flip * result.noise_individual
+            noise_comp[i] += flip * result.noise_competitive
+            max_total[i] = max(int(max_total[i]), result.max_total_population)
+            min_gap[i] = min(int(min_gap[i]), result.min_gap_seen)
+            hit_tie[i] |= result.hit_tie
+            if result.termination == "max-events":
+                termination[i] = _MAX_EVENTS
+            elif result.termination == "absorbed":
+                termination[i] = _ABSORBED
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        initial_state: LVState | tuple[int, int],
+        num_runs: int,
+        *,
+        rng: SeedLike = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> list[LVRunResult]:
+        """Vectorized drop-in for :meth:`LVJumpChainSimulator.run_batch`."""
+        return self.run_ensemble(
+            initial_state, num_runs, rng=rng, max_events=max_events
+        ).to_run_results()

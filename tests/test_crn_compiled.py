@@ -1,0 +1,197 @@
+"""Tests for the compiled propensity engine (:mod:`repro.crn.compiled`).
+
+The central contract is bitwise exactness: for every network the builders can
+produce, the compiled mass-action evaluation must return the very same floats
+as the dict-based :meth:`Reaction.propensity` path, so simulators can switch
+between the two without perturbing trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crn.builders import (
+    build_birth_death_network,
+    build_lv_network,
+    build_pure_birth_network,
+    build_single_species_logistic_network,
+)
+from repro.crn.compiled import CompiledNetwork
+from repro.crn.network import ReactionNetwork
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species
+from repro.exceptions import InvalidConfigurationError, ModelError
+
+
+def _builder_networks() -> list[ReactionNetwork]:
+    """One representative network per builder configuration.
+
+    Covers every reaction shape the compiler handles: order 0 is absent from
+    the builders but covered separately below; unary (births, deaths),
+    heterogeneous binary (interspecific), and homogeneous binary
+    (intraspecific) reactions all appear, under both competition mechanisms
+    and with deliberately asymmetric, non-unit rates.
+    """
+    return [
+        build_lv_network(
+            beta=1.3, delta=0.7, alpha0=0.9, alpha1=1.1,
+            gamma0=0.4, gamma1=0.2, self_destructive=True,
+        ),
+        build_lv_network(
+            beta=0.5, delta=1.5, alpha0=0.25, alpha1=2.0,
+            gamma0=0.1, gamma1=0.3, self_destructive=False,
+        ),
+        build_lv_network(beta=1.0, delta=1.0, alpha0=1.0, alpha1=1.0),
+        build_lv_network(beta=0.0, delta=1.0, alpha0=0.5, alpha1=0.5),
+        build_birth_death_network(birth_rate=0.5, death_rate=1.0),
+        build_pure_birth_network(birth_rate=2.0),
+        build_single_species_logistic_network(
+            birth_rate=1.0, death_rate=0.2, intra_rate=0.3
+        ),
+        build_single_species_logistic_network(
+            birth_rate=0.7, death_rate=0.0, intra_rate=1.9, self_destructive=False
+        ),
+    ]
+
+
+NETWORKS = _builder_networks()
+NETWORK_IDS = [f"{net.name}-{net.num_reactions}r" for net in NETWORKS]
+
+
+@pytest.mark.parametrize("network", NETWORKS, ids=NETWORK_IDS)
+class TestBitwiseExactness:
+    def test_matches_dict_path_on_random_states(self, network, rng):
+        compiled = CompiledNetwork(network)
+        for _ in range(250):
+            vector = rng.integers(0, 60, size=network.num_species)
+            expected = np.asarray(
+                network.propensities(network.vector_to_state(vector)), dtype=float
+            )
+            produced = compiled.propensities(vector)
+            # Bitwise equality, not approximate: the compiled path must run
+            # the same float operations in the same order.
+            assert np.array_equal(produced, expected)
+
+    def test_matches_on_boundary_states(self, network):
+        compiled = CompiledNetwork(network)
+        boundaries = [0, 1, 2]
+        grids = np.stack(
+            np.meshgrid(*[boundaries] * network.num_species), axis=-1
+        ).reshape(-1, network.num_species)
+        for vector in grids:
+            expected = np.asarray(
+                network.propensities(network.vector_to_state(vector)), dtype=float
+            )
+            assert np.array_equal(compiled.propensities(vector), expected)
+
+    def test_total_propensity_matches(self, network, rng):
+        compiled = CompiledNetwork(network)
+        vector = rng.integers(0, 40, size=network.num_species)
+        values = np.asarray(
+            network.propensities(network.vector_to_state(vector)), dtype=float
+        )
+        # Same values, same numpy pairwise summation -> identical float.
+        assert compiled.total_propensity(vector) == float(values.sum())
+
+    def test_batch_rows_match_single_evaluation(self, network, rng):
+        compiled = CompiledNetwork(network)
+        states = rng.integers(0, 60, size=(32, network.num_species))
+        batch = compiled.propensities_batch(states)
+        assert batch.shape == (32, network.num_reactions)
+        for row, vector in zip(batch, states):
+            assert np.array_equal(row, compiled.propensities(vector))
+
+    def test_negative_counts_clamped_like_dict_path(self, network):
+        compiled = CompiledNetwork(network)
+        vector = np.full(network.num_species, -3, dtype=np.int64)
+        clamped = np.zeros(network.num_species, dtype=np.int64)
+        assert np.array_equal(
+            compiled.propensities(vector), compiled.propensities(clamped)
+        )
+
+
+class TestCompiledStructure:
+    def test_changes_match_stoichiometry(self):
+        network = build_lv_network(beta=1.0, delta=1.0, alpha0=0.5, alpha1=0.5)
+        compiled = CompiledNetwork(network)
+        assert np.array_equal(compiled.changes, network.stoichiometry_matrix().T)
+
+    def test_labels_in_reaction_order(self):
+        network = build_birth_death_network(birth_rate=0.5, death_rate=1.0)
+        compiled = CompiledNetwork(network)
+        assert compiled.labels == tuple(r.label for r in network.reactions)
+
+    def test_orders_recorded(self):
+        network = build_lv_network(
+            beta=1.0, delta=1.0, alpha0=0.5, alpha1=0.5, gamma0=0.2, gamma1=0.2
+        )
+        compiled = CompiledNetwork(network)
+        expected = [reaction.order for reaction in network.reactions]
+        assert list(compiled.orders) == expected
+
+    def test_empty_network_rejected(self):
+        network = ReactionNetwork(species=[Species("X")])
+        with pytest.raises(ModelError):
+            CompiledNetwork(network)
+
+    def test_wrong_state_shape_rejected(self):
+        compiled = CompiledNetwork(
+            build_birth_death_network(birth_rate=0.5, death_rate=1.0)
+        )
+        with pytest.raises(InvalidConfigurationError):
+            compiled.propensities([1, 2, 3])
+        with pytest.raises(InvalidConfigurationError):
+            compiled.propensities_batch(np.zeros((4, 3), dtype=np.int64))
+
+    def test_order_zero_reaction_compiled(self):
+        x = Species("X")
+        network = ReactionNetwork(species=[x])
+        network.add_reaction(Reaction({}, {x: 1}, rate=1.7, label="influx"))
+        compiled = CompiledNetwork(network)
+        state = network.vector_to_state(np.array([5]))
+        expected = np.asarray(network.propensities(state), dtype=float)
+        assert np.array_equal(compiled.propensities(np.array([5])), expected)
+        assert expected[0] == 1.7
+
+
+class TestOverrides:
+    def _network(self) -> ReactionNetwork:
+        return build_birth_death_network(birth_rate=0.5, death_rate=1.0)
+
+    def test_override_replaces_compiled_value(self):
+        network = self._network()
+        label = network.reactions[0].label
+        compiled = CompiledNetwork(
+            network, overrides={label: lambda state: 42.0 + state[0]}
+        )
+        values = compiled.propensities(np.array([3]))
+        assert values[0] == 45.0
+        # The other reaction keeps its mass-action value.
+        expected = np.asarray(
+            network.propensities(network.vector_to_state(np.array([3]))), dtype=float
+        )
+        assert values[1] == expected[1]
+
+    def test_override_applies_to_batch(self):
+        network = self._network()
+        label = network.reactions[1].label
+        compiled = CompiledNetwork(network, overrides={label: lambda state: 7.0})
+        batch = compiled.propensities_batch(np.array([[1], [2], [3]]))
+        assert np.all(batch[:, 1] == 7.0)
+
+    def test_has_overrides_flag(self):
+        network = self._network()
+        assert not CompiledNetwork(network).has_overrides
+        label = network.reactions[0].label
+        assert CompiledNetwork(network, overrides={label: lambda s: 0.0}).has_overrides
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ModelError):
+            CompiledNetwork(self._network(), overrides={"no-such": lambda s: 0.0})
+
+    def test_non_callable_override_rejected(self):
+        network = self._network()
+        label = network.reactions[0].label
+        with pytest.raises(ModelError):
+            CompiledNetwork(network, overrides={label: 3.0})

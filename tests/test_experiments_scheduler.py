@@ -1,0 +1,135 @@
+"""Tests for the replicate scheduler (:mod:`repro.experiments.scheduler`).
+
+The scheduler's core promise is determinism: the same root seed must produce
+bit-identical results for every batch size decomposition executed and for
+every worker count, because per-batch seeds are spawned from the root seed
+before dispatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.estimator import estimate_majority_probability, summarise_runs
+from repro.exceptions import ExperimentError
+from repro.experiments.scheduler import (
+    ReplicaScheduler,
+    configure_default_scheduler,
+    get_default_scheduler,
+)
+from repro.experiments.workloads import replica_batches
+from repro.lv.state import LVState
+
+
+STATE = LVState(30, 18)
+
+
+class TestReplicaBatches:
+    def test_full_batches_plus_remainder(self):
+        assert replica_batches(1000, 400) == [400, 400, 200]
+
+    def test_single_partial_batch(self):
+        assert replica_batches(64, 256) == [64]
+
+    def test_exact_multiple(self):
+        assert replica_batches(512, 256) == [256, 256]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ExperimentError):
+            replica_batches(0, 10)
+        with pytest.raises(ExperimentError):
+            replica_batches(10, 0)
+
+
+class TestReplicaScheduler:
+    def test_plan_matches_replica_batches(self):
+        scheduler = ReplicaScheduler(batch_size=100)
+        assert scheduler.plan(250) == [100, 100, 50]
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ExperimentError):
+            ReplicaScheduler(jobs=0)
+        with pytest.raises(ExperimentError):
+            ReplicaScheduler(batch_size=0)
+
+    def test_run_replicates_count_and_determinism(self, sd_params):
+        scheduler = ReplicaScheduler(batch_size=64)
+        first = scheduler.run_replicates(sd_params, STATE, 150, rng=7)
+        second = scheduler.run_replicates(sd_params, STATE, 150, rng=7)
+        assert len(first) == 150
+        assert first == second
+
+    def test_results_independent_of_worker_count(self, sd_params):
+        """jobs=2 must reproduce jobs=1 bit for bit (seeds spawn pre-dispatch)."""
+        inline = ReplicaScheduler(jobs=1, batch_size=32)
+        pooled = ReplicaScheduler(jobs=2, batch_size=32)
+        assert inline.run_replicates(sd_params, STATE, 96, rng=3) == pooled.run_replicates(
+            sd_params, STATE, 96, rng=3
+        )
+
+    def test_run_ensembles_matches_run_replicates(self, sd_params):
+        scheduler = ReplicaScheduler(batch_size=64)
+        ensemble = scheduler.run_ensembles(sd_params, STATE, 150, rng=7)
+        assert ensemble.num_replicates == 150
+        assert ensemble.to_run_results() == scheduler.run_replicates(
+            sd_params, STATE, 150, rng=7
+        )
+
+    def test_estimate_matches_manual_summary(self, sd_params):
+        scheduler = ReplicaScheduler(batch_size=64)
+        estimate = scheduler.estimate(sd_params, STATE, 128, rng=5)
+        manual = summarise_runs(
+            scheduler.run_replicates(sd_params, STATE, 128, rng=5)
+        )
+        assert estimate == manual
+
+    def test_estimate_agrees_with_scalar_estimator(self, sd_params):
+        """Scheduled estimates stay within Monte-Carlo noise of the original."""
+        scheduled = ReplicaScheduler(batch_size=128).estimate(
+            sd_params, STATE, 600, rng=17
+        )
+        scalar = estimate_majority_probability(
+            sd_params, STATE, num_runs=600, rng=18, method="scalar"
+        )
+        assert abs(
+            scheduled.majority_probability - scalar.majority_probability
+        ) < 0.08
+
+    def test_accepts_tuple_initial_state(self, sd_params):
+        scheduler = ReplicaScheduler(batch_size=32)
+        results = scheduler.run_replicates(sd_params, (20, 12), 40, rng=2)
+        assert len(results) == 40
+        assert results[0].initial_state == LVState(20, 12)
+
+    def test_decompose_noise_shapes(self, nsd_params):
+        scheduler = ReplicaScheduler(batch_size=64)
+        decomposition = scheduler.decompose_noise(nsd_params, STATE, 100, rng=19)
+        assert decomposition.individual_noise.shape == (100,)
+        assert decomposition.competitive_noise.shape == (100,)
+
+    def test_find_threshold_runs(self, sd_params):
+        estimate = ReplicaScheduler(batch_size=64).find_threshold(
+            sd_params, 64, num_runs=60, rng=23
+        )
+        assert estimate.population_size == 64
+
+
+class TestDefaultScheduler:
+    def test_configure_updates_shared_instance(self):
+        original = get_default_scheduler()
+        try:
+            configured = configure_default_scheduler(jobs=2, batch_size=128)
+            assert get_default_scheduler() is configured
+            assert configured.jobs == 2
+            assert configured.batch_size == 128
+            # Partial reconfiguration keeps the other knob.
+            assert configure_default_scheduler(jobs=1).batch_size == 128
+        finally:
+            configure_default_scheduler(
+                jobs=original.jobs, batch_size=original.batch_size
+            )
+
+    def test_batch_size_does_not_change_estimates_statistically(self, sd_params):
+        small = ReplicaScheduler(batch_size=32).estimate(sd_params, STATE, 400, rng=29)
+        large = ReplicaScheduler(batch_size=400).estimate(sd_params, STATE, 400, rng=31)
+        assert abs(small.majority_probability - large.majority_probability) < 0.1

@@ -1,0 +1,201 @@
+"""Tests for the vectorized LV replica ensemble (:mod:`repro.lv.ensemble`).
+
+The lock-step ensemble must be a statistical drop-in for the scalar
+:class:`~repro.lv.simulator.LVJumpChainSimulator`: same win probabilities,
+same consensus-time distribution, same event accounting — verified here on a
+fixed seed budget with tolerances sized for the replicate counts used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidConfigurationError
+from repro.lv.ensemble import LVEnsembleResult, LVEnsembleSimulator
+from repro.lv.simulator import LVJumpChainSimulator
+from repro.lv.state import LVState
+
+
+STATE = LVState(36, 24)
+
+
+def _scalar_batch(params, state, num_runs, seed):
+    return LVJumpChainSimulator(params).run_batch(state, num_runs, rng=seed)
+
+
+def _ensemble_batch(params, state, num_runs, seed):
+    return LVEnsembleSimulator(params).run_batch(state, num_runs, rng=seed)
+
+
+class TestStatisticalAgreement:
+    """Ensemble vs scalar simulator on a fixed seed budget.
+
+    Replicate counts are chosen so the Monte-Carlo standard error of each
+    compared statistic is a few percent; the tolerances below are ~4 standard
+    errors, which keeps the tests deterministic (fixed seeds) while still
+    failing loudly on any systematic bias.
+    """
+
+    NUM_RUNS = 800
+
+    @pytest.fixture(params=["sd", "nsd"])
+    def params(self, request, sd_params, nsd_params):
+        return sd_params if request.param == "sd" else nsd_params
+
+    @pytest.fixture
+    def batches(self, params):
+        scalar = _scalar_batch(params, STATE, self.NUM_RUNS, seed=101)
+        ensemble = _ensemble_batch(params, STATE, self.NUM_RUNS, seed=202)
+        return scalar, ensemble
+
+    def test_win_probability_agrees(self, batches):
+        scalar, ensemble = batches
+        p_scalar = np.mean([r.majority_consensus for r in scalar])
+        p_ensemble = np.mean([r.majority_consensus for r in ensemble])
+        assert abs(p_scalar - p_ensemble) < 0.06
+
+    def test_consensus_time_agrees(self, batches):
+        scalar, ensemble = batches
+        t_scalar = np.mean([r.total_events for r in scalar if r.reached_consensus])
+        t_ensemble = np.mean([r.total_events for r in ensemble if r.reached_consensus])
+        assert t_ensemble == pytest.approx(t_scalar, rel=0.12)
+
+    def test_event_counts_agree(self, batches):
+        scalar, ensemble = batches
+        for attribute in ("interspecific_events", "bad_noncompetitive_events", "good_events"):
+            m_scalar = np.mean([getattr(r, attribute) for r in scalar])
+            m_ensemble = np.mean([getattr(r, attribute) for r in ensemble])
+            tolerance = 0.12 * max(m_scalar, 1.0)
+            assert abs(m_scalar - m_ensemble) < tolerance, attribute
+
+    def test_individual_event_totals_agree(self, batches):
+        scalar, ensemble = batches
+        def individual(r):
+            return sum(r.births) + sum(r.deaths)
+        m_scalar = np.mean([individual(r) for r in scalar])
+        m_ensemble = np.mean([individual(r) for r in ensemble])
+        assert m_ensemble == pytest.approx(m_scalar, rel=0.12)
+
+    def test_noise_decomposition_agrees(self, batches):
+        scalar, ensemble = batches
+        for attribute in ("noise_individual", "noise_competitive"):
+            m_scalar = np.mean([getattr(r, attribute) for r in scalar])
+            m_ensemble = np.mean([getattr(r, attribute) for r in ensemble])
+            scale = max(
+                np.std([getattr(r, attribute) for r in scalar]) / np.sqrt(len(scalar)),
+                0.5,
+            )
+            assert abs(m_scalar - m_ensemble) < 8 * scale, attribute
+
+
+class TestExactInvariants:
+    def test_reproducible_from_seed(self, sd_params):
+        first = _ensemble_batch(sd_params, STATE, 64, seed=5)
+        second = _ensemble_batch(sd_params, STATE, 64, seed=5)
+        assert first == second
+
+    def test_different_seeds_differ(self, sd_params):
+        first = _ensemble_batch(sd_params, STATE, 64, seed=5)
+        second = _ensemble_batch(sd_params, STATE, 64, seed=6)
+        assert first != second
+
+    def test_event_counts_sum_to_total(self, nsd_params):
+        ensemble = LVEnsembleSimulator(nsd_params).run_ensemble(STATE, 128, rng=3)
+        total = (
+            ensemble.births.sum(axis=1)
+            + ensemble.deaths.sum(axis=1)
+            + ensemble.interspecific_events
+            + ensemble.intraspecific_events.sum(axis=1)
+        )
+        assert np.array_equal(total, ensemble.total_events)
+
+    def test_sd_competitive_noise_is_zero(self, sd_params):
+        """Self-destructive competition never moves the gap (Section 1.5)."""
+        ensemble = LVEnsembleSimulator(sd_params).run_ensemble(STATE, 128, rng=4)
+        assert np.all(ensemble.noise_competitive == 0)
+
+    def test_nsd_competitive_noise_is_nonzero_typically(self, nsd_params):
+        ensemble = LVEnsembleSimulator(nsd_params).run_ensemble(STATE, 128, rng=4)
+        assert np.any(ensemble.noise_competitive != 0)
+
+    def test_total_noise_equals_gap_change(self, nsd_params):
+        """F_ind + F_comp telescopes to the signed gap change of the run."""
+        state = LVState(30, 18)
+        ensemble = LVEnsembleSimulator(nsd_params).run_ensemble(state, 96, rng=9)
+        initial_gap = state.x0 - state.x1
+        final_gap = ensemble.final_x0 - ensemble.final_x1
+        assert np.array_equal(
+            ensemble.noise_individual + ensemble.noise_competitive,
+            initial_gap - final_gap,
+        )
+
+    def test_all_replicas_reach_consensus(self, sd_params):
+        ensemble = LVEnsembleSimulator(sd_params).run_ensemble(STATE, 128, rng=11)
+        assert bool(ensemble.reached_consensus.all())
+        assert ensemble.termination_counts() == {"consensus": 128}
+
+    def test_max_events_budget(self, sd_params):
+        ensemble = LVEnsembleSimulator(sd_params).run_ensemble(
+            LVState(400, 380), 32, rng=1, max_events=5
+        )
+        capped = ensemble.termination_codes == 2
+        assert capped.any()
+        assert np.all(ensemble.total_events[capped] == 5)
+
+    def test_winners_match_final_states(self, sd_params):
+        ensemble = LVEnsembleSimulator(sd_params).run_ensemble(STATE, 64, rng=13)
+        winners = ensemble.winners
+        assert np.all((ensemble.final_x1[winners == 0]) == 0)
+        assert np.all((ensemble.final_x0[winners == 1]) == 0)
+
+    def test_invalid_arguments_rejected(self, sd_params):
+        simulator = LVEnsembleSimulator(sd_params)
+        with pytest.raises(InvalidConfigurationError):
+            simulator.run_ensemble(STATE, 0)
+        with pytest.raises(ValueError):
+            simulator.run_ensemble(STATE, 4, max_events=0)
+
+
+class TestRunResultInterop:
+    def test_run_batch_materialises_run_results(self, sd_params):
+        results = _ensemble_batch(sd_params, STATE, 32, seed=21)
+        assert len(results) == 32
+        for result in results:
+            assert result.params == sd_params
+            assert result.initial_state == STATE
+            event_total = (
+                sum(result.births)
+                + sum(result.deaths)
+                + result.interspecific_events
+                + sum(result.intraspecific_events)
+            )
+            assert event_total == result.total_events
+
+    def test_to_run_results_matches_arrays(self, nsd_params):
+        ensemble = LVEnsembleSimulator(nsd_params).run_ensemble(STATE, 48, rng=23)
+        results = ensemble.to_run_results()
+        assert [r.total_events for r in results] == list(ensemble.total_events)
+        assert [r.noise_competitive for r in results] == list(ensemble.noise_competitive)
+        assert [r.winner if r.winner is not None else -1 for r in results] == list(
+            ensemble.winners
+        )
+
+    def test_concatenate_preserves_order(self, sd_params):
+        simulator = LVEnsembleSimulator(sd_params)
+        first = simulator.run_ensemble(STATE, 16, rng=31)
+        second = simulator.run_ensemble(STATE, 24, rng=32)
+        merged = LVEnsembleResult.concatenate([first, second])
+        assert merged.num_replicates == 40
+        assert np.array_equal(merged.total_events[:16], first.total_events)
+        assert np.array_equal(merged.total_events[16:], second.total_events)
+
+    def test_concatenate_rejects_mismatched_systems(self, sd_params, nsd_params):
+        first = LVEnsembleSimulator(sd_params).run_ensemble(STATE, 8, rng=41)
+        second = LVEnsembleSimulator(nsd_params).run_ensemble(STATE, 8, rng=42)
+        with pytest.raises(InvalidConfigurationError):
+            LVEnsembleResult.concatenate([first, second])
+
+    def test_concatenate_rejects_empty(self):
+        with pytest.raises(InvalidConfigurationError):
+            LVEnsembleResult.concatenate([])

@@ -77,6 +77,40 @@ class TestSpawnSeeds:
     def test_reproducible(self):
         assert spawn_seeds(11, 6) == spawn_seeds(11, 6)
 
+    def test_seeds_are_distinct(self):
+        seeds = spawn_seeds(11, 64)
+        assert len(set(seeds)) == 64
+
+    def test_different_roots_give_different_seeds(self):
+        assert spawn_seeds(11, 6) != spawn_seeds(12, 6)
+
+    def test_seeds_fit_in_63_bits(self):
+        assert all(0 <= seed < 2**63 for seed in spawn_seeds(0, 32))
+
+    def test_zero_count(self):
+        assert spawn_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_accepts_seed_sequence(self):
+        sequence = np.random.SeedSequence(13)
+        assert spawn_seeds(sequence, 4) == spawn_seeds(np.random.SeedSequence(13), 4)
+
+    def test_generator_input_keeps_spawning_fresh_seeds(self):
+        generator = np.random.default_rng(9)
+        first = spawn_seeds(generator, 4)
+        second = spawn_seeds(generator, 4)
+        assert set(first).isdisjoint(second)
+
+    def test_child_streams_are_independent(self):
+        """Generators built from spawned seeds must not share their streams."""
+        values = [
+            as_generator(seed).random() for seed in spawn_seeds(7, 16)
+        ]
+        assert len(set(values)) == 16
+
 
 class TestStableSeed:
     def test_deterministic(self):
