@@ -1,0 +1,129 @@
+"""Run the benchmark suite and write a machine-readable ``BENCH_sweep.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--scale quick]
+        [--seed 0] [--output BENCH_sweep.json]
+
+For every registered experiment the runner records wall-clock seconds, the
+number of two-species jump events executed by the process-wide sweep
+scheduler (its ``events_executed`` counter), and the resulting events/second
+— so the performance trajectory of the sweep engine stays comparable across
+PRs as a single JSON artefact instead of a nightly eye-check.  The sweep
+acceptance measurement (fused `FIG-THRESH`-style threshold sweep versus the
+per-config scheduler path, see ``test_bench_sweep_engine.py``) is re-run and
+recorded alongside.
+
+Notes
+-----
+* ``events`` counts only events executed through the scheduler's lock-step
+  engines; the scalar single-species chain simulations of `FIG-BAD` /
+  `FIG-DOM` are not included in the counter (their wall-clock is).
+* The quick scale matches CI; pass ``--scale full`` for the
+  ``EXPERIMENTS.md``-sized workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy
+
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.experiments.scheduler import get_default_scheduler
+
+# The sweep acceptance workload (grid, seeds, and both executor paths) is
+# defined once, next to the >=3x CI assertion, and reused here so the JSON
+# artefact always measures exactly the workload the gate asserts on.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from test_bench_sweep_engine import _grid, _run_per_config, _run_sweep  # noqa: E402
+
+
+def measure_experiments(scale: str, seed: int) -> dict[str, dict[str, float]]:
+    """Time every registered experiment and meter its scheduler events."""
+    scheduler = get_default_scheduler()
+    results: dict[str, dict[str, float]] = {}
+    for spec in list_experiments():
+        scheduler.events_executed = 0
+        started = time.perf_counter()
+        outcome = run_experiment(spec.identifier, scale=scale, seed=seed)
+        seconds = time.perf_counter() - started
+        events = scheduler.events_executed
+        results[spec.identifier] = {
+            "seconds": round(seconds, 4),
+            "events": int(events),
+            "events_per_sec": round(events / seconds) if seconds > 0 else 0,
+            "shape_matches_paper": outcome.shape_matches_paper,
+        }
+        print(
+            f"[{spec.identifier:>10}] {seconds:7.2f}s  "
+            f"{events:>10d} events  {results[spec.identifier]['events_per_sec']:>12,} ev/s"
+        )
+    return results
+
+
+def measure_sweep_speedup():
+    """The acceptance measurement: fused threshold sweep vs per-config path.
+
+    Runs the exact workload of ``test_bench_sweep_engine.py`` (same grid,
+    seeds, and executor configurations) outside pytest, best of three.
+    """
+    grid = _grid()
+    _run_per_config(grid)  # warm-up
+    _run_sweep(grid)
+    per_config_seconds = min(_timed(lambda: _run_per_config(grid)) for _ in range(3))
+    fused_seconds = min(_timed(lambda: _run_sweep(grid)) for _ in range(3))
+    return {
+        "per_config_seconds": round(per_config_seconds, 4),
+        "fused_seconds": round(fused_seconds, 4),
+        "speedup": round(per_config_seconds / fused_seconds, 2),
+        "grid_points": len(grid),
+    }
+
+
+def _timed(task) -> float:
+    started = time.perf_counter()
+    task()
+    return time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sweep.json",
+    )
+    arguments = parser.parse_args(argv)
+
+    experiments = measure_experiments(arguments.scale, arguments.seed)
+    sweep = measure_sweep_speedup()
+    print(
+        f"[sweep-vs-per-config] {sweep['fused_seconds']:.2f}s vs "
+        f"{sweep['per_config_seconds']:.2f}s  ->  {sweep['speedup']}x"
+    )
+
+    payload = {
+        "schema": 1,
+        "scale": arguments.scale,
+        "seed": arguments.seed,
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "experiments": experiments,
+        "sweep_vs_per_config": sweep,
+    }
+    arguments.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

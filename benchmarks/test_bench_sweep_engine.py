@@ -1,0 +1,117 @@
+"""Benchmark: fused sweep engine versus the per-config scheduler path.
+
+Times the `FIG-THRESH` quick workload — both mechanisms' threshold searches
+over the full population grid, 150 runs per probe — through two executors:
+
+* the **per-config path** (the PR-1 scheduler behaviour): one
+  :meth:`~repro.experiments.scheduler.ReplicaScheduler.find_threshold` call
+  per ``(mechanism, n)`` configuration, each probe dispatched as its own
+  lock-step batch through the estimator's ``batch_runner`` hook (per-replica
+  result objects and all), with active-set compaction disabled — i.e. every
+  batch holds its full width until the scalar tail; and
+* the **sweep path**: one
+  :meth:`~repro.experiments.scheduler.SweepScheduler.find_thresholds` call
+  that advances every search concurrently and fuses each round's probes into
+  heterogeneous lock-step mega-batches (compaction on, win-level statistics
+  collection for the probes).
+
+The benchmark asserts the sweep-engine acceptance criterion — at least a 3x
+wall-clock speedup on the sweep — and that the two paths report thresholds
+of the same magnitude at every grid point, so the speedup can never silently
+come from searching something different.  (Statistical identity of the
+underlying per-config estimates is enforced separately by
+``tests/test_lv_sweep_ensemble.py``.)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.scheduler import (
+    ReplicaScheduler,
+    SweepScheduler,
+    ThresholdRequest,
+)
+from repro.experiments.workloads import population_grid
+from repro.lv.params import LVParams
+from repro.rng import stable_seed
+
+#: Minimum sweep-over-per-config speedup the sweep engine must sustain.
+MIN_SPEEDUP = 3.0
+
+NUM_RUNS = 150
+
+
+def _grid():
+    sd = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    nsd = LVParams.non_self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    return [
+        (tag, params, n)
+        for tag, params in (("sd", sd), ("nsd", nsd))
+        for n in population_grid("quick")
+    ]
+
+
+def _seed(tag: str, n: int) -> int:
+    return stable_seed("bench-sweep-thresh", tag, n, 0)
+
+
+def _run_per_config(grid):
+    scheduler = ReplicaScheduler(compaction_fraction=None)
+    return {
+        (tag, n): scheduler.find_threshold(
+            params, n, num_runs=NUM_RUNS, rng=_seed(tag, n)
+        )
+        for tag, params, n in grid
+    }
+
+
+def _run_sweep(grid):
+    scheduler = SweepScheduler()
+    estimates = scheduler.find_thresholds(
+        [
+            ThresholdRequest(params, n, num_runs=NUM_RUNS, seed=_seed(tag, n))
+            for tag, params, n in grid
+        ]
+    )
+    return {(tag, n): estimate for (tag, _, n), estimate in zip(grid, estimates)}
+
+
+def test_sweep_engine_speedup_on_threshold_sweep(benchmark):
+    grid = _grid()
+
+    # Warm-up outside the timed regions (first-call numpy dispatch, caches).
+    warm = [(tag, params, 64) for tag, params, n in grid if n == 64]
+    _run_per_config(warm)
+    _run_sweep(warm)
+
+    # Best of three for the baseline as well, so the asserted ratio compares
+    # the two code paths rather than transient machine contention.
+    per_config_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        per_config = _run_per_config(grid)
+        per_config_seconds = min(per_config_seconds, time.perf_counter() - start)
+
+    sweep_results = benchmark.pedantic(_run_sweep, args=(grid,), rounds=3, iterations=1)
+    sweep_seconds = benchmark.stats.stats.min
+
+    speedup = per_config_seconds / sweep_seconds
+    benchmark.extra_info["per_config_seconds"] = round(per_config_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["grid_points"] = len(grid)
+    assert speedup >= MIN_SPEEDUP, (
+        f"sweep engine is only {speedup:.1f}x faster than the per-config "
+        f"scheduler path ({sweep_seconds:.3f}s vs {per_config_seconds:.3f}s "
+        f"for {len(grid)} threshold searches); expected at least {MIN_SPEEDUP}x"
+    )
+
+    # Same-magnitude sanity: both paths must tell the same threshold story at
+    # every grid point (they use different streams, so exact equality is not
+    # expected — a factor-two band is ~6 Monte-Carlo standard errors here).
+    for key, baseline in per_config.items():
+        fused = sweep_results[key]
+        assert baseline.threshold_gap is not None
+        assert fused.threshold_gap is not None, key
+        ratio = fused.threshold_gap / baseline.threshold_gap
+        assert 0.5 <= ratio <= 2.0, (key, baseline.threshold_gap, fused.threshold_gap)

@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for replicate batches"
     )
+    run_parser.add_argument(
+        "--sweep-batch",
+        type=int,
+        default=None,
+        metavar="WIDTH",
+        help="replicas per fused mega-batch of the sweep engine (default 2048)",
+    )
     run_parser.add_argument("--json", type=Path, default=None, help="save raw results to this path")
     run_parser.add_argument(
         "--report", type=Path, default=None, help="write the markdown report to this path"
@@ -78,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for replicate batches"
     )
+    estimate_parser.add_argument(
+        "--sweep-batch",
+        type=int,
+        default=None,
+        metavar="WIDTH",
+        help="replicas per fused mega-batch of the sweep engine (default 2048)",
+    )
     return parser
 
 
@@ -92,7 +106,10 @@ def _command_run(arguments: argparse.Namespace) -> int:
     if arguments.jobs < 1:
         print(f"--jobs must be at least 1, got {arguments.jobs}")
         return 2
-    configure_default_scheduler(jobs=arguments.jobs)
+    if arguments.sweep_batch is not None and arguments.sweep_batch < 1:
+        print(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
+        return 2
+    configure_default_scheduler(jobs=arguments.jobs, sweep_batch=arguments.sweep_batch)
     if arguments.all:
         identifiers = [spec.identifier for spec in list_experiments()]
     else:
@@ -125,7 +142,10 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
     if arguments.jobs < 1:
         print(f"--jobs must be at least 1, got {arguments.jobs}")
         return 2
-    configure_default_scheduler(jobs=arguments.jobs)
+    if arguments.sweep_batch is not None and arguments.sweep_batch < 1:
+        print(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
+        return 2
+    configure_default_scheduler(jobs=arguments.jobs, sweep_batch=arguments.sweep_batch)
     constructor = (
         LVParams.self_destructive if arguments.mechanism == "sd" else LVParams.non_self_destructive
     )

@@ -78,6 +78,14 @@ class ConsensusEstimate:
         Mean/standard deviation of ``F_comp``.
     mean_max_population:
         Mean of the largest total population seen per run.
+    collected:
+        Statistics level this estimate was produced at.  ``"full"`` (the
+        default everywhere outside fused threshold probes) means every field
+        was measured; ``"win"`` means only the success probability, consensus
+        rate, dead-heat rate, and consensus-time statistics were collected —
+        the remaining statistics are ``NaN`` (``0`` for ``max_bad_events``)
+        so an accidental consumer sees an unmistakably missing value rather
+        than a plausible zero.
     """
 
     params: LVParams
@@ -98,6 +106,7 @@ class ConsensusEstimate:
     mean_noise_competitive: float
     std_noise_competitive: float
     mean_max_population: float
+    collected: str = "full"
 
     @property
     def majority_probability(self) -> float:
@@ -263,35 +272,61 @@ def summarise_runs(
 
 
 def summarise_ensemble(
-    ensemble: LVEnsembleResult, *, confidence: float = 0.95
+    ensemble: LVEnsembleResult, *, confidence: float = 0.95, collected: str = "full"
 ) -> ConsensusEstimate:
     """Aggregate a vectorized ensemble into a :class:`ConsensusEstimate`.
 
     Computes exactly the statistics of :func:`summarise_runs` directly from
     the ensemble's per-replica arrays, skipping the per-replica
     :class:`~repro.lv.simulator.LVRunResult` materialisation.
+
+    *collected* mirrors the lock-step engine's statistics level: for an
+    ensemble produced with ``collect="win"`` the event-accounting arrays were
+    never populated, so their summary statistics are reported as ``NaN``
+    without touching the arrays (the success probability, consensus rate,
+    dead-heat rate, and consensus-time statistics are always exact), and the
+    estimate carries ``collected="win"``.
     """
     num_runs = ensemble.num_replicates
     successes = int(np.count_nonzero(ensemble.majority_consensus))
     reached = ensemble.reached_consensus
     times = ensemble.total_events[reached].astype(float)
+    core = dict(
+        params=ensemble.params,
+        initial_state=(ensemble.initial_state.x0, ensemble.initial_state.x1),
+        num_runs=num_runs,
+        success=binomial_estimate(successes, num_runs, confidence=confidence),
+        consensus_rate=int(np.count_nonzero(reached)) / num_runs,
+        dead_heat_rate=int(np.count_nonzero(ensemble.dead_heat)) / num_runs,
+        mean_consensus_time=float(times.mean()) if times.size else float("nan"),
+        q95_consensus_time=float(np.quantile(times, 0.95)) if times.size else float("nan"),
+    )
+    if collected == "win":
+        missing = float("nan")
+        return ConsensusEstimate(
+            **core,
+            tie_rate=missing,
+            mean_individual_events=missing,
+            mean_competitive_events=missing,
+            mean_bad_events=missing,
+            max_bad_events=0,
+            mean_noise_individual=missing,
+            std_noise_individual=missing,
+            mean_noise_competitive=missing,
+            std_noise_competitive=missing,
+            mean_max_population=missing,
+            collected="win",
+        )
+
     individual = ensemble.individual_events.astype(float)
     competitive = ensemble.competitive_events.astype(float)
     bad = ensemble.bad_noncompetitive_events.astype(float)
     noise_ind = ensemble.noise_individual.astype(float)
     noise_comp = ensemble.noise_competitive.astype(float)
     peaks = ensemble.max_total_population.astype(float)
-
     return ConsensusEstimate(
-        params=ensemble.params,
-        initial_state=(ensemble.initial_state.x0, ensemble.initial_state.x1),
-        num_runs=num_runs,
-        success=binomial_estimate(successes, num_runs, confidence=confidence),
-        consensus_rate=int(np.count_nonzero(reached)) / num_runs,
+        **core,
         tie_rate=int(np.count_nonzero(ensemble.hit_tie)) / num_runs,
-        dead_heat_rate=int(np.count_nonzero(ensemble.dead_heat)) / num_runs,
-        mean_consensus_time=float(times.mean()) if times.size else float("nan"),
-        q95_consensus_time=float(np.quantile(times, 0.95)) if times.size else float("nan"),
         mean_individual_events=float(individual.mean()),
         mean_competitive_events=float(competitive.mean()),
         mean_bad_events=float(bad.mean()),

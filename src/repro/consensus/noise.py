@@ -21,13 +21,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import EstimationError
-from repro.lv.ensemble import LVEnsembleSimulator
+from repro.lv.ensemble import LVEnsembleResult, LVEnsembleSimulator
 from repro.lv.params import LVParams
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_generators
 
-__all__ = ["NoiseDecomposition", "decompose_noise"]
+__all__ = ["NoiseDecomposition", "decompose_noise", "decomposition_from_ensemble"]
 
 
 @dataclass(frozen=True)
@@ -108,6 +108,23 @@ class NoiseDecomposition:
         }
 
 
+def decomposition_from_ensemble(ensemble: LVEnsembleResult) -> NoiseDecomposition:
+    """Build a :class:`NoiseDecomposition` from lock-step ensemble arrays.
+
+    Shared by :func:`decompose_noise` and the experiment harness's replica
+    and sweep schedulers, so every execution path produces the decomposition
+    from the same per-replica accounting.
+    """
+    return NoiseDecomposition(
+        params=ensemble.params,
+        initial_state=(ensemble.initial_state.x0, ensemble.initial_state.x1),
+        individual_noise=ensemble.noise_individual.astype(float),
+        competitive_noise=ensemble.noise_competitive.astype(float),
+        individual_events=ensemble.individual_events.astype(float),
+        competitive_events=ensemble.competitive_events.astype(float),
+    )
+
+
 def decompose_noise(
     params: LVParams,
     initial_state: LVState | tuple[int, int],
@@ -140,14 +157,7 @@ def decompose_noise(
         ensemble = LVEnsembleSimulator(params).run_ensemble(
             initial_state, num_runs, rng=rng, max_events=max_events
         )
-        return NoiseDecomposition(
-            params=params,
-            initial_state=(initial_state.x0, initial_state.x1),
-            individual_noise=ensemble.noise_individual.astype(float),
-            competitive_noise=ensemble.noise_competitive.astype(float),
-            individual_events=ensemble.individual_events.astype(float),
-            competitive_events=ensemble.competitive_events.astype(float),
-        )
+        return decomposition_from_ensemble(ensemble)
 
     simulator = LVJumpChainSimulator(params)
     generators = spawn_generators(rng, num_runs)

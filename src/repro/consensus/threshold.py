@@ -15,11 +15,25 @@ ambiguous gaps (interval straddling the target) are retried with more samples
 up to a cap, and finally resolved by the point estimate.  The returned
 :class:`ThresholdEstimate` records the decision made at every probed gap so
 that experiments can report the full ρ-vs-Δ curve alongside the threshold.
+
+Probe protocol
+--------------
+A search is internally a *state machine over probes*:
+:meth:`ThresholdSearch.search_steps` is a generator that yields
+:class:`GapProbe` requests and receives the matching
+:class:`~repro.consensus.estimator.ConsensusEstimate` for each, returning the
+:class:`ThresholdEstimate` when the bisection converges.
+:meth:`ThresholdSearch.find` drives one such generator against the built-in
+estimator; :func:`drive_threshold_searches` drives *several* searches in
+lock-step rounds, handing each round's pending probes to a pluggable
+``probe_runner`` — the hook the experiment harness's sweep scheduler uses to
+fuse the probes of a whole threshold sweep into heterogeneous mega-batches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Generator, Sequence
 
 from repro.consensus.estimator import (
     BatchRunner,
@@ -32,7 +46,50 @@ from repro.lv.simulator import DEFAULT_MAX_EVENTS
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_seeds, stable_seed
 
-__all__ = ["ThresholdEstimate", "ThresholdSearch", "find_threshold"]
+__all__ = [
+    "GapProbe",
+    "ProbeRunner",
+    "SearchSteps",
+    "ThresholdEstimate",
+    "ThresholdSearch",
+    "drive_threshold_searches",
+    "find_threshold",
+]
+
+
+@dataclass(frozen=True)
+class GapProbe:
+    """A request to estimate ρ for one ``(params, n, Δ)`` configuration.
+
+    Emitted by :meth:`ThresholdSearch.search_steps`; whoever drives the
+    search answers it with a :class:`ConsensusEstimate` over *num_runs*
+    replicates of :attr:`initial_state` seeded with *seed*.
+    """
+
+    params: LVParams
+    population_size: int
+    gap: int
+    num_runs: int
+    seed: int
+    max_events: int = DEFAULT_MAX_EVENTS
+    confidence: float = 0.9
+
+    @property
+    def initial_state(self) -> LVState:
+        """The parity-adjusted initial state the probe must simulate."""
+        return _state_for(self.population_size, self.gap)
+
+
+#: A search generator: yields one *round* of probes at a time (a list — the
+#: gaps a ``fanout > 1`` search wants estimated concurrently), receives the
+#: matching list of estimates, and returns the final threshold estimate.
+SearchSteps = Generator[
+    "list[GapProbe]", "Sequence[ConsensusEstimate]", "ThresholdEstimate"
+]
+
+#: Executes one round of probes (order-preserving).  The sweep scheduler
+#: plugs in a runner that fuses the round into heterogeneous mega-batches.
+ProbeRunner = Callable[[Sequence[GapProbe]], Sequence[ConsensusEstimate]]
 
 
 @dataclass(frozen=True)
@@ -86,6 +143,14 @@ class ThresholdSearch:
         Confidence level for pass/fail decisions.
     max_events:
         Per-run event budget.
+    fanout:
+        Interior gaps probed per search round.  ``1`` is classic bisection
+        (one probe at a time, the default); ``k > 1`` probes ``k``
+        equally-spaced gaps per round, shrinking the bracket by a factor of
+        ``k + 1`` per round instead of 2.  A larger fanout does more total
+        probe work but needs fewer *sequential* rounds — the right trade
+        when rounds are fused into wide mega-batches whose marginal replica
+        cost is small (the sweep scheduler's probe runner).
     method, batch_runner:
         Replicate execution policy, forwarded to
         :class:`~repro.consensus.estimator.MajorityConsensusEstimator`
@@ -98,6 +163,7 @@ class ThresholdSearch:
     max_refinement_rounds: int = 2
     confidence: float = 0.9
     max_events: int = DEFAULT_MAX_EVENTS
+    fanout: int = 1
     method: str = "ensemble"
     batch_runner: BatchRunner | None = None
     _estimator: MajorityConsensusEstimator = field(init=False, repr=False)
@@ -109,6 +175,8 @@ class ThresholdSearch:
             raise ThresholdSearchError(
                 f"max_refinement_rounds must be non-negative, got {self.max_refinement_rounds}"
             )
+        if self.fanout < 1:
+            raise ThresholdSearchError(f"fanout must be at least 1, got {self.fanout}")
         self._estimator = MajorityConsensusEstimator(
             self.params,
             confidence=self.confidence,
@@ -136,6 +204,10 @@ class ThresholdSearch:
     ) -> ThresholdEstimate:
         """Binary-search the smallest gap with ρ ≥ *target_probability*.
 
+        Drives :meth:`search_steps` against the built-in estimator; the probe
+        decisions and per-probe seeds are identical to executing the search
+        through any other driver.
+
         Parameters
         ----------
         population_size:
@@ -148,6 +220,41 @@ class ThresholdSearch:
         rng:
             Root seed; per-gap seeds are derived deterministically from it so
             re-probing a gap during refinement reuses independent streams.
+        """
+        steps = self.search_steps(
+            population_size,
+            target_probability=target_probability,
+            min_gap=min_gap,
+            max_gap=max_gap,
+            rng=rng,
+        )
+        return drive_threshold_searches([steps], self._run_probes)[0]
+
+    def _run_probes(self, requests: Sequence[GapProbe]) -> list[ConsensusEstimate]:
+        """Default probe runner: one estimator batch per probe, in order."""
+        return [
+            self._estimator.estimate(
+                probe.initial_state, probe.num_runs, rng=probe.seed
+            )
+            for probe in requests
+        ]
+
+    # ------------------------------------------------------------------
+    def search_steps(
+        self,
+        population_size: int,
+        *,
+        target_probability: float | None = None,
+        min_gap: int = 1,
+        max_gap: int | None = None,
+        rng: SeedLike = None,
+    ) -> SearchSteps:
+        """The search as a generator over :class:`GapProbe` requests.
+
+        Yields one probe at a time (bisection is inherently sequential) and
+        expects the matching :class:`ConsensusEstimate` to be sent back;
+        returns the :class:`ThresholdEstimate` via ``StopIteration.value``.
+        Argument validation happens eagerly, before the first probe.
         """
         if population_size < 4:
             raise ThresholdSearchError(
@@ -165,70 +272,190 @@ class ThresholdSearch:
             raise ThresholdSearchError(
                 f"invalid gap range [{min_gap}, {max_gap}] for n={population_size}"
             )
+        root_seed = spawn_seeds(rng, 1)[0] if rng is not None else stable_seed("threshold")
+        return self._search_steps(
+            population_size, target_probability, min_gap, max_gap, root_seed
+        )
 
-        seeds = spawn_seeds(rng, 1)[0] if rng is not None else stable_seed("threshold")
+    def _search_steps(
+        self,
+        population_size: int,
+        target_probability: float,
+        min_gap: int,
+        max_gap: int,
+        root_seed: int,
+    ) -> SearchSteps:
         probes: dict[int, ConsensusEstimate] = {}
 
-        def passes(gap: int) -> bool:
-            estimate = self._probe_with_refinement(
-                population_size, gap, target_probability, root_seed=seeds
+        def probe_round(gaps: list[int]):
+            estimates = yield from self._round_steps(
+                population_size, gaps, target_probability, root_seed
             )
-            probes[gap] = estimate
-            return estimate.majority_probability >= target_probability
+            probes.update(estimates)
+            return {
+                gap: estimate.majority_probability >= target_probability
+                for gap, estimate in estimates.items()
+            }
+
+        def result(threshold_gap: int | None) -> ThresholdEstimate:
+            return ThresholdEstimate(
+                population_size=population_size,
+                target_probability=target_probability,
+                threshold_gap=threshold_gap,
+                probes=probes,
+            )
 
         low, high = min_gap, max_gap
         # Check the endpoints first: if even the largest admissible gap fails,
-        # there is no threshold in range (intraspecific-only regime).
-        if not passes(high):
-            return ThresholdEstimate(
-                population_size=population_size,
-                target_probability=target_probability,
-                threshold_gap=None,
-                probes=probes,
-            )
-        if passes(low):
-            return ThresholdEstimate(
-                population_size=population_size,
-                target_probability=target_probability,
-                threshold_gap=low,
-                probes=probes,
-            )
-        # Invariant: low fails, high passes.
+        # there is no threshold in range (intraspecific-only regime).  With
+        # fanout > 1 both endpoints share a round (the low probe is wasted
+        # work when high fails — cheap inside a fused mega-batch); fanout 1
+        # keeps the classic sequential schedule.
+        if self.fanout > 1 and low < high:
+            verdict = yield from probe_round([high, low])
+            if not verdict[high]:
+                return result(None)
+            if verdict[low]:
+                return result(low)
+        else:
+            if not (yield from probe_round([high]))[high]:
+                return result(None)
+            if low == high:
+                return result(low)
+            if (yield from probe_round([low]))[low]:
+                return result(low)
+        # Invariant: low fails, high passes.  Each round probes up to
+        # ``fanout`` equally-spaced interior gaps; under the monotonicity the
+        # bracket shrinks to the segment between the leftmost passing gap and
+        # its failing left neighbour.
         while high - low > 1:
-            middle = (low + high) // 2
-            if passes(middle):
-                high = middle
+            span = high - low
+            count = min(self.fanout, span - 1)
+            gaps = sorted(
+                {low + (span * j) // (count + 1) for j in range(1, count + 1)}
+                - {low, high}
+            )
+            if not gaps:
+                gaps = [(low + high) // 2]
+            verdict = yield from probe_round(gaps)
+            first_passing = next((gap for gap in gaps if verdict[gap]), None)
+            if first_passing is None:
+                low = gaps[-1]
             else:
-                low = middle
-        return ThresholdEstimate(
-            population_size=population_size,
-            target_probability=target_probability,
-            threshold_gap=high,
-            probes=probes,
-        )
+                high = first_passing
+                position = gaps.index(first_passing)
+                if position > 0:
+                    low = gaps[position - 1]
+        return result(high)
 
-    # ------------------------------------------------------------------
-    def _probe_with_refinement(
+    def _round_steps(
         self,
         population_size: int,
-        gap: int,
+        gaps: list[int],
         target: float,
-        *,
         root_seed: int,
-    ) -> ConsensusEstimate:
-        """Probe one gap, doubling the sample size while the CI straddles the target."""
-        num_runs = self.num_runs
-        last: ConsensusEstimate | None = None
+    ):
+        """Probe several gaps concurrently, refining straddlers together.
+
+        All first-attempt probes of the round share one yield; gaps whose
+        confidence interval straddles the target are re-probed — with doubled
+        sample sizes, again sharing a yield — up to the refinement cap.  The
+        per-gap seed and sample-size schedule is exactly the classic
+        single-gap refinement's, so a gap's estimate does not depend on which
+        other gaps share its round.
+        """
+        num_runs = {gap: self.num_runs for gap in gaps}
+        final: dict[int, ConsensusEstimate] = {}
+        pending = list(gaps)
         for round_index in range(self.max_refinement_rounds + 1):
-            seed = stable_seed("threshold-probe", root_seed, population_size, gap, round_index)
-            state = _state_for(population_size, gap)
-            estimate = self._estimator.estimate(state, num_runs, rng=seed)
-            last = estimate
-            if estimate.meets_target(target) or estimate.misses_target(target):
-                return estimate
-            num_runs *= 2
-        assert last is not None
-        return last
+            requests = [
+                GapProbe(
+                    params=self.params,
+                    population_size=population_size,
+                    gap=gap,
+                    num_runs=num_runs[gap],
+                    seed=stable_seed(
+                        "threshold-probe", root_seed, population_size, gap, round_index
+                    ),
+                    max_events=self.max_events,
+                    confidence=self.confidence,
+                )
+                for gap in pending
+            ]
+            estimates = yield requests
+            if len(estimates) != len(requests):
+                raise ThresholdSearchError(
+                    f"received {len(estimates)} estimates for {len(requests)} probes"
+                )
+            unresolved: list[int] = []
+            for gap, estimate in zip(pending, estimates):
+                final[gap] = estimate
+                if estimate.meets_target(target) or estimate.misses_target(target):
+                    continue
+                num_runs[gap] *= 2
+                unresolved.append(gap)
+            pending = unresolved
+            if not pending:
+                break
+        return final
+
+
+def drive_threshold_searches(
+    searches: Sequence[SearchSteps],
+    probe_runner: ProbeRunner,
+) -> list[ThresholdEstimate]:
+    """Run several threshold searches concurrently in lock-step rounds.
+
+    Each round concatenates the pending probe lists of every unfinished
+    search (in search order) and hands the flat list to *probe_runner*; the
+    returned estimates are split back and resume the searches.  Probing is
+    sequential within a search round, so this round structure is what
+    exposes cross-search (and, with ``fanout > 1``, within-search) batching —
+    the sweep scheduler's runner fuses each round into heterogeneous
+    mega-batches, which is where the sweep-engine speedup on threshold
+    experiments comes from.
+
+    The probe schedule of each search is identical to driving it alone, so
+    the results are independent of how many searches share a round.
+    """
+    searches = list(searches)
+    results: dict[int, ThresholdEstimate] = {}
+    pending: dict[int, list[GapProbe]] = {}
+
+    def resume(index: int, payload: "Sequence[ConsensusEstimate] | None") -> None:
+        try:
+            if payload is None:
+                probes = next(searches[index])
+            else:
+                probes = searches[index].send(payload)
+        except StopIteration as stop:
+            results[index] = stop.value
+        else:
+            if not probes:
+                raise ThresholdSearchError(
+                    f"search {index} yielded an empty probe round"
+                )
+            pending[index] = list(probes)
+
+    for index in range(len(searches)):
+        resume(index, None)
+    while pending:
+        order = sorted(pending)
+        round_probes = {index: pending[index] for index in order}
+        pending = {}
+        flat = [probe for index in order for probe in round_probes[index]]
+        estimates = probe_runner(flat)
+        if len(estimates) != len(flat):
+            raise ThresholdSearchError(
+                f"probe runner returned {len(estimates)} estimates "
+                f"for {len(flat)} probes"
+            )
+        offset = 0
+        for index in order:
+            count = len(round_probes[index])
+            resume(index, estimates[offset : offset + count])
+            offset += count
+    return [results[index] for index in range(len(searches))]
 
 
 def _state_for(population_size: int, gap: int) -> LVState:

@@ -30,7 +30,10 @@ Reactions whose kinetics are *not* mass action can be attached through the
 ``f(state_vector) -> float`` that replaces the compiled value for that
 reaction.  This keeps the fast path fully vectorized while leaving an escape
 hatch for future non-mass-action rate laws (e.g. Hill or Michaelis–Menten
-kinetics).
+kinetics).  An override may additionally understand batched states: when it
+accepts a ``(B, S)`` matrix and returns a length-``B`` vector, batched
+propensity evaluation stays vectorized end to end (see
+:meth:`CompiledNetwork.propensities_batch`).
 
 Batched evaluation (:meth:`CompiledNetwork.propensities_batch`) evaluates the
 whole propensity matrix for ``B`` replica states at once — the building block
@@ -149,6 +152,13 @@ class CompiledNetwork:
                     raise ModelError(f"override for {label!r} is not callable")
                 self._overrides.append((label_index[label], fn))
 
+        # Scratch buffer for single-state evaluation: `propensities` sits in
+        # the scalar simulators' inner loop, so the extended state vector
+        # (counts plus the virtual constant-1 species) is allocated once here
+        # instead of once per call.  The constant-1 slot never changes.
+        self._extended_scratch = np.empty(self.num_species + 1, dtype=np.int64)
+        self._extended_scratch[self.num_species] = 1
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -179,9 +189,10 @@ class CompiledNetwork:
                 f"expected a state vector of length {self.num_species}, "
                 f"got shape {state.shape}"
             )
-        extended = np.empty(self.num_species + 1, dtype=np.int64)
+        # Reuse the preallocated scratch (the constant-1 slot is already set);
+        # only `values` below is freshly allocated and returned to the caller.
+        extended = self._extended_scratch
         np.maximum(state, 0, out=extended[: self.num_species])
-        extended[self.num_species] = 1
 
         # rate * x_first, then * (x_second - offset), then / divisor — the
         # exact operation order of Reaction.propensity for every order ≤ 2.
@@ -202,7 +213,11 @@ class CompiledNetwork:
         """Propensity matrix ``(B, R)`` for a batch of ``B`` state vectors.
 
         *states* must have shape ``(B, num_species)``.  The mass-action part
-        is fully vectorized; overrides (if any) are applied row by row.
+        is fully vectorized.  Overrides are evaluated **vectorized** when the
+        callable supports it — ``fn(states)`` returning a length-``B``
+        vector — falling back to a per-row Python loop for plain scalar
+        overrides (``fn(state) -> float``), so existing overrides keep
+        working unchanged.
         """
         states = np.asarray(states)
         if states.ndim != 2 or states.shape[1] != self.num_species:
@@ -221,6 +236,31 @@ class CompiledNetwork:
         if self._zero_rate.size:
             values[:, self._zero_rate] = 0.0
         for index, fn in self._overrides:
-            for row in range(batch):
-                values[row, index] = float(fn(states[row]))
+            values[:, index] = self._evaluate_override_batch(fn, states, batch)
         return values
+
+    @staticmethod
+    def _evaluate_override_batch(
+        fn: PropensityOverride, states: np.ndarray, batch: int
+    ) -> np.ndarray:
+        """One override column for a batch, vectorized when *fn* allows it.
+
+        The callable is first offered the whole ``(B, S)`` matrix; any result
+        that is not a length-``B`` vector (including an exception — scalar
+        overrides typically fail on 2-D input) falls back to the per-row
+        evaluation that matches :meth:`propensities` exactly.  When ``B``
+        equals the species count the shapes are ambiguous (a scalar override
+        reading ``states[0]`` would return a plausible-looking vector), so
+        the vectorized attempt is skipped.
+        """
+        if batch != states.shape[1]:
+            try:
+                column = np.asarray(fn(states), dtype=np.float64)
+            except Exception:
+                column = None
+            else:
+                if column.shape != (batch,):
+                    column = None
+            if column is not None:
+                return column
+        return np.array([float(fn(states[row])) for row in range(batch)])

@@ -16,18 +16,21 @@ Typical usage::
         result = run_experiment(spec.identifier, scale="quick", seed=0)
         print(result.render_text())
 
-Replica scheduling
-------------------
-All two-species replicate batches are executed through a process-wide
-:class:`~repro.experiments.scheduler.ReplicaScheduler`.  The scheduler splits
-each replicate budget into lock-step batches
-(:func:`~repro.experiments.workloads.replica_batches`), derives one seed per
-batch from the experiment's root seed (:func:`repro.rng.spawn_seeds`), and
-runs every batch through the vectorized
-:class:`~repro.lv.ensemble.LVEnsembleSimulator` — inline by default, or on a
-process pool when configured with ``jobs > 1`` (the CLI's ``--jobs``).
-Because batch seeds are spawned before dispatch, results are bit-identical
-for every job count.
+Sweep scheduling
+----------------
+All two-species workloads are executed through a process-wide
+:class:`~repro.experiments.scheduler.SweepScheduler`.  Each experiment's full
+``(configuration, replicate)`` grid is flattened into heterogeneous lock-step
+mega-batches (:mod:`repro.experiments.sweep`): per-configuration budgets are
+split into batches (:func:`~repro.experiments.workloads.replica_batches`),
+one seed is spawned per ``(configuration, batch)`` up front
+(:func:`repro.rng.spawn_seeds`), mixed-configuration mega-batches run through
+the vectorized heterogeneous core
+(:func:`repro.lv.ensemble.run_sweep_ensemble`) — inline by default, or on a
+process pool created once per sweep when configured with ``jobs > 1`` (the
+CLI's ``--jobs``) — and the results are demultiplexed back into
+per-configuration estimates.  Because all seeds are spawned before dispatch,
+results are bit-identical for every job count.
 """
 
 from repro.experiments.config import (
@@ -44,9 +47,12 @@ from repro.experiments.report import render_report
 from repro.experiments.runner import run_all, save_results, load_results
 from repro.experiments.scheduler import (
     ReplicaScheduler,
+    SweepScheduler,
+    ThresholdRequest,
     configure_default_scheduler,
     get_default_scheduler,
 )
+from repro.experiments.sweep import SweepTask
 from repro.experiments.workloads import (
     population_grid,
     gap_grid,
@@ -66,6 +72,9 @@ __all__ = [
     "save_results",
     "load_results",
     "ReplicaScheduler",
+    "SweepScheduler",
+    "SweepTask",
+    "ThresholdRequest",
     "configure_default_scheduler",
     "get_default_scheduler",
     "population_grid",

@@ -15,9 +15,12 @@ series so the "shape" claims can be inspected directly:
 * `FIG-ODE` — deterministic ODE prediction versus stochastic reality,
 * `FIG-DOM` — the dominating chain over-approximates ``T(S)`` and ``J(S)``.
 
-Two-species replicate batches run through the process-wide
-:class:`~repro.experiments.scheduler.ReplicaScheduler`; the single-species
-chain simulations of `FIG-BAD` / `FIG-DOM` remain scalar.
+Two-species workloads run through the process-wide
+:class:`~repro.experiments.scheduler.SweepScheduler`: each experiment's full
+configuration grid (all sizes, gaps, and mechanisms) is fused into
+heterogeneous lock-step mega-batches, and `FIG-THRESH` drives all of its
+threshold searches concurrently with per-round probe fusion.  The
+single-species chain simulations of `FIG-BAD` / `FIG-DOM` remain scalar.
 """
 
 from __future__ import annotations
@@ -28,7 +31,8 @@ from repro.analysis.scaling import select_scaling_law
 from repro.chains.dominating import compare_domination
 from repro.chains.nice import lv_dominating_birth_death, simulate_extinction
 from repro.experiments.config import ExperimentResult
-from repro.experiments.scheduler import get_default_scheduler
+from repro.experiments.scheduler import ThresholdRequest, get_default_scheduler
+from repro.experiments.sweep import SweepTask
 from repro.experiments.workloads import gap_grid, population_grid, state_with_gap
 from repro.lv.ode import DeterministicLV
 from repro.lv.params import LVParams
@@ -93,27 +97,43 @@ def run_fig_gap_curves(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     """ρ versus initial gap for both mechanisms at fixed population sizes."""
     sizes = [256] if scale == "quick" else [256, 1024]
     num_runs = 200 if scale == "quick" else 600
+    # The whole (n, gap) x mechanism grid runs as one fused sweep.  Seeds key
+    # on the *raw* grid gap (the sweep coordinate), as before the fusion.
+    grid = [
+        (n, gap, state_with_gap(n, gap))
+        for n in sizes
+        for gap in gap_grid(n, num_points=6 if scale == "quick" else 10)
+    ]
+    tasks = []
+    for n, gap, state in grid:
+        tasks.append(
+            SweepTask(
+                _sd_params(), state, num_runs,
+                seed=stable_seed("fig-gap-sd", n, gap, seed),
+                label=f"fig-gap-sd-{n}-{gap}",
+            )
+        )
+        tasks.append(
+            SweepTask(
+                _nsd_params(), state, num_runs,
+                seed=stable_seed("fig-gap-nsd", n, gap, seed),
+                label=f"fig-gap-nsd-{n}-{gap}",
+            )
+        )
+    estimates = get_default_scheduler().estimate_many(tasks)
     rows = []
     separation_visible = True
+    for (n, gap, state), sd, nsd in zip(grid, estimates[0::2], estimates[1::2]):
+        rows.append(
+            {
+                "n": n,
+                "gap": state.abs_gap,
+                "rho SD": round(sd.majority_probability, 3),
+                "rho NSD": round(nsd.majority_probability, 3),
+                "SD - NSD": round(sd.majority_probability - nsd.majority_probability, 3),
+            }
+        )
     for n in sizes:
-        for gap in gap_grid(n, num_points=6 if scale == "quick" else 10):
-            state = state_with_gap(n, gap)
-            scheduler = get_default_scheduler()
-            sd = scheduler.estimate(
-                _sd_params(), state, num_runs, rng=stable_seed("fig-gap-sd", n, gap, seed)
-            )
-            nsd = scheduler.estimate(
-                _nsd_params(), state, num_runs, rng=stable_seed("fig-gap-nsd", n, gap, seed)
-            )
-            rows.append(
-                {
-                    "n": n,
-                    "gap": state.abs_gap,
-                    "rho SD": round(sd.majority_probability, 3),
-                    "rho NSD": round(nsd.majority_probability, 3),
-                    "SD - NSD": round(sd.majority_probability - nsd.majority_probability, 3),
-                }
-            )
         # At moderate gaps (well below sqrt(n)) SD should clearly outperform NSD.
         moderate = [
             row for row in rows if row["n"] == n and 4 <= row["gap"] <= int(math.sqrt(n))
@@ -148,14 +168,28 @@ def run_fig_threshold_scaling(scale: str = "quick", seed: int = 0) -> Experiment
     rows = []
     sd_thresholds: list[tuple[int, int]] = []
     nsd_thresholds: list[tuple[int, int]] = []
-    scheduler = get_default_scheduler()
-    for n in population_grid(scale):
-        sd = scheduler.find_threshold(
-            _sd_params(), n, num_runs=num_runs, rng=stable_seed("fig-thresh-sd", n, seed)
-        )
-        nsd = scheduler.find_threshold(
-            _nsd_params(), n, num_runs=num_runs, rng=stable_seed("fig-thresh-nsd", n, seed)
-        )
+    sizes = population_grid(scale)
+    # Both mechanisms' searches across the whole grid advance concurrently;
+    # each bisection round's probes are fused into lock-step mega-batches.
+    estimates = get_default_scheduler().find_thresholds(
+        [
+            ThresholdRequest(
+                _sd_params(), n, num_runs=num_runs,
+                seed=stable_seed("fig-thresh-sd", n, seed),
+            )
+            for n in sizes
+        ]
+        + [
+            ThresholdRequest(
+                _nsd_params(), n, num_runs=num_runs,
+                seed=stable_seed("fig-thresh-nsd", n, seed),
+            )
+            for n in sizes
+        ]
+    )
+    for index, n in enumerate(sizes):
+        sd = estimates[index]
+        nsd = estimates[index + len(sizes)]
         rows.append(
             {
                 "n": n,
@@ -206,25 +240,37 @@ def run_fig_threshold_scaling(scale: str = "quick", seed: int = 0) -> Experiment
 def run_fig_consensus_time(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     """Consensus time T(S) versus n (Theorem 13a: O(n) events)."""
     num_runs = 200 if scale == "quick" else 500
+    grid = [
+        (mechanism, params, n)
+        for mechanism, params in (("SD", _sd_params()), ("NSD", _nsd_params()))
+        for n in population_grid(scale)
+    ]
+    estimates = get_default_scheduler().estimate_many(
+        [
+            SweepTask(
+                params,
+                state_with_gap(n, max(2, int(round(math.sqrt(n))))),
+                num_runs,
+                seed=stable_seed("fig-time", mechanism, n, seed),
+                label=f"fig-time-{mechanism}-{n}",
+            )
+            for mechanism, params, n in grid
+        ]
+    )
     rows = []
     linear_like = True
-    for mechanism, params in (("SD", _sd_params()), ("NSD", _nsd_params())):
-        for n in population_grid(scale):
-            gap = max(2, int(round(math.sqrt(n))))
-            state = state_with_gap(n, gap)
-            estimate = get_default_scheduler().estimate(
-                params, state, num_runs, rng=stable_seed("fig-time", mechanism, n, seed)
-            )
-            rows.append(
-                {
-                    "mechanism": mechanism,
-                    "n": n,
-                    "mean T(S)": round(estimate.mean_consensus_time, 1),
-                    "q95 T(S)": round(estimate.q95_consensus_time, 1),
-                    "mean T(S) / n": round(estimate.mean_consensus_time / n, 3),
-                    "q95 T(S) / n": round(estimate.q95_consensus_time / n, 3),
-                }
-            )
+    for (mechanism, params, n), estimate in zip(grid, estimates):
+        rows.append(
+            {
+                "mechanism": mechanism,
+                "n": n,
+                "mean T(S)": round(estimate.mean_consensus_time, 1),
+                "q95 T(S)": round(estimate.q95_consensus_time, 1),
+                "mean T(S) / n": round(estimate.mean_consensus_time / n, 3),
+                "q95 T(S) / n": round(estimate.q95_consensus_time / n, 3),
+            }
+        )
+    for mechanism in ("SD", "NSD"):
         per_mech = [row for row in rows if row["mechanism"] == mechanism]
         ratios = [row["mean T(S) / n"] for row in per_mech]
         if ratios[-1] > 3.0 * ratios[0] + 0.5:
@@ -262,12 +308,20 @@ def run_fig_bad_events(scale: str = "quick", seed: int = 0) -> ExperimentResult:
         alpha0=lv_params.alpha0,
         alpha1=lv_params.alpha1,
     )
-    for n in population_grid(scale):
-        gap = max(2, int(round(math.log(n) ** 2)))
-        state = state_with_gap(n, gap)
-        estimate = get_default_scheduler().estimate(
-            lv_params, state, num_runs, rng=stable_seed("fig-bad", n, seed)
-        )
+    sizes = population_grid(scale)
+    estimates = get_default_scheduler().estimate_many(
+        [
+            SweepTask(
+                lv_params,
+                state_with_gap(n, max(2, int(round(math.log(n) ** 2)))),
+                num_runs,
+                seed=stable_seed("fig-bad", n, seed),
+                label=f"fig-bad-{n}",
+            )
+            for n in sizes
+        ]
+    )
+    for n, estimate in zip(sizes, estimates):
         chain_stats = simulate_extinction(
             chain, n, num_runs=chain_runs, rng=stable_seed("fig-bad-chain", n, seed)
         )
@@ -317,24 +371,35 @@ def run_fig_noise(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     """The noise decomposition F = F_ind + F_comp for both mechanisms."""
     num_runs = 300 if scale == "quick" else 1000
     sizes = [256] if scale == "quick" else [256, 1024]
+    grid = [
+        (n, label, params)
+        for n in sizes
+        for label, params in (("SD", _sd_params()), ("NSD", _nsd_params()))
+    ]
+    decompositions = get_default_scheduler().decompose_many(
+        [
+            SweepTask(
+                params,
+                state_with_gap(n, max(2, int(round(math.log(n) ** 2)))),
+                num_runs,
+                seed=stable_seed("fig-noise", label, n, seed),
+                label=f"fig-noise-{label}-{n}",
+            )
+            for n, label, params in grid
+        ]
+    )
     rows = []
     decomposition_matches = True
-    for n in sizes:
-        gap = max(2, int(round(math.log(n) ** 2)))
-        state = state_with_gap(n, gap)
-        for label, params in (("SD", _sd_params()), ("NSD", _nsd_params())):
-            decomposition = get_default_scheduler().decompose_noise(
-                params, state, num_runs, rng=stable_seed("fig-noise", label, n, seed)
-            )
-            row = decomposition.summary_row()
-            row["std F_comp / sqrt(n)"] = round(
-                decomposition.std_competitive_noise / math.sqrt(n), 3
-            )
-            rows.append(row)
-            if label == "SD" and decomposition.std_competitive_noise != 0.0:
-                decomposition_matches = False
-            if label == "NSD" and decomposition.std_competitive_noise < 0.25 * math.sqrt(n):
-                decomposition_matches = False
+    for (n, label, params), decomposition in zip(grid, decompositions):
+        row = decomposition.summary_row()
+        row["std F_comp / sqrt(n)"] = round(
+            decomposition.std_competitive_noise / math.sqrt(n), 3
+        )
+        rows.append(row)
+        if label == "SD" and decomposition.std_competitive_noise != 0.0:
+            decomposition_matches = False
+        if label == "NSD" and decomposition.std_competitive_noise < 0.25 * math.sqrt(n):
+            decomposition_matches = False
     findings = [
         "under self-destructive competition the competitive noise component is identically zero; "
         "all demographic noise comes from the O(log^2 n) individual events",
@@ -367,12 +432,21 @@ def run_fig_ode(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     contrast_present = True
     params = _sd_params()
     ode = DeterministicLV(params)
-    for gap in gaps:
+    estimates = get_default_scheduler().estimate_many(
+        [
+            SweepTask(
+                params,
+                state_with_gap(n, gap),
+                num_runs,
+                seed=stable_seed("fig-ode", gap, seed),
+                label=f"fig-ode-{gap}",
+            )
+            for gap in gaps
+        ]
+    )
+    for gap, estimate in zip(gaps, estimates):
         state = state_with_gap(n, gap)
         deterministic_winner = ode.deterministic_winner((float(state.x0), float(state.x1)))
-        estimate = get_default_scheduler().estimate(
-            params, state, num_runs, rng=stable_seed("fig-ode", gap, seed)
-        )
         rows.append(
             {
                 "n": n,

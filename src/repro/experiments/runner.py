@@ -57,7 +57,9 @@ def run_all(
     finally:
         if jobs is not None:
             configure_default_scheduler(
-                jobs=previous.jobs, batch_size=previous.batch_size
+                jobs=previous.jobs,
+                batch_size=previous.batch_size,
+                sweep_batch=previous.sweep_batch,
             )
 
 

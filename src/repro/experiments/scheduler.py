@@ -1,25 +1,27 @@
-"""Replicate scheduling: batching, seeding, and process parallelism.
+"""Replicate scheduling: batching, seeding, sweeps, and process parallelism.
 
 Every experiment in the harness boils down to "run ``R`` independent
-replicates of a two-species jump chain and summarise them".  The
-:class:`ReplicaScheduler` centralises how that replicate budget is executed:
+replicates of a two-species jump chain and summarise them" — usually for a
+whole *grid* of configurations at once.  Two cooperating schedulers
+centralise how those budgets are executed:
 
-* the budget is split into lock-step ensemble batches by
-  :func:`repro.experiments.workloads.replica_batches` (a pure function of the
-  budget and the batch size),
-* each batch receives its own integer seed spawned deterministically from the
-  root seed via :func:`repro.rng.spawn_seeds`, so the sweep is reproducible
-  from a single seed and **independent of the worker count**, and
-* batches are executed either inline or on a ``ProcessPoolExecutor`` when
-  ``jobs > 1`` (the CLI's ``--jobs`` flag), each batch running through the
-  vectorized :class:`~repro.lv.ensemble.LVEnsembleSimulator`.
+* :class:`ReplicaScheduler` — the per-configuration executor: splits one
+  replicate budget into lock-step ensemble batches
+  (:func:`repro.experiments.workloads.replica_batches`), derives one seed per
+  batch from the root seed (:func:`repro.rng.spawn_seeds`), and runs batches
+  inline or on a ``ProcessPoolExecutor`` (the CLI's ``--jobs``).
+* :class:`SweepScheduler` — the sweep engine: flattens a grid of
+  :class:`~repro.experiments.sweep.SweepTask` configurations into
+  heterogeneous mega-batches (:mod:`repro.experiments.sweep`) advanced in one
+  lock-step by :func:`repro.lv.ensemble.run_sweep_ensemble`, and
+  demultiplexes the results back into per-configuration estimates.  It also
+  drives whole *threshold sweeps*: concurrent bisection searches whose
+  per-round probes are fused into mega-batches
+  (:func:`repro.consensus.threshold.drive_threshold_searches`).
 
-The scheduler also exposes the estimator-facing entry points the experiment
-modules use (:meth:`ReplicaScheduler.estimate`,
-:meth:`ReplicaScheduler.find_threshold`,
-:meth:`ReplicaScheduler.decompose_noise`), and a :meth:`batch_runner` hook
-matching the pluggable-executor signature of
-:class:`~repro.consensus.estimator.MajorityConsensusEstimator`.
+Process pools are created **once per sweep** (or once per context-managed
+scheduler lifetime), not per estimate call; seeds are always spawned before
+dispatch, so results are bit-identical for every worker count.
 
 A module-level default scheduler is shared by ``table1.py`` and
 ``figures.py``; the CLI and :func:`repro.experiments.runner.run_all` configure
@@ -28,15 +30,38 @@ it through :func:`configure_default_scheduler`.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
-from repro.consensus.estimator import ConsensusEstimate, summarise_ensemble
-from repro.consensus.noise import NoiseDecomposition
-from repro.consensus.threshold import ThresholdEstimate, find_threshold
+from repro.consensus.estimator import (
+    ConsensusEstimate,
+    summarise_ensemble,
+)
+from repro.consensus.noise import NoiseDecomposition, decomposition_from_ensemble
+from repro.consensus.threshold import (
+    GapProbe,
+    ThresholdEstimate,
+    ThresholdSearch,
+    drive_threshold_searches,
+    find_threshold,
+)
 from repro.exceptions import ExperimentError
+from repro.experiments.sweep import (
+    DEFAULT_SWEEP_BATCH,
+    SweepTask,
+    demux_mega_results,
+    execute_mega_batch,
+    plan_mega_batches,
+)
 from repro.experiments.workloads import replica_batches
-from repro.lv.ensemble import LVEnsembleResult, LVEnsembleSimulator
+from repro.lv.ensemble import (
+    DEFAULT_COMPACTION_FRACTION,
+    LVEnsembleResult,
+    LVEnsembleSimulator,
+)
 from repro.lv.params import LVParams
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
 from repro.lv.state import LVState
@@ -44,6 +69,8 @@ from repro.rng import SeedLike, spawn_seeds
 
 __all__ = [
     "ReplicaScheduler",
+    "SweepScheduler",
+    "ThresholdRequest",
     "get_default_scheduler",
     "configure_default_scheduler",
 ]
@@ -53,6 +80,19 @@ __all__ = [
 #: sweeps still have several batches to distribute.
 DEFAULT_BATCH_SIZE = 512
 
+#: Default threshold-search fanout for fused sweeps.  ``1`` (classic
+#: bisection) measures fastest on the quick-scale sweeps: the extra probes of
+#: a wider fanout cost real per-replica work, which outweighs the saved
+#: sequential rounds once several searches already share each mega-batch.
+#: Larger fanouts remain available per :class:`ThresholdRequest` for sweeps
+#: with few concurrent searches.
+DEFAULT_THRESHOLD_FANOUT = 1
+
+
+def _jobs_sanity_limit() -> int:
+    """The largest worker count that is plausibly intentional on this host."""
+    return max(64, 8 * (os.cpu_count() or 1))
+
 
 def _execute_batch(
     params: LVParams,
@@ -60,16 +100,36 @@ def _execute_batch(
     num_runs: int,
     seed: int,
     max_events: int,
+    compaction_fraction: float | None,
 ) -> LVEnsembleResult:
     """Run one lock-step batch (module-level so process pools can pickle it).
 
     Returning the :class:`LVEnsembleResult` arrays keeps both the in-process
     path and the pool IPC free of per-replicate Python objects.
     """
-    simulator = LVEnsembleSimulator(params)
+    simulator = LVEnsembleSimulator(params, compaction_fraction=compaction_fraction)
     return simulator.run_ensemble(
         LVState(counts[0], counts[1]), num_runs, rng=seed, max_events=max_events
     )
+
+
+@dataclass(frozen=True)
+class ThresholdRequest:
+    """One threshold search of a fused threshold sweep.
+
+    The fields mirror :func:`repro.consensus.threshold.find_threshold`'s
+    parameters; :meth:`SweepScheduler.find_thresholds` runs many requests
+    concurrently, fusing each bisection round's probes into mega-batches.
+    """
+
+    params: LVParams
+    population_size: int
+    num_runs: int = 200
+    target_probability: float | None = None
+    max_gap: int | None = None
+    max_events: int = DEFAULT_MAX_EVENTS
+    seed: SeedLike = None
+    fanout: int = DEFAULT_THRESHOLD_FANOUT
 
 
 @dataclass
@@ -82,9 +142,22 @@ class ReplicaScheduler:
         Number of worker processes.  ``1`` (the default) executes batches
         inline; higher values fan batches out to a process pool.  The result
         is bit-identical for every value of *jobs* because batch seeds are
-        derived from the root seed before dispatch.
+        derived from the root seed before dispatch.  Values beyond a sanity
+        limit (eight workers per CPU, at least 64) are rejected with an
+        :class:`~repro.exceptions.ExperimentError` at construction instead of
+        failing deep inside the executor.
     batch_size:
         Replicas per lock-step ensemble batch.
+    compaction_fraction:
+        Active-set compaction threshold forwarded to the lock-step engine
+        (see :mod:`repro.lv.ensemble`); ``None`` disables compaction.
+        Results are bitwise-independent of this knob.
+
+    The scheduler is a context manager: entering it starts the worker pool
+    (when ``jobs > 1``) so that consecutive ``estimate`` calls reuse the same
+    processes; otherwise each top-level call manages a pool of its own.
+    The ``events_executed`` counter accumulates the number of simulated jump
+    events, which the benchmark harness reads to report events/second.
 
     Examples
     --------
@@ -97,12 +170,65 @@ class ReplicaScheduler:
 
     jobs: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
+    compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION
+    events_executed: int = field(default=0, init=False, repr=False, compare=False)
+    _pool: ProcessPoolExecutor | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ExperimentError(f"jobs must be at least 1, got {self.jobs}")
+        limit = _jobs_sanity_limit()
+        if self.jobs > limit:
+            raise ExperimentError(
+                f"jobs={self.jobs} exceeds the sanity limit of {limit} worker "
+                "processes (8 per CPU); this is almost certainly a "
+                "misconfiguration, and the process pool would fail or thrash "
+                "long after scheduling started"
+            )
         if self.batch_size < 1:
             raise ExperimentError(f"batch_size must be at least 1, got {self.batch_size}")
+        if self.compaction_fraction is not None and not 0.0 < self.compaction_fraction <= 1.0:
+            raise ExperimentError(
+                "compaction_fraction must be in (0, 1] or None, "
+                f"got {self.compaction_fraction}"
+            )
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ReplicaScheduler":
+        if self.jobs > 1 and self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the resident worker pool (no-op when none is running)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    @contextmanager
+    def _pool_scope(self, num_units: int) -> Iterator[ProcessPoolExecutor | None]:
+        """Yield the executor for one sweep, creating it at most once.
+
+        Inside a context-managed scheduler the resident pool is reused;
+        otherwise a pool is created for the duration of the sweep — i.e. once
+        per top-level ``estimate`` / ``run_sweep`` / ``find_thresholds``
+        call, never once per batch.
+        """
+        if self.jobs == 1 or num_units <= 1:
+            yield None
+        elif self._pool is not None:
+            yield self._pool
+        else:
+            workers = min(self.jobs, num_units)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                yield pool
 
     # ------------------------------------------------------------------
     # Planning and execution
@@ -130,16 +256,17 @@ class ReplicaScheduler:
         sizes = self.plan(num_runs)
         seeds = spawn_seeds(rng, len(sizes))
         tasks = [
-            (params, (state.x0, state.x1), size, seed, max_events)
+            (params, (state.x0, state.x1), size, seed, max_events, self.compaction_fraction)
             for size, seed in zip(sizes, seeds)
         ]
-        if self.jobs == 1 or len(tasks) == 1:
-            batches = [_execute_batch(*task) for task in tasks]
-        else:
-            workers = min(self.jobs, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+        with self._pool_scope(len(tasks)) as pool:
+            if pool is None:
+                batches = [_execute_batch(*task) for task in tasks]
+            else:
                 batches = list(pool.map(_execute_batch, *zip(*tasks)))
-        return LVEnsembleResult.concatenate(batches)
+        merged = LVEnsembleResult.concatenate(batches)
+        self.events_executed += int(merged.total_events.sum())
+        return merged
 
     def run_replicates(
         self,
@@ -203,7 +330,12 @@ class ReplicaScheduler:
         max_gap: int | None = None,
         max_events: int = DEFAULT_MAX_EVENTS,
     ) -> ThresholdEstimate:
-        """Scheduled equivalent of :func:`repro.consensus.threshold.find_threshold`."""
+        """Scheduled equivalent of :func:`repro.consensus.threshold.find_threshold`.
+
+        Runs one search through the per-configuration batch path; use
+        :meth:`SweepScheduler.find_thresholds` to fuse a whole threshold
+        sweep into mega-batches.
+        """
         return find_threshold(
             params,
             population_size,
@@ -225,38 +357,189 @@ class ReplicaScheduler:
         max_events: int = DEFAULT_MAX_EVENTS,
     ) -> NoiseDecomposition:
         """Scheduled equivalent of :func:`repro.consensus.noise.decompose_noise`."""
-        state = LVJumpChainSimulator._coerce_state(initial_state)
         ensemble = self.run_ensembles(
-            params, state, num_runs, rng=rng, max_events=max_events
+            params, initial_state, num_runs, rng=rng, max_events=max_events
         )
-        return NoiseDecomposition(
-            params=params,
-            initial_state=(state.x0, state.x1),
-            individual_noise=ensemble.noise_individual.astype(float),
-            competitive_noise=ensemble.noise_competitive.astype(float),
-            individual_events=ensemble.individual_events.astype(float),
-            competitive_events=ensemble.competitive_events.astype(float),
+        return decomposition_from_ensemble(ensemble)
+
+
+@dataclass
+class SweepScheduler(ReplicaScheduler):
+    """Sweep engine: fuse whole parameter sweeps into lock-step mega-batches.
+
+    Extends :class:`ReplicaScheduler` (every per-configuration entry point
+    keeps working) with grid-level entry points that flatten a full
+    ``(configuration, replicate)`` grid into heterogeneous mega-batches of at
+    most *sweep_batch* replicas.  One lock-step advance then serves every
+    configuration simultaneously, so the per-step numpy dispatch cost —
+    dominant for the few-hundred-replica batches the experiments use — is
+    paid once per sweep instead of once per configuration.
+
+    Examples
+    --------
+    >>> from repro.experiments.sweep import SweepTask
+    >>> scheduler = SweepScheduler()
+    >>> sd = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> nsd = LVParams.non_self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> estimates = scheduler.estimate_many(
+    ...     [SweepTask(sd, LVState(30, 10), 40, seed=1),
+    ...      SweepTask(nsd, LVState(30, 10), 40, seed=2)])
+    >>> [estimate.num_runs for estimate in estimates]
+    [40, 40]
+    """
+
+    sweep_batch: int = DEFAULT_SWEEP_BATCH
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sweep_batch < 1:
+            raise ExperimentError(
+                f"sweep_batch must be at least 1, got {self.sweep_batch}"
+            )
+
+    # ------------------------------------------------------------------
+    # Mega-batch execution
+    # ------------------------------------------------------------------
+    def run_sweep(
+        self, tasks: Sequence[SweepTask], *, collect: str = "full"
+    ) -> list[LVEnsembleResult]:
+        """Run every task's replicate budget in fused mega-batches.
+
+        Returns one merged :class:`LVEnsembleResult` per task, in task order,
+        with the same replicate layout as running each task through
+        :meth:`ReplicaScheduler.run_ensembles` (batch order times in-batch
+        order).  Per-task streams differ from the per-config path — replicas
+        of a mega-batch share one vectorized stream — but are deterministic
+        in the task seeds and independent of ``jobs``.  *collect* selects the
+        engine's statistics level (``"win"`` skips the event accounting that
+        win-probability summaries never read; trajectories are identical).
+        """
+        plans = plan_mega_batches(
+            tasks, batch_size=self.batch_size, sweep_batch=self.sweep_batch
         )
+        with self._pool_scope(len(plans)) as pool:
+            if pool is None:
+                results = [
+                    execute_mega_batch(plan, self.compaction_fraction, collect)
+                    for plan in plans
+                ]
+            else:
+                results = list(
+                    pool.map(
+                        execute_mega_batch,
+                        plans,
+                        [self.compaction_fraction] * len(plans),
+                        [collect] * len(plans),
+                    )
+                )
+        merged = demux_mega_results(len(tasks), plans, results)
+        self.events_executed += sum(
+            int(result.total_events.sum()) for result in merged
+        )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Grid-level estimator entry points
+    # ------------------------------------------------------------------
+    def estimate_many(
+        self,
+        tasks: Sequence[SweepTask],
+        *,
+        confidence: float = 0.95,
+    ) -> list[ConsensusEstimate]:
+        """One :class:`ConsensusEstimate` per task, from fused mega-batches."""
+        return [
+            summarise_ensemble(ensemble, confidence=confidence)
+            for ensemble in self.run_sweep(tasks)
+        ]
+
+    def decompose_many(self, tasks: Sequence[SweepTask]) -> list[NoiseDecomposition]:
+        """One :class:`NoiseDecomposition` per task, from fused mega-batches."""
+        return [
+            decomposition_from_ensemble(ensemble)
+            for ensemble in self.run_sweep(tasks)
+        ]
+
+    def find_thresholds(
+        self, requests: Sequence[ThresholdRequest]
+    ) -> list[ThresholdEstimate]:
+        """Run a whole threshold sweep with per-round probe fusion.
+
+        Every request's bisection search advances one probe per round
+        (:func:`repro.consensus.threshold.drive_threshold_searches`); the
+        round's probes — one per still-running search — are fused into
+        mega-batches, so a sweep over many population sizes and parameter
+        sets pays the lock-step cost once per round instead of once per
+        probe.  Probe decisions and seeds per search are identical to
+        :meth:`ReplicaScheduler.find_threshold`'s search schedule.
+        """
+        if not requests:
+            raise ExperimentError("a threshold sweep needs at least one request")
+        searches = [
+            ThresholdSearch(
+                request.params,
+                num_runs=request.num_runs,
+                max_events=request.max_events,
+                fanout=request.fanout,
+            ).search_steps(
+                request.population_size,
+                target_probability=request.target_probability,
+                max_gap=request.max_gap,
+                rng=request.seed,
+            )
+            for request in requests
+        ]
+        if self.jobs > 1 and self._pool is None:
+            # Pin one resident pool for every probe round of the sweep; the
+            # per-round run_sweep calls reuse it instead of starting their own.
+            with self:
+                return drive_threshold_searches(searches, self._run_probe_round)
+        return drive_threshold_searches(searches, self._run_probe_round)
+
+    def _run_probe_round(self, probes: Sequence[GapProbe]) -> list[ConsensusEstimate]:
+        """Execute one round of threshold probes as a fused sweep."""
+        tasks = [
+            SweepTask(
+                params=probe.params,
+                initial_state=probe.initial_state,
+                num_runs=probe.num_runs,
+                seed=probe.seed,
+                max_events=probe.max_events,
+                label=f"probe(n={probe.population_size}, gap={probe.gap})",
+            )
+            for probe in probes
+        ]
+        # Threshold decisions only read win counts and consensus times, so
+        # the probes run in the engine's lean "win" collection mode.
+        ensembles = self.run_sweep(tasks, collect="win")
+        return [
+            summarise_ensemble(ensemble, confidence=probe.confidence, collected="win")
+            for probe, ensemble in zip(probes, ensembles)
+        ]
 
 
 #: The scheduler shared by the experiment modules, configurable via the CLI.
-_default_scheduler = ReplicaScheduler()
+_default_scheduler = SweepScheduler()
 
 
-def get_default_scheduler() -> ReplicaScheduler:
+def get_default_scheduler() -> SweepScheduler:
     """The process-wide scheduler used by ``table1.py`` and ``figures.py``."""
     return _default_scheduler
 
 
 def configure_default_scheduler(
-    *, jobs: int | None = None, batch_size: int | None = None
-) -> ReplicaScheduler:
+    *,
+    jobs: int | None = None,
+    batch_size: int | None = None,
+    sweep_batch: int | None = None,
+) -> SweepScheduler:
     """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``)."""
     global _default_scheduler
-    _default_scheduler = ReplicaScheduler(
-        jobs=_default_scheduler.jobs if jobs is None else jobs,
-        batch_size=(
-            _default_scheduler.batch_size if batch_size is None else batch_size
-        ),
+    previous = _default_scheduler
+    previous.shutdown()
+    _default_scheduler = SweepScheduler(
+        jobs=previous.jobs if jobs is None else jobs,
+        batch_size=previous.batch_size if batch_size is None else batch_size,
+        sweep_batch=previous.sweep_batch if sweep_batch is None else sweep_batch,
     )
     return _default_scheduler

@@ -1,0 +1,226 @@
+"""Sweep flattening: pack whole parameter sweeps into lock-step mega-batches.
+
+Every experiment in the harness is a *sweep*: a grid of
+``(params, initial_state)`` configurations, each needing a few hundred
+replicates.  Dispatching each configuration as its own lock-step batch pays
+the per-step numpy overhead once per configuration per step; the sweep engine
+instead flattens the full ``(configuration, replicate)`` grid into a small
+number of **heterogeneous mega-batches** executed by
+:func:`repro.lv.ensemble.run_sweep_ensemble`, so the per-step cost is shared
+by every configuration that is still running.
+
+This module owns the deterministic plumbing:
+
+* :class:`SweepTask` — one configuration's replicate budget and root seed,
+* :func:`plan_mega_batches` — split every task into lock-step batches
+  (:func:`~repro.experiments.workloads.replica_batches`), spawn one seed per
+  ``(task, batch)`` up front (:func:`repro.rng.spawn_seeds`), and greedily
+  pack the batches, in task order, into mega-batches of bounded width,
+* :func:`execute_mega_batch` — run one mega-batch (module-level so process
+  pools can pickle it); the mega-batch's RNG root is a
+  :class:`numpy.random.SeedSequence` over its members' seeds, so execution is
+  deterministic given the plan, and
+* :func:`demux_mega_results` — regroup per-member ensemble results back into
+  one merged :class:`~repro.lv.ensemble.LVEnsembleResult` per task.
+
+Because batch seeds are spawned from each task's root seed *before* packing
+and dispatch, per-task results are reproducible from the task seeds alone and
+independent of the worker count.  The mega-batch *stream* additionally
+depends on which members share a batch, i.e. on the ``sweep_batch`` width —
+that knob (like ``batch_size``) selects among equally valid deterministic
+executions of the same statistical sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.experiments.workloads import replica_batches
+from repro.lv.ensemble import (
+    DEFAULT_COMPACTION_FRACTION,
+    LVEnsembleResult,
+    SweepMember,
+    run_sweep_ensemble,
+)
+from repro.lv.params import LVParams
+from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator
+from repro.lv.state import LVState
+from repro.rng import SeedLike, spawn_seeds
+
+__all__ = [
+    "DEFAULT_SWEEP_BATCH",
+    "SweepTask",
+    "MemberSpec",
+    "plan_mega_batches",
+    "execute_mega_batch",
+    "demux_mega_results",
+]
+
+#: Default mega-batch width (replicas advanced per lock-step iteration).
+#: Large enough to amortise the per-step numpy dispatch cost across many
+#: configurations, small enough to keep the working set cache-friendly and to
+#: leave several mega-batches for ``--jobs`` parallelism on big sweeps.
+DEFAULT_SWEEP_BATCH = 2048
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One configuration's replicate budget inside a sweep.
+
+    Results are demultiplexed back in task order, so a task needs no
+    identity beyond its position; *label* exists for diagnostics only.
+    """
+
+    params: LVParams
+    initial_state: LVState
+    num_runs: int
+    seed: SeedLike = None
+    max_events: int = DEFAULT_MAX_EVENTS
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.initial_state, LVState):
+            object.__setattr__(
+                self,
+                "initial_state",
+                LVJumpChainSimulator._coerce_state(self.initial_state),
+            )
+        if self.num_runs <= 0:
+            raise ExperimentError(
+                f"num_runs must be positive, got {self.num_runs} (task {self.label!r})"
+            )
+        if self.max_events <= 0:
+            raise ExperimentError(
+                f"max_events must be positive, got {self.max_events} (task {self.label!r})"
+            )
+
+
+@dataclass(frozen=True)
+class MemberSpec:
+    """One ``(task, batch)`` slice of a mega-batch (picklable plan entry)."""
+
+    task_index: int
+    params: LVParams
+    counts: tuple[int, int]
+    num_replicates: int
+    seed: int
+    max_events: int
+
+    def to_member(self) -> SweepMember:
+        return SweepMember(
+            params=self.params,
+            initial_state=LVState(*self.counts),
+            num_replicates=self.num_replicates,
+            max_events=self.max_events,
+        )
+
+
+def plan_mega_batches(
+    tasks: Sequence[SweepTask],
+    *,
+    batch_size: int,
+    sweep_batch: int = DEFAULT_SWEEP_BATCH,
+) -> list[list[MemberSpec]]:
+    """Flatten *tasks* into an ordered list of mega-batch member plans.
+
+    Every task is split into lock-step batches of at most *batch_size*
+    replicas; each ``(task, batch)`` pair receives its own seed spawned from
+    the task's root seed.  Batches are then packed greedily, in task order,
+    into mega-batches of at most *sweep_batch* total replicas (a batch wider
+    than *sweep_batch* gets a mega-batch of its own rather than being split
+    further).
+
+    The plan is a pure function of ``(tasks, batch_size, sweep_batch)``, so
+    the same sweep always executes identically regardless of how many worker
+    processes run the mega-batches.
+    """
+    if not tasks:
+        raise ExperimentError("a sweep needs at least one task")
+    if sweep_batch < 1:
+        raise ExperimentError(f"sweep_batch must be at least 1, got {sweep_batch}")
+    members: list[MemberSpec] = []
+    for index, task in enumerate(tasks):
+        sizes = replica_batches(task.num_runs, batch_size)
+        seeds = spawn_seeds(task.seed, len(sizes))
+        members.extend(
+            MemberSpec(
+                task_index=index,
+                params=task.params,
+                counts=(task.initial_state.x0, task.initial_state.x1),
+                num_replicates=size,
+                seed=seed,
+                max_events=task.max_events,
+            )
+            for size, seed in zip(sizes, seeds)
+        )
+
+    mega_batches: list[list[MemberSpec]] = []
+    current: list[MemberSpec] = []
+    width = 0
+    for member in members:
+        if current and width + member.num_replicates > sweep_batch:
+            mega_batches.append(current)
+            current = []
+            width = 0
+        current.append(member)
+        width += member.num_replicates
+    if current:
+        mega_batches.append(current)
+    return mega_batches
+
+
+def execute_mega_batch(
+    specs: Sequence[MemberSpec],
+    compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION,
+    collect: str = "full",
+) -> list[LVEnsembleResult]:
+    """Run one planned mega-batch and return its per-member results.
+
+    The mega-batch's RNG root is ``SeedSequence([member seeds...])``: a pure
+    function of the plan, unique per mega-batch (member seeds are
+    independently spawned 63-bit integers), and picklable-friendly because
+    only integers cross process boundaries.  *collect* selects the engine's
+    statistics level (:data:`repro.lv.ensemble.COLLECT_MODES`).
+    """
+    if not specs:
+        raise ExperimentError("cannot execute an empty mega-batch")
+    rng = np.random.SeedSequence([spec.seed for spec in specs])
+    return run_sweep_ensemble(
+        [spec.to_member() for spec in specs],
+        rng=rng,
+        compaction_fraction=compaction_fraction,
+        collect=collect,
+    )
+
+
+def demux_mega_results(
+    num_tasks: int,
+    plans: Sequence[Sequence[MemberSpec]],
+    results: Sequence[Sequence[LVEnsembleResult]],
+) -> list[LVEnsembleResult]:
+    """Regroup per-member mega-batch results into one result per task.
+
+    Members were generated in task order and packing preserves that order,
+    so concatenating each task's member results restores the task's replicate
+    order (batch order times in-batch order — the same layout the per-config
+    :class:`~repro.experiments.scheduler.ReplicaScheduler` produces).
+    """
+    per_task: list[list[LVEnsembleResult]] = [[] for _ in range(num_tasks)]
+    for plan, batch_results in zip(plans, results):
+        if len(plan) != len(batch_results):
+            raise ExperimentError(
+                f"mega-batch returned {len(batch_results)} results "
+                f"for {len(plan)} members"
+            )
+        for spec, result in zip(plan, batch_results):
+            per_task[spec.task_index].append(result)
+    merged = []
+    for index, chunks in enumerate(per_task):
+        if not chunks:
+            raise ExperimentError(f"task {index} received no mega-batch results")
+        merged.append(LVEnsembleResult.concatenate(chunks))
+    return merged

@@ -6,8 +6,11 @@ every experiment within seconds (used by tests and the benchmark suite); the
 full scale produces the numbers recorded in ``EXPERIMENTS.md``.
 
 All replicate batches are executed through the process-wide
-:class:`~repro.experiments.scheduler.ReplicaScheduler` (vectorized lock-step
-ensembles, deterministic per-batch seeds, optional ``--jobs`` parallelism).
+:class:`~repro.experiments.scheduler.SweepScheduler`: each experiment's full
+``(configuration, replicate)`` grid — every population size of a threshold
+sweep, every probed gap, every mechanism — is flattened into heterogeneous
+lock-step mega-batches, with deterministic per-``(configuration, batch)``
+seeds and optional ``--jobs`` parallelism.
 """
 
 from __future__ import annotations
@@ -20,7 +23,8 @@ from repro.baselines.cho_growth import ChoGrowthModel
 from repro.chains.first_step import exact_majority_probability
 from repro.consensus.exact import applies_proportional_rule, proportional_win_probability
 from repro.experiments.config import ExperimentResult
-from repro.experiments.scheduler import get_default_scheduler
+from repro.experiments.scheduler import ThresholdRequest, get_default_scheduler
+from repro.experiments.sweep import SweepTask
 from repro.lv.params import LVParams
 from repro.lv.state import LVState
 from repro.experiments.workloads import population_grid, state_with_gap
@@ -48,16 +52,26 @@ _POLYNOMIAL_LAWS = {"sqrt(n)", "sqrt(n log n)", "sqrt(n) log n", "n"}
 def _threshold_sweep(
     params: LVParams, scale: str, seed: int, *, num_runs: int
 ) -> list[dict[str, float]]:
-    """Measure the empirical threshold for every population size in the grid."""
+    """Measure the empirical threshold for every population size in the grid.
+
+    The whole grid runs as one fused threshold sweep: every population
+    size's search advances concurrently, and each round's probes share
+    lock-step mega-batches.
+    """
+    sizes = population_grid(scale)
+    estimates = get_default_scheduler().find_thresholds(
+        [
+            ThresholdRequest(
+                params,
+                n,
+                num_runs=num_runs,
+                seed=stable_seed("table1", params.mechanism.value, n, seed),
+            )
+            for n in sizes
+        ]
+    )
     rows: list[dict[str, float]] = []
-    scheduler = get_default_scheduler()
-    for n in population_grid(scale):
-        estimate = scheduler.find_threshold(
-            params,
-            n,
-            num_runs=num_runs,
-            rng=stable_seed("table1", params.mechanism.value, n, seed),
-        )
+    for n, estimate in zip(sizes, estimates):
         rows.append(
             {
                 "n": n,
@@ -170,38 +184,49 @@ def run_t1r2(scale: str = "quick", seed: int = 0) -> ExperimentResult:
         ),
     ]
     states = [(12, 8), (18, 6), (30, 10)] if scale == "quick" else [(12, 8), (18, 6), (30, 10), (60, 20), (90, 30)]
-    rows = []
-    all_consistent = True
-    for label, params in configurations:
+    grid = [
+        (label, params, a, b)
+        for label, params in configurations
+        for a, b in states
+    ]
+    for _, params, _, _ in grid:
         assert applies_proportional_rule(params)
-        for a, b in states:
-            expected = proportional_win_probability((a, b))
-            exact = exact_majority_probability(
-                params, (a, b), max_count=3 * (a + b), dead_heat_value=0.5
-            ).win_probability
-            simulated = get_default_scheduler().estimate(
+    simulations = get_default_scheduler().estimate_many(
+        [
+            SweepTask(
                 params,
                 LVState(a, b),
                 num_runs,
-                rng=stable_seed("t1r2", label, a, b, seed),
+                seed=stable_seed("t1r2", label, a, b, seed),
+                label=f"t1r2-{label}-{a}-{b}",
             )
-            consistent = (
-                abs(exact - expected) < 5e-3
-                and simulated.success.lower - 0.02 <= expected <= simulated.success.upper + 0.02
-            )
-            all_consistent = all_consistent and consistent
-            rows.append(
-                {
-                    "mechanism": label,
-                    "(a, b)": f"({a}, {b})",
-                    "a/(a+b)": round(expected, 4),
-                    "exact rho": round(exact, 4),
-                    "simulated rho": round(simulated.majority_probability, 4),
-                    "CI low": round(simulated.success.lower, 4),
-                    "CI high": round(simulated.success.upper, 4),
-                    "consistent": consistent,
-                }
-            )
+            for label, params, a, b in grid
+        ]
+    )
+    rows = []
+    all_consistent = True
+    for (label, params, a, b), simulated in zip(grid, simulations):
+        expected = proportional_win_probability((a, b))
+        exact = exact_majority_probability(
+            params, (a, b), max_count=3 * (a + b), dead_heat_value=0.5
+        ).win_probability
+        consistent = (
+            abs(exact - expected) < 5e-3
+            and simulated.success.lower - 0.02 <= expected <= simulated.success.upper + 0.02
+        )
+        all_consistent = all_consistent and consistent
+        rows.append(
+            {
+                "mechanism": label,
+                "(a, b)": f"({a}, {b})",
+                "a/(a+b)": round(expected, 4),
+                "exact rho": round(exact, 4),
+                "simulated rho": round(simulated.majority_probability, 4),
+                "CI low": round(simulated.success.lower, 4),
+                "CI high": round(simulated.success.upper, 4),
+                "consistent": consistent,
+            }
+        )
     findings = [
         "the exact first-step solution equals a/(a+b) (dead heats scored as 1/2), and the "
         "Monte-Carlo estimates bracket it",
@@ -229,34 +254,44 @@ def run_t1r3(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     """Table 1, row 3: intraspecific competition only — no threshold exists."""
     num_runs = 300 if scale == "quick" else 1500
     sizes = [64, 128] if scale == "quick" else [64, 128, 256, 512]
+    grid = [
+        (mechanism, params, n)
+        for mechanism, params in (
+            ("SD", LVParams.self_destructive(beta=_BETA, delta=_DELTA, alpha=0.0, gamma=1.0)),
+            ("NSD", LVParams.non_self_destructive(beta=_BETA, delta=_DELTA, alpha=0.0, gamma=1.0)),
+        )
+        for n in sizes
+    ]
+    estimates = get_default_scheduler().estimate_many(
+        [
+            SweepTask(
+                params,
+                state_with_gap(n, n - 2),  # the most favourable admissible gap
+                num_runs,
+                seed=stable_seed("t1r3", mechanism, n, seed),
+                label=f"t1r3-{mechanism}-{n}",
+            )
+            for mechanism, params, n in grid
+        ]
+    )
     rows = []
     failure_stays_constant = True
-    for mechanism, params in (
-        ("SD", LVParams.self_destructive(beta=_BETA, delta=_DELTA, alpha=0.0, gamma=1.0)),
-        ("NSD", LVParams.non_self_destructive(beta=_BETA, delta=_DELTA, alpha=0.0, gamma=1.0)),
-    ):
-        for n in sizes:
-            gap = n - 2  # the most favourable admissible gap
-            estimate = get_default_scheduler().estimate(
-                params,
-                state_with_gap(n, gap),
-                num_runs,
-                rng=stable_seed("t1r3", mechanism, n, seed),
-            )
-            failure = 1.0 - estimate.majority_probability
-            rows.append(
-                {
-                    "mechanism": mechanism,
-                    "n": n,
-                    "gap": gap,
-                    "rho": round(estimate.majority_probability, 4),
-                    "failure probability": round(failure, 4),
-                    "target 1 - 1/n": round(1.0 - 1.0 / n, 4),
-                    "meets target": estimate.majority_probability >= 1.0 - 1.0 / n,
-                }
-            )
-            if failure < 0.02:
-                failure_stays_constant = False
+    for (mechanism, params, n), estimate in zip(grid, estimates):
+        gap = n - 2
+        failure = 1.0 - estimate.majority_probability
+        rows.append(
+            {
+                "mechanism": mechanism,
+                "n": n,
+                "gap": gap,
+                "rho": round(estimate.majority_probability, 4),
+                "failure probability": round(failure, 4),
+                "target 1 - 1/n": round(1.0 - 1.0 / n, 4),
+                "meets target": estimate.majority_probability >= 1.0 - 1.0 / n,
+            }
+        )
+        if failure < 0.02:
+            failure_stays_constant = False
     findings = [
         "even at the maximum admissible gap (n - 2) the failure probability stays at a "
         "constant level instead of decaying with n",
@@ -351,13 +386,29 @@ def run_t1r5(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     num_runs = 400 if scale == "quick" else 2000
     params = LVParams(beta=_BETA, delta=_BETA, alpha0=0.0, alpha1=0.0)
     states = [(12, 8), (24, 8), (40, 10)] if scale == "quick" else [(12, 8), (24, 8), (40, 10), (80, 20)]
+    # Without competition the consensus time has a ~1/T tail (the minimum of
+    # two critical birth-death extinction times), so a single replica can
+    # draw millions of events and dominate the sweep's wall-clock.  Capping
+    # the budget at 10^6 events truncates that lottery while changing rho by
+    # only O(10^-4) -- far below the +-0.02 consistency band used below.
+    max_events = 1_000_000
+    simulations = get_default_scheduler().estimate_many(
+        [
+            SweepTask(
+                params,
+                LVState(a, b),
+                num_runs,
+                seed=stable_seed("t1r5", a, b, seed),
+                max_events=max_events,
+                label=f"t1r5-{a}-{b}",
+            )
+            for a, b in states
+        ]
+    )
     rows = []
     all_consistent = True
-    for a, b in states:
+    for (a, b), simulated in zip(states, simulations):
         expected = proportional_win_probability((a, b))
-        simulated = get_default_scheduler().estimate(
-            params, LVState(a, b), num_runs, rng=stable_seed("t1r5", a, b, seed)
-        )
         consistent = (
             simulated.success.lower - 0.02 <= expected <= simulated.success.upper + 0.02
         )

@@ -2,13 +2,20 @@
 
 The scalar :class:`~repro.lv.simulator.LVJumpChainSimulator` pays the full
 Python interpreter cost for every single reaction event.  The experiments,
-however, always run *batches* of independent replicates from the same initial
-configuration, so :class:`LVEnsembleSimulator` advances the whole batch in
-lock-step: one numpy-vectorized step fires one event in every still-active
-replica, with a single batched uniform draw, a shared cumulative-propensity
-table, and scatter updates into per-replica accumulators.  Replicas that
-reach consensus (or exhaust their event budget, or get absorbed) drop out of
-the active set; the loop ends when the slowest replica terminates.
+however, always run *batches* of independent replicates, so this module
+advances whole batches in lock-step: one numpy-vectorized step fires one event
+in every still-active replica, with blocked uniform draws, a shared
+cumulative-propensity table, and scatter updates into per-replica
+accumulators.
+
+Since the sweep-engine refactor the lock-step core is **heterogeneous**: the
+rates ``beta/delta/alpha0/alpha1/gamma0/gamma1``, the competition mechanism,
+the initial counts, and the event budget are per-replica quantities, so one
+mega-batch can advance replicas drawn from *different* experiment
+configurations simultaneously (see :class:`SweepMember` and
+:func:`run_sweep_ensemble`).  Single-configuration batches
+(:meth:`LVEnsembleSimulator.run_ensemble`) are the one-member special case of
+the same core.
 
 The ensemble produces exactly the same per-replica event accounting as the
 scalar simulator — ``I(S)`` (individual events), ``K(S)`` (competitive
@@ -21,11 +28,44 @@ agreement with the scalar simulator is enforced by the integration tests.
 Event-index convention (shared with the scalar simulator's selection order):
 ``0=birth0, 1=birth1, 2=death0, 3=death1, 4=inter0, 5=inter1, 6=intra0,
 7=intra1``.
+
+RNG consumption-order contract
+------------------------------
+Reproducibility from the root seed is guaranteed by a fixed consumption
+order that is *independent of the compaction threshold and of the uniform
+block size*:
+
+1. The root ``rng`` spawns exactly two child streams
+   (:func:`repro.rng.spawn_generators`): the **step stream** and the
+   **tail stream**.
+2. The lock-step loop consumes the step stream as one flat sequence of
+   uniforms: step ``t`` consumes exactly one value per replica that is
+   *alive* at the start of the step's draw, assigned in ascending
+   original-replica-index order.  Replicas retired earlier in the same
+   iteration (event budget exhausted, absorbed) consume nothing.  Uniforms
+   are drawn from the generator in blocks, but ``numpy``'s ``Generator.random``
+   stream is invariant under call partitioning, so the block size never
+   changes which uniform a replica sees.
+3. Once at most :data:`SCALAR_FINISH_WIDTH` replicas remain, the survivors
+   are finished one by one, in ascending original-replica-index order, by the
+   scalar simulator drawing from the tail stream.
+
+Compaction invariants
+---------------------
+Active-set compaction periodically packs live replicas to the front of the
+working arrays so that the per-step cost tracks the *live* count, not the
+original batch width.  Packing preserves the relative order of live replicas
+(hence the consumption order above), retired replicas' accumulators are
+scattered to the result arrays exactly once (at pack time or at loop exit),
+and a replica's accounting never changes after retirement.  Consequently the
+results are bitwise-identical for every ``compaction_fraction`` setting,
+which ``tests/test_lv_sweep_ensemble.py`` enforces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -33,9 +73,16 @@ from repro.exceptions import InvalidConfigurationError
 from repro.lv.params import LVParams
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
 from repro.lv.state import LVState
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike, spawn_generators
 
-__all__ = ["LVEnsembleSimulator", "LVEnsembleResult"]
+__all__ = [
+    "LVEnsembleSimulator",
+    "LVEnsembleResult",
+    "SweepMember",
+    "run_sweep_ensemble",
+    "DEFAULT_COMPACTION_FRACTION",
+    "SCALAR_FINISH_WIDTH",
+]
 
 #: Termination codes used in the result arrays.
 _CONSENSUS, _ABSORBED, _MAX_EVENTS = 0, 1, 2
@@ -47,12 +94,94 @@ _BIRTH0, _BIRTH1, _DEATH0, _DEATH1, _INTER0, _INTER1, _INTRA0, _INTRA1 = range(8
 #: Once at most this many replicas remain active, the lock-step loop hands
 #: them to the scalar simulator: a vectorized step costs the same regardless
 #: of width, so the long tail of the consensus-time distribution is cheaper
-#: to finish with the plain Python event loop.
-_SCALAR_FINISH_WIDTH = 8
+#: to finish with the plain Python event loop (~1.8us/event versus ~3us per
+#: replica-event of a thin lock-step batch).
+SCALAR_FINISH_WIDTH = 8
 
-#: Lock-step iterations worth of uniforms drawn per RNG call (amortises the
-#: per-call generator overhead across steps).
-_UNIFORM_STEPS = 64
+#: Minimum number of uniforms drawn per RNG call (amortises the per-call
+#: generator overhead across lock-step iterations).  Results are independent
+#: of this value; see the consumption-order contract in the module docstring.
+_UNIFORM_BLOCK = 16384
+
+#: Pack the live replicas to the front whenever at least this fraction of the
+#: current working width has retired.  ``None`` disables compaction (the
+#: pre-sweep-engine behaviour: full original width until the scalar tail).
+DEFAULT_COMPACTION_FRACTION = 0.25
+
+#: Below this working width compaction is skipped: the scalar tail takes over
+#: at :data:`SCALAR_FINISH_WIDTH` anyway, so repacking tiny arrays only adds
+#: slicing overhead.
+_MIN_COMPACTION_WIDTH = 32
+
+#: Net change of ``x0`` / ``x1`` per event index, one row per mechanism
+#: (row 0: non-self-destructive, row 1: self-destructive), matching the
+#: scalar simulator's moves.  Column 8 is the **no-op sentinel**: retired
+#: replicas are steered to event 8 (their selection threshold is ``+inf``),
+#: so their state, histogram column, and every derived accumulator are
+#: untouched without any per-step masking.
+_DX0_TABLE = np.array(
+    [
+        [+1, 0, -1, 0, 0, -1, -1, 0, 0],
+        [+1, 0, -1, 0, -1, -1, -2, 0, 0],
+    ],
+    dtype=np.int64,
+)
+_DX1_TABLE = np.array(
+    [
+        [0, +1, 0, -1, -1, 0, 0, -1, 0],
+        [0, +1, 0, -1, -1, -1, 0, -2, 0],
+    ],
+    dtype=np.int64,
+)
+
+#: good_table[m, e]: event e decreases the current minority's count
+#: (row 1: species 0 is the minority, row 0: species 1 is), following the
+#: scalar simulator's accounting where every interspecific event counts as
+#: good.  Mechanism-independent; column 8 is the retired-replica no-op.
+_GOOD_TABLE = np.zeros((2, 9), dtype=bool)
+_GOOD_TABLE[0, [_DEATH1, _INTRA1, _INTER0, _INTER1]] = True
+_GOOD_TABLE[1, [_DEATH0, _INTRA0, _INTER0, _INTER1]] = True
+
+#: Statistics collection levels of the lock-step core.  ``"full"`` produces
+#: the scalar simulator's complete per-replica accounting; ``"win"`` only
+#: tracks what win-probability/consensus-time summaries read (final counts,
+#: event totals, termination), skipping roughly half the per-step vector
+#: work — the right mode for threshold probes, whose other statistics are
+#: never consumed.  Both modes follow identical trajectories (the skipped
+#: work is pure observation).
+COLLECT_MODES = ("full", "win")
+
+
+@dataclass(frozen=True)
+class SweepMember:
+    """One configuration's slice of a heterogeneous mega-batch.
+
+    A mega-batch is described by an ordered list of members; member ``i``
+    occupies the next ``num_replicates`` replica slots, and
+    :func:`run_sweep_ensemble` demultiplexes the lock-step arrays back into
+    one :class:`LVEnsembleResult` per member in the same order.
+    """
+
+    params: LVParams
+    initial_state: LVState
+    num_replicates: int
+    max_events: int = DEFAULT_MAX_EVENTS
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.initial_state, LVState):
+            object.__setattr__(
+                self,
+                "initial_state",
+                LVJumpChainSimulator._coerce_state(self.initial_state),
+            )
+        if self.num_replicates <= 0:
+            raise InvalidConfigurationError(
+                f"num_replicates must be positive, got {self.num_replicates}"
+            )
+        if self.max_events <= 0:
+            raise InvalidConfigurationError(
+                f"max_events must be positive, got {self.max_events}"
+            )
 
 
 @dataclass
@@ -245,13 +374,542 @@ class LVEnsembleResult:
         return results
 
 
+class _LockstepState:
+    """Packed working arrays of a heterogeneous lock-step run.
+
+    All arrays have the current working width ``W``; ``orig`` maps packed
+    position to original replica index and is strictly increasing, so packed
+    order always equals ascending original-replica order (the property the
+    RNG consumption contract relies on).
+    """
+
+    #: Accumulator attributes scattered to the full-size result arrays when a
+    #: packed row is dropped (at compaction) or when the loop exits.
+    SCATTERED = (
+        "x0",
+        "x1",
+        "histogram",
+        "bad",
+        "good",
+        "noise_ind",
+        "noise_comp",
+        "max_total",
+        "min_gap",
+        "hit_tie",
+    )
+    #: Static per-replica attributes sliced (but never scattered) on pack.
+    SLICED = SCATTERED + (
+        "orig",
+        "member",
+        "beta",
+        "delta",
+        "alpha0",
+        "alpha1",
+        "gamma0",
+        "gamma1",
+        "sd",
+        "sign",
+        "max_events",
+        "absorbable",
+        "alive",
+    )
+
+    def __init__(self, members: Sequence[SweepMember]):
+        sizes = np.array([m.num_replicates for m in members], dtype=np.int64)
+        member_of = np.repeat(np.arange(len(members)), sizes)
+        rates, sd_flags = LVParams.stack([m.params for m in members])
+        x0s = np.array([m.initial_state.x0 for m in members], dtype=np.int64)
+        x1s = np.array([m.initial_state.x1 for m in members], dtype=np.int64)
+        # Gap sign convention: +1 measures the gap as x0 - x1 (species 0 is
+        # the reference majority, also on ties), -1 as x1 - x0.
+        signs = np.array(
+            [-1 if m.initial_state.majority_species == 1 else 1 for m in members],
+            dtype=np.int64,
+        )
+        # Absorption (zero total propensity with both species alive) is only
+        # possible in the intraspecific-only regime stuck at (1, 1): births,
+        # deaths, and interspecific competition each guarantee a positive
+        # propensity whenever both counts are positive.
+        absorbable = np.array(
+            [m.params.theta == 0.0 and m.params.alpha == 0.0 for m in members],
+            dtype=bool,
+        )
+        budgets = np.array([m.max_events for m in members], dtype=np.int64)
+
+        size = int(sizes.sum())
+        self.orig = np.arange(size)
+        self.member = member_of
+        self.x0 = x0s[member_of]
+        self.x1 = x1s[member_of]
+        self.beta = rates[member_of, 0]
+        self.delta = rates[member_of, 1]
+        self.alpha0 = rates[member_of, 2]
+        self.alpha1 = rates[member_of, 3]
+        self.gamma0 = rates[member_of, 4]
+        self.gamma1 = rates[member_of, 5]
+        self.sd = sd_flags[member_of]
+        self.sign = signs[member_of]
+        self.max_events = budgets[member_of]
+        self.absorbable = absorbable[member_of]
+        self.alive = (self.x0 > 0) & (self.x1 > 0)
+
+        # Column 8 collects the retired replicas' no-op events and is
+        # discarded when scattering to the result arrays.
+        self.histogram = np.zeros((size, 9), dtype=np.int64)
+        self.bad = np.zeros(size, dtype=np.int64)
+        self.good = np.zeros(size, dtype=np.int64)
+        self.noise_ind = np.zeros(size, dtype=np.int64)
+        self.noise_comp = np.zeros(size, dtype=np.int64)
+        self.max_total = self.x0 + self.x1
+        self.min_gap = np.abs(self.x0 - self.x1)
+        self.hit_tie = self.x0 == self.x1
+
+    @property
+    def width(self) -> int:
+        return int(self.orig.size)
+
+    def pack(self, outputs: "_SweepOutputs") -> None:
+        """Drop retired rows (scattering their accumulators) and keep order."""
+        keep = np.nonzero(self.alive)[0]
+        drop = np.nonzero(~self.alive)[0]
+        if drop.size:
+            outputs.scatter(self, drop)
+        for name in self.SLICED:
+            setattr(self, name, getattr(self, name)[keep])
+
+    def flush(self, outputs: "_SweepOutputs") -> None:
+        """Scatter every remaining packed row to the result arrays."""
+        outputs.scatter(self, np.arange(self.width))
+
+
+class _SweepOutputs:
+    """Full-size result arrays, indexed by original replica."""
+
+    def __init__(self, size: int):
+        self.final_x0 = np.zeros(size, dtype=np.int64)
+        self.final_x1 = np.zeros(size, dtype=np.int64)
+        self.events = np.zeros(size, dtype=np.int64)
+        self.termination = np.full(size, _CONSENSUS, dtype=np.int8)
+        self.histogram = np.zeros((size, 8), dtype=np.int64)
+        self.bad = np.zeros(size, dtype=np.int64)
+        self.good = np.zeros(size, dtype=np.int64)
+        self.noise_ind = np.zeros(size, dtype=np.int64)
+        self.noise_comp = np.zeros(size, dtype=np.int64)
+        self.max_total = np.zeros(size, dtype=np.int64)
+        self.min_gap = np.zeros(size, dtype=np.int64)
+        self.hit_tie = np.zeros(size, dtype=bool)
+
+    def scatter(self, state: _LockstepState, rows: np.ndarray) -> None:
+        """Write the accumulators of packed *rows* to their original slots."""
+        where = state.orig[rows]
+        self.final_x0[where] = state.x0[rows]
+        self.final_x1[where] = state.x1[rows]
+        self.histogram[where] = state.histogram[rows, :8]
+        self.bad[where] = state.bad[rows]
+        self.good[where] = state.good[rows]
+        self.noise_ind[where] = state.noise_ind[rows]
+        self.noise_comp[where] = state.noise_comp[rows]
+        self.max_total[where] = state.max_total[rows]
+        self.min_gap[where] = state.min_gap[rows]
+        self.hit_tie[where] = state.hit_tie[rows]
+
+    def slice_result(self, member: SweepMember, start: int, stop: int) -> LVEnsembleResult:
+        """Demultiplex one member's replica range into an ensemble result."""
+        window = slice(start, stop)
+        return LVEnsembleResult(
+            params=member.params,
+            initial_state=member.initial_state,
+            final_x0=self.final_x0[window],
+            final_x1=self.final_x1[window],
+            total_events=self.events[window],
+            termination_codes=self.termination[window],
+            births=self.histogram[window, _BIRTH0 : _BIRTH1 + 1].copy(),
+            deaths=self.histogram[window, _DEATH0 : _DEATH1 + 1].copy(),
+            interspecific_events=(
+                self.histogram[window, _INTER0] + self.histogram[window, _INTER1]
+            ),
+            intraspecific_events=self.histogram[window, _INTRA0 : _INTRA1 + 1].copy(),
+            bad_noncompetitive_events=self.bad[window],
+            good_events=self.good[window],
+            noise_individual=self.noise_ind[window],
+            noise_competitive=self.noise_comp[window],
+            max_total_population=self.max_total[window],
+            min_gap_seen=self.min_gap[window],
+            hit_tie=self.hit_tie[window],
+        )
+
+
+def run_sweep_ensemble(
+    members: Sequence[SweepMember],
+    *,
+    rng: SeedLike = None,
+    compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION,
+    collect: str = "full",
+) -> list[LVEnsembleResult]:
+    """Advance a heterogeneous mega-batch in lock-step and demultiplex it.
+
+    Parameters
+    ----------
+    members:
+        Ordered configuration slices; the mega-batch width is the sum of the
+        members' replicate counts.  Members may differ in every parameter,
+        in the initial state, and in the event budget.
+    rng:
+        Root seed.  See the module docstring for the consumption-order
+        contract that makes the results reproducible from this seed alone.
+    compaction_fraction:
+        Pack live replicas to the front whenever at least this fraction of
+        the working width has retired; ``None`` disables compaction.  Results
+        are bitwise-independent of this knob (it only trades memory traffic
+        against per-step width).
+    collect:
+        Statistics level (:data:`COLLECT_MODES`).  ``"full"`` (default)
+        produces the scalar simulator's complete per-replica accounting;
+        ``"win"`` tracks only final counts, event totals, and termination —
+        about half the per-step vector work — leaving the other result
+        arrays zero (or partial, for replicas finished by the scalar tail).
+        Trajectories, and therefore win probabilities and consensus times,
+        are identical in both modes.
+
+    Returns
+    -------
+    list[LVEnsembleResult]
+        One result per member, in member order; member ``i``'s replicas are
+        the rows ``sum(sizes[:i]) : sum(sizes[:i+1])`` of the mega-batch.
+
+    Examples
+    --------
+    >>> sd = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> nsd = LVParams.non_self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> results = run_sweep_ensemble(
+    ...     [SweepMember(sd, LVState(40, 20), 16), SweepMember(nsd, LVState(30, 10), 8)],
+    ...     rng=7,
+    ... )
+    >>> [r.num_replicates for r in results]
+    [16, 8]
+    """
+    members = list(members)
+    if not members:
+        raise InvalidConfigurationError("a sweep ensemble needs at least one member")
+    if compaction_fraction is not None and not 0.0 < compaction_fraction <= 1.0:
+        raise InvalidConfigurationError(
+            f"compaction_fraction must be in (0, 1] or None, got {compaction_fraction}"
+        )
+    if collect not in COLLECT_MODES:
+        raise InvalidConfigurationError(
+            f"collect must be one of {COLLECT_MODES}, got {collect!r}"
+        )
+    step_generator, tail_generator = spawn_generators(rng, 2)
+
+    state = _LockstepState(members)
+    outputs = _SweepOutputs(state.width)
+    _advance_lockstep(
+        members,
+        state,
+        outputs,
+        step_generator,
+        tail_generator,
+        compaction_fraction,
+        collect == "full",
+    )
+    state.flush(outputs)
+
+    results: list[LVEnsembleResult] = []
+    start = 0
+    for member in members:
+        stop = start + member.num_replicates
+        results.append(outputs.slice_result(member, start, stop))
+        start = stop
+    return results
+
+
+def _advance_lockstep(
+    members: Sequence[SweepMember],
+    state: _LockstepState,
+    outputs: _SweepOutputs,
+    step_generator: np.random.Generator,
+    tail_generator: np.random.Generator,
+    compaction_fraction: float | None,
+    collect_stats: bool,
+) -> None:
+    """The heterogeneous lock-step loop (see the module docstring contracts)."""
+    num_alive = int(np.count_nonzero(state.alive))
+    any_absorbable = bool(state.absorbable.any())
+    uniforms = np.empty(0)
+    cursor = 0
+
+    def working_buffers():
+        """Width-dependent scratch and cached per-pack quantities.
+
+        Everything that depends on the packed width or on the (immutable
+        between packs) per-replica parameter arrays lives here, so the loop
+        entry and the post-pack rebuild can never drift apart:
+
+        * scratch arrays for the step (``rows``/``cumulative``/``threshold``/
+          ``row_index``) — retired rows are steered to the no-op sentinel
+          event, so no per-step masking is needed;
+        * ``has_*`` flags — zero-rate reaction classes contribute
+          constant-zero rows and are skipped;
+        * ``alive_idx`` — ``alive`` only changes on retirement steps, so the
+          gather is cached between them;
+        * ``min_budget`` — the event-budget check is skipped entirely until
+          the smallest budget in the batch can possibly be reached.
+        """
+        rows = np.zeros((8, state.width), dtype=np.float64)
+        return (
+            state.width,
+            rows,
+            np.empty_like(rows),
+            np.empty(state.width),
+            np.arange(state.width),
+            bool(state.beta.any()),
+            bool(state.delta.any()),
+            bool(state.alpha0.any() or state.alpha1.any()),
+            bool(state.gamma0.any()),
+            bool(state.gamma1.any()),
+            np.nonzero(state.alive)[0],
+            int(state.max_events.min()),
+            state.sd.view(np.int8),
+        )
+
+    (
+        width,
+        rows,
+        cumulative,
+        threshold,
+        row_index,
+        has_beta,
+        has_delta,
+        has_inter,
+        has_gamma0,
+        has_gamma1,
+        alive_idx,
+        min_budget,
+        mechanism_row,
+    ) = working_buffers()
+
+    # Every alive replica fires exactly one event per lock-step iteration, so
+    # a replica's event count at retirement equals the step index.
+    step = 0
+    while num_alive > 0:
+        if num_alive <= SCALAR_FINISH_WIDTH:
+            # The per-step numpy dispatch cost is width-independent, so a
+            # thin active set is cheaper to finish with the scalar loop.
+            _finish_scalar_tail(members, state, outputs, tail_generator, step)
+            break
+
+        if step >= min_budget:
+            exhausted = state.alive & (state.max_events <= step)
+            if exhausted.any():
+                outputs.events[state.orig[exhausted]] = step
+                outputs.termination[state.orig[exhausted]] = _MAX_EVENTS
+                state.alive &= ~exhausted
+                num_alive = int(np.count_nonzero(state.alive))
+                alive_idx = np.nonzero(state.alive)[0]
+                if num_alive == 0:
+                    break
+
+        if (
+            compaction_fraction is not None
+            and width >= _MIN_COMPACTION_WIDTH
+            and width - num_alive >= compaction_fraction * width
+        ):
+            state.pack(outputs)
+            (
+                width,
+                rows,
+                cumulative,
+                threshold,
+                row_index,
+                has_beta,
+                has_delta,
+                has_inter,
+                has_gamma0,
+                has_gamma1,
+                alive_idx,
+                min_budget,
+                mechanism_row,
+            ) = working_buffers()
+
+        x0, x1 = state.x0, state.x1
+        # Propensities of the eight reaction classes, full working width;
+        # retired rows produce garbage values that the sentinel event below
+        # renders harmless.
+        if has_beta:
+            np.multiply(state.beta, x0, out=rows[_BIRTH0])
+            np.multiply(state.beta, x1, out=rows[_BIRTH1])
+        if has_delta:
+            np.multiply(state.delta, x0, out=rows[_DEATH0])
+            np.multiply(state.delta, x1, out=rows[_DEATH1])
+        if has_inter:
+            pair = x0 * x1
+            np.multiply(state.alpha0, pair, out=rows[_INTER0])
+            np.multiply(state.alpha1, pair, out=rows[_INTER1])
+        if has_gamma0:
+            rows[_INTRA0] = state.gamma0 * (x0 * (x0 - 1)) / 2.0
+        if has_gamma1:
+            rows[_INTRA1] = state.gamma1 * (x1 * (x1 - 1)) / 2.0
+        # An explicit add chain: same result as np.cumsum(axis=0) but without
+        # its strided-reduction overhead (cumsum was ~30% of the step cost).
+        cumulative[0] = rows[0]
+        for index in range(1, 8):
+            np.add(cumulative[index - 1], rows[index], out=cumulative[index])
+        total = cumulative[7]
+
+        if any_absorbable:
+            absorbed = state.alive & state.absorbable & (total <= 0.0)
+            if absorbed.any():
+                outputs.events[state.orig[absorbed]] = step
+                outputs.termination[state.orig[absorbed]] = _ABSORBED
+                state.alive &= ~absorbed
+                num_alive = int(np.count_nonzero(state.alive))
+                alive_idx = np.nonzero(state.alive)[0]
+                if num_alive == 0:
+                    break
+
+        # One uniform per alive replica, ascending original-index order (the
+        # RNG consumption contract); replicas retired above consume nothing.
+        if uniforms.size - cursor < num_alive:
+            block = max(_UNIFORM_BLOCK, num_alive)
+            uniforms = np.concatenate([uniforms[cursor:], step_generator.random(block)])
+            cursor = 0
+        drawn = uniforms[cursor : cursor + num_alive]
+        cursor += num_alive
+        if num_alive == width:
+            np.multiply(drawn, total, out=threshold)
+        else:
+            # Retired rows get an infinite threshold, which steers them to
+            # the no-op sentinel event (index 8).
+            threshold.fill(np.inf)
+            threshold[alive_idx] = drawn * total[alive_idx]
+        # Count of cumulative propensities at or below the threshold = the
+        # first event index whose cumulative propensity exceeds it;
+        # zero-propensity reactions can never be selected, and retired rows
+        # land on the sentinel.
+        event = (cumulative <= threshold).sum(axis=0)
+
+        delta0 = _DX0_TABLE[mechanism_row, event]
+        delta1 = _DX1_TABLE[mechanism_row, event]
+        step += 1
+
+        if collect_stats:
+            gap_before = x0 - x1
+            x0 += delta0
+            x1 += delta1
+            gap_after = x0 - x1
+            state.histogram[row_index, event] += 1
+
+            # Retired replicas fire the zero-delta sentinel, so their step
+            # noise vanishes and the accumulators below need no masking.
+            step_noise = state.sign * (gap_before - gap_after)
+            individual = event < 4
+            individual_noise = step_noise * individual
+            state.noise_ind += individual_noise
+            state.noise_comp += step_noise
+            state.noise_comp -= individual_noise
+
+            abs_before = np.abs(gap_before)
+            abs_after = np.abs(gap_after)
+            state.bad += individual & (abs_after < abs_before)
+
+            # "Good" events mirror the scalar simulator's accounting: a death
+            # or intraspecific event of the current minority, or any
+            # interspecific event, counted only while the counts differ.
+            minority_is_0 = gap_before < 0
+            state.good += (
+                (gap_before != 0)
+                & _GOOD_TABLE[minority_is_0.view(np.int8), event]
+            )
+
+            np.maximum(state.max_total, x0 + x1, out=state.max_total)
+            np.minimum(state.min_gap, abs_after, out=state.min_gap)
+            # Retired rows cannot newly reach a tie (their gap is frozen and
+            # was recorded while they were alive), so no mask is needed.
+            state.hit_tie |= gap_after == 0
+        else:
+            x0 += delta0
+            x1 += delta1
+
+        finished = state.alive & ((x0 == 0) | (x1 == 0))
+        if finished.any():
+            outputs.events[state.orig[finished]] = step
+            state.alive &= ~finished
+            num_alive = int(np.count_nonzero(state.alive))
+            alive_idx = np.nonzero(state.alive)[0]
+
+
+def _finish_scalar_tail(
+    members: Sequence[SweepMember],
+    state: _LockstepState,
+    outputs: _SweepOutputs,
+    tail_generator: np.random.Generator,
+    step: int,
+) -> None:
+    """Finish the last few active replicas with the scalar simulator.
+
+    Survivors are processed in ascending original-replica-index order (packed
+    order), each continuing from its mid-run state with its remaining event
+    budget.  The scalar sub-run measures noise relative to the majority of
+    *its* initial (mid-run) state, so its noise components are negated when
+    that reference disagrees with the replica's.
+    """
+    simulators: dict[int, LVJumpChainSimulator] = {}
+    for i in np.nonzero(state.alive)[0]:
+        where = int(state.orig[i])
+        outputs.events[where] = step
+        remaining = int(state.max_events[i]) - step
+        if remaining <= 0:
+            outputs.termination[where] = _MAX_EVENTS
+            continue
+        member_index = int(state.member[i])
+        simulator = simulators.get(member_index)
+        if simulator is None:
+            simulator = LVJumpChainSimulator(members[member_index].params)
+            simulators[member_index] = simulator
+        mid_state = LVState(int(state.x0[i]), int(state.x1[i]))
+        result = simulator.run(mid_state, rng=tail_generator, max_events=remaining)
+        state.x0[i] = result.final_state.x0
+        state.x1[i] = result.final_state.x1
+        outputs.events[where] += result.total_events
+        state.histogram[i, _BIRTH0] += result.births[0]
+        state.histogram[i, _BIRTH1] += result.births[1]
+        state.histogram[i, _DEATH0] += result.deaths[0]
+        state.histogram[i, _DEATH1] += result.deaths[1]
+        state.histogram[i, _INTER0] += result.interspecific_events
+        state.histogram[i, _INTRA0] += result.intraspecific_events[0]
+        state.histogram[i, _INTRA1] += result.intraspecific_events[1]
+        state.bad[i] += result.bad_noncompetitive_events
+        state.good[i] += result.good_events
+        reference = 0 if state.sign[i] == 1 else 1
+        sub_majority = mid_state.majority_species
+        sub_reference = 0 if sub_majority is None else sub_majority
+        flip = -1 if sub_reference != reference else 1
+        state.noise_ind[i] += flip * result.noise_individual
+        state.noise_comp[i] += flip * result.noise_competitive
+        state.max_total[i] = max(int(state.max_total[i]), result.max_total_population)
+        state.min_gap[i] = min(int(state.min_gap[i]), result.min_gap_seen)
+        state.hit_tie[i] |= result.hit_tie
+        if result.termination == "max-events":
+            outputs.termination[where] = _MAX_EVENTS
+        elif result.termination == "absorbed":
+            outputs.termination[where] = _ABSORBED
+    state.alive[:] = False
+
+
 class LVEnsembleSimulator:
     """Advance a batch of independent two-species jump chains in lock-step.
+
+    The one-configuration front end of the heterogeneous lock-step core
+    (:func:`run_sweep_ensemble`): every replica shares *params*, the initial
+    state, and the event budget.
 
     Parameters
     ----------
     params:
         Rates and competition mechanism, shared by all replicas.
+    compaction_fraction:
+        Active-set compaction threshold forwarded to the lock-step core;
+        results are bitwise-independent of it.
 
     Examples
     --------
@@ -263,24 +921,14 @@ class LVEnsembleSimulator:
     True
     """
 
-    def __init__(self, params: LVParams):
+    def __init__(
+        self,
+        params: LVParams,
+        *,
+        compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION,
+    ):
         self.params = params
-        sd = params.is_self_destructive
-        # Net change per event index, matching the scalar simulator's moves.
-        self._dx0 = np.array(
-            [+1, 0, -1, 0, -1 if sd else 0, -1, -2 if sd else -1, 0], dtype=np.int64
-        )
-        self._dx1 = np.array(
-            [0, +1, 0, -1, -1, -1 if sd else 0, 0, -2 if sd else -1], dtype=np.int64
-        )
-        # good_table[m, e]: event e decreases the current minority's count
-        # (row 1: species 0 is the minority, row 0: species 1 is), following
-        # the scalar simulator's accounting where every interspecific event
-        # counts as good.
-        good_table = np.zeros((2, 8), dtype=bool)
-        good_table[0, [_DEATH1, _INTRA1, _INTER0, _INTER1]] = True
-        good_table[1, [_DEATH0, _INTRA0, _INTER0, _INTER1]] = True
-        self._good_table = good_table
+        self.compaction_fraction = compaction_fraction
 
     # ------------------------------------------------------------------
     def run_ensemble(
@@ -293,10 +941,10 @@ class LVEnsembleSimulator:
     ) -> LVEnsembleResult:
         """Run *num_replicates* independent jump chains from *initial_state*.
 
-        All replicas consume one shared vectorized random stream (a single
-        :class:`numpy.random.Generator` seeded from *rng*), so the ensemble is
-        reproducible from the root seed.  Each replica is statistically
-        identical to a scalar :meth:`LVJumpChainSimulator.run
+        All replicas consume one shared vectorized random stream derived from
+        *rng*, so the ensemble is reproducible from the root seed.  Each
+        replica is statistically identical to a scalar
+        :meth:`LVJumpChainSimulator.run
         <repro.lv.simulator.LVJumpChainSimulator.run>` trajectory.
         """
         state = LVJumpChainSimulator._coerce_state(initial_state)
@@ -306,245 +954,10 @@ class LVEnsembleSimulator:
             )
         if max_events <= 0:
             raise ValueError(f"max_events must be positive, got {max_events}")
-        generator = as_generator(rng)
-
-        params = self.params
-        beta, delta = params.beta, params.delta
-        alpha0, alpha1 = params.alpha0, params.alpha1
-        gamma0, gamma1 = params.gamma0, params.gamma1
-        majority = state.majority_species
-        # Gap sign convention: +1 measures the gap as x0 - x1 (species 0 is
-        # the reference majority, also on ties), -1 as x1 - x0.
-        sign = -1 if majority == 1 else 1
-
-        size = num_replicates
-        x0 = np.full(size, state.x0, dtype=np.int64)
-        x1 = np.full(size, state.x1, dtype=np.int64)
-        events = np.zeros(size, dtype=np.int64)
-        termination = np.full(size, _CONSENSUS, dtype=np.int8)
-        histogram = np.zeros((size, 8), dtype=np.int64)
-        bad = np.zeros(size, dtype=np.int64)
-        good = np.zeros(size, dtype=np.int64)
-        noise_ind = np.zeros(size, dtype=np.int64)
-        noise_comp = np.zeros(size, dtype=np.int64)
-        max_total = np.full(size, state.total, dtype=np.int64)
-        min_gap = np.full(size, state.abs_gap, dtype=np.int64)
-        hit_tie = np.full(size, state.x0 == state.x1, dtype=bool)
-        active = (x0 > 0) & (x1 > 0)
-        num_active = int(np.count_nonzero(active))
-
-        dx0, dx1 = self._dx0, self._dx1
-        # Zero-rate reaction classes contribute constant-zero rows; fill them
-        # once so the step only recomputes the live classes.
-        rows = np.zeros((8, size), dtype=np.float64)
-        replica_index = np.arange(size)
-        scalar = LVJumpChainSimulator(params)
-        # Absorption (zero total propensity with both species alive) is only
-        # possible in the intraspecific-only regime stuck at (1, 1): births,
-        # deaths, and interspecific competition each guarantee a positive
-        # propensity whenever both counts are positive.
-        can_absorb = params.theta == 0.0 and params.alpha == 0.0
-        uniforms = np.empty((0, size))
-        uniform_cursor = 0
-
-        # Every active replica fires exactly one event per lock-step
-        # iteration, so a replica's event count at retirement equals the step
-        # index; no per-step counter updates are needed.
-        step = 0
-        while num_active > 0:
-            if num_active <= _SCALAR_FINISH_WIDTH:
-                # The per-step numpy dispatch cost is width-independent, so a
-                # thin active set is cheaper to finish with the scalar loop.
-                remaining = np.nonzero(active)[0]
-                events[remaining] = step
-                self._finish_scalar(
-                    scalar,
-                    remaining,
-                    generator,
-                    max_events,
-                    sign,
-                    x0,
-                    x1,
-                    events,
-                    termination,
-                    histogram,
-                    bad,
-                    good,
-                    noise_ind,
-                    noise_comp,
-                    max_total,
-                    min_gap,
-                    hit_tie,
-                )
-                break
-            if step >= max_events:
-                events[active] = step
-                termination[active] = _MAX_EVENTS
-                break
-
-            # Propensities of the eight reaction classes, full width; retired
-            # replicas are frozen by masking the state deltas below.
-            if beta > 0.0:
-                rows[_BIRTH0] = beta * x0
-                rows[_BIRTH1] = beta * x1
-            if delta > 0.0:
-                rows[_DEATH0] = delta * x0
-                rows[_DEATH1] = delta * x1
-            if alpha0 > 0.0 or alpha1 > 0.0:
-                pair = x0 * x1
-                rows[_INTER0] = alpha0 * pair
-                rows[_INTER1] = alpha1 * pair
-            if gamma0 > 0.0:
-                rows[_INTRA0] = gamma0 * (x0 * (x0 - 1)) / 2.0
-            if gamma1 > 0.0:
-                rows[_INTRA1] = gamma1 * (x1 * (x1 - 1)) / 2.0
-            cumulative = np.cumsum(rows, axis=0)
-            total = cumulative[7]
-
-            if can_absorb:
-                absorbed = active & (total <= 0.0)
-                if absorbed.any():
-                    termination[absorbed] = _ABSORBED
-                    events[absorbed] = step
-                    active &= ~absorbed
-                    num_active = int(np.count_nonzero(active))
-                    if num_active == 0:
-                        break
-
-            if uniform_cursor >= uniforms.shape[0]:
-                uniforms = generator.random((_UNIFORM_STEPS, size))
-                uniform_cursor = 0
-            threshold = uniforms[uniform_cursor] * total
-            uniform_cursor += 1
-            # First event index whose cumulative propensity exceeds the
-            # threshold; zero-propensity reactions can never be selected.
-            event = np.minimum((cumulative <= threshold).sum(axis=0), 7)
-
-            delta0 = dx0[event]
-            delta1 = dx1[event]
-            delta0 *= active
-            delta1 *= active
-            gap_before = x0 - x1
-            x0 += delta0
-            x1 += delta1
-            gap_after = x0 - x1
-            histogram[replica_index, event] += active
-            step += 1
-
-            # Retired replicas have zero deltas, so their step noise vanishes
-            # and the accumulators below need no extra masking.
-            step_noise = sign * (gap_before - gap_after)
-            individual = event < 4
-            individual_noise = step_noise * individual
-            noise_ind += individual_noise
-            noise_comp += step_noise
-            noise_comp -= individual_noise
-
-            abs_before = np.abs(gap_before)
-            abs_after = np.abs(gap_after)
-            bad += individual & (abs_after < abs_before)
-
-            # "Good" events mirror the scalar simulator's accounting: a death
-            # or intraspecific event of the current minority, or any
-            # interspecific event, counted only while the counts differ.
-            minority_is_0 = gap_before < 0
-            good += (
-                active
-                & (gap_before != 0)
-                & self._good_table[minority_is_0.view(np.int8), event]
-            )
-
-            max_total = np.maximum(max_total, x0 + x1)
-            min_gap = np.minimum(min_gap, abs_after)
-            hit_tie |= active & (gap_after == 0)
-
-            finished = active & ((x0 == 0) | (x1 == 0))
-            if finished.any():
-                events[finished] = step
-                active &= ~finished
-                num_active = int(np.count_nonzero(active))
-
-        return LVEnsembleResult(
-            params=params,
-            initial_state=state,
-            final_x0=x0,
-            final_x1=x1,
-            total_events=events,
-            termination_codes=termination,
-            births=histogram[:, [_BIRTH0, _BIRTH1]].copy(),
-            deaths=histogram[:, [_DEATH0, _DEATH1]].copy(),
-            interspecific_events=histogram[:, _INTER0] + histogram[:, _INTER1],
-            intraspecific_events=histogram[:, [_INTRA0, _INTRA1]].copy(),
-            bad_noncompetitive_events=bad,
-            good_events=good,
-            noise_individual=noise_ind,
-            noise_competitive=noise_comp,
-            max_total_population=max_total,
-            min_gap_seen=min_gap,
-            hit_tie=hit_tie,
-        )
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _finish_scalar(
-        scalar: LVJumpChainSimulator,
-        idx: np.ndarray,
-        generator: np.random.Generator,
-        max_events: int,
-        sign: int,
-        x0: np.ndarray,
-        x1: np.ndarray,
-        events: np.ndarray,
-        termination: np.ndarray,
-        histogram: np.ndarray,
-        bad: np.ndarray,
-        good: np.ndarray,
-        noise_ind: np.ndarray,
-        noise_comp: np.ndarray,
-        max_total: np.ndarray,
-        min_gap: np.ndarray,
-        hit_tie: np.ndarray,
-    ) -> None:
-        """Finish the last few active replicas with the scalar simulator.
-
-        The scalar sub-run continues each replica from its mid-run state and
-        its counters are merged into the ensemble arrays.  The sub-run
-        measures noise relative to the majority of *its* initial (mid-run)
-        state, so its noise components are negated when that reference
-        disagrees with the ensemble's.
-        """
-        reference = 0 if sign == 1 else 1
-        for i in idx:
-            remaining = max_events - int(events[i])
-            if remaining <= 0:
-                termination[i] = _MAX_EVENTS
-                continue
-            state = LVState(int(x0[i]), int(x1[i]))
-            result = scalar.run(state, rng=generator, max_events=remaining)
-            x0[i] = result.final_state.x0
-            x1[i] = result.final_state.x1
-            events[i] += result.total_events
-            histogram[i, _BIRTH0] += result.births[0]
-            histogram[i, _BIRTH1] += result.births[1]
-            histogram[i, _DEATH0] += result.deaths[0]
-            histogram[i, _DEATH1] += result.deaths[1]
-            histogram[i, _INTER0] += result.interspecific_events
-            histogram[i, _INTRA0] += result.intraspecific_events[0]
-            histogram[i, _INTRA1] += result.intraspecific_events[1]
-            bad[i] += result.bad_noncompetitive_events
-            good[i] += result.good_events
-            sub_majority = state.majority_species
-            sub_reference = 0 if sub_majority is None else sub_majority
-            flip = -1 if sub_reference != reference else 1
-            noise_ind[i] += flip * result.noise_individual
-            noise_comp[i] += flip * result.noise_competitive
-            max_total[i] = max(int(max_total[i]), result.max_total_population)
-            min_gap[i] = min(int(min_gap[i]), result.min_gap_seen)
-            hit_tie[i] |= result.hit_tie
-            if result.termination == "max-events":
-                termination[i] = _MAX_EVENTS
-            elif result.termination == "absorbed":
-                termination[i] = _ABSORBED
+        member = SweepMember(self.params, state, num_replicates, max_events)
+        return run_sweep_ensemble(
+            [member], rng=rng, compaction_fraction=self.compaction_fraction
+        )[0]
 
     # ------------------------------------------------------------------
     def run_batch(

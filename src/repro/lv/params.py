@@ -19,10 +19,18 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
 
 from repro.exceptions import ModelError
 
-__all__ = ["CompetitionMechanism", "LVParams"]
+__all__ = ["CompetitionMechanism", "LVParams", "RATE_FIELDS"]
+
+#: Order of the rate constants in :meth:`LVParams.rate_vector` and
+#: :meth:`LVParams.stack` — the contract shared with the vectorized
+#: heterogeneous ensemble engine in :mod:`repro.lv.ensemble`.
+RATE_FIELDS = ("beta", "delta", "alpha0", "alpha1", "gamma0", "gamma1")
 
 
 class CompetitionMechanism(enum.Enum):
@@ -225,6 +233,36 @@ class LVParams:
     def total_propensity(self, x0: int, x1: int) -> float:
         """Total propensity ``φ(x0, x1)`` of the configuration."""
         return sum(self.propensities(x0, x1).values())
+
+    # ------------------------------------------------------------------
+    # Dense packing (heterogeneous ensemble engine)
+    # ------------------------------------------------------------------
+    def rate_vector(self) -> np.ndarray:
+        """The six rate constants as a float array in :data:`RATE_FIELDS` order.
+
+        Examples
+        --------
+        >>> LVParams.neutral(beta=1.0, delta=0.5, alpha=1.0).rate_vector()
+        array([1. , 0.5, 0.5, 0.5, 0. , 0. ])
+        """
+        return np.array([getattr(self, name) for name in RATE_FIELDS], dtype=np.float64)
+
+    @staticmethod
+    def stack(params: "Sequence[LVParams]") -> tuple[np.ndarray, np.ndarray]:
+        """Pack parameter sets into dense arrays for vectorized evaluation.
+
+        Returns ``(rates, self_destructive)`` where ``rates`` has shape
+        ``(C, 6)`` with columns in :data:`RATE_FIELDS` order and
+        ``self_destructive`` is a boolean array of length ``C``.  This is the
+        layout the heterogeneous lock-step ensemble consumes; keeping the
+        packing here means the rate-column contract lives next to the rate
+        definitions.
+        """
+        if not params:
+            raise ModelError("cannot stack an empty sequence of LVParams")
+        rates = np.stack([p.rate_vector() for p in params])
+        mechanisms = np.array([p.is_self_destructive for p in params], dtype=bool)
+        return rates, mechanisms
 
     def describe(self) -> str:
         """One-line human-readable description."""

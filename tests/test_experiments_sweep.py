@@ -1,0 +1,223 @@
+"""Tests for the sweep scheduler (:class:`repro.experiments.scheduler.SweepScheduler`).
+
+Covers the deterministic plumbing (mega-batch planning, per-(task, batch)
+seeding, demultiplexing, worker-count independence), the grid-level
+estimator entry points, the fused threshold sweeps, and the scheduler
+lifecycle satellites (pool-per-sweep, jobs sanity check, events counter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.consensus.threshold import ThresholdSearch, drive_threshold_searches
+from repro.exceptions import ExperimentError, ThresholdSearchError
+from repro.experiments.scheduler import (
+    ReplicaScheduler,
+    SweepScheduler,
+    ThresholdRequest,
+    _jobs_sanity_limit,
+)
+from repro.experiments.sweep import (
+    MemberSpec,
+    SweepTask,
+    demux_mega_results,
+    execute_mega_batch,
+    plan_mega_batches,
+)
+from repro.lv.params import LVParams
+from repro.lv.state import LVState
+
+
+def _tasks(sd_params, nsd_params, num_runs=300):
+    return [
+        SweepTask(sd_params, LVState(40, 24), num_runs, seed=1, label="sd-64"),
+        SweepTask(nsd_params, LVState(30, 18), num_runs, seed=2, label="nsd-48"),
+        SweepTask(sd_params, LVState(20, 12), num_runs, seed=3, label="sd-32"),
+    ]
+
+
+class TestPlanning:
+    def test_plan_splits_and_packs_in_task_order(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params, num_runs=300)
+        plans = plan_mega_batches(tasks, batch_size=128, sweep_batch=256)
+        flat = [spec for plan in plans for spec in plan]
+        # Every task decomposes into 128+128+44; order within a task is kept.
+        assert [spec.task_index for spec in flat] == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+        assert [spec.num_replicates for spec in flat] == [128, 128, 44] * 3
+        for plan in plans:
+            assert sum(spec.num_replicates for spec in plan) <= 256
+
+    def test_plan_is_deterministic(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params)
+        assert plan_mega_batches(tasks, batch_size=128, sweep_batch=512) == (
+            plan_mega_batches(tasks, batch_size=128, sweep_batch=512)
+        )
+
+    def test_oversized_batch_gets_own_mega_batch(self, sd_params):
+        tasks = [SweepTask(sd_params, LVState(20, 12), 500, seed=5)]
+        plans = plan_mega_batches(tasks, batch_size=500, sweep_batch=128)
+        assert len(plans) == 1 and plans[0][0].num_replicates == 500
+
+    def test_plan_validation(self, sd_params):
+        with pytest.raises(ExperimentError):
+            plan_mega_batches([], batch_size=64)
+        with pytest.raises(ExperimentError):
+            plan_mega_batches(
+                [SweepTask(sd_params, LVState(10, 6), 4)], batch_size=64, sweep_batch=0
+            )
+        with pytest.raises(ExperimentError):
+            SweepTask(sd_params, LVState(10, 6), 0)
+
+    def test_demux_validation(self, sd_params):
+        spec = MemberSpec(0, sd_params, (10, 6), 4, seed=1, max_events=10)
+        results = execute_mega_batch([spec])
+        with pytest.raises(ExperimentError):
+            demux_mega_results(2, [[spec]], [results])  # task 1 has no results
+        with pytest.raises(ExperimentError):
+            demux_mega_results(1, [[spec, spec]], [results])  # length mismatch
+
+
+class TestRunSweep:
+    def test_task_order_and_replicate_counts(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params, num_runs=100)
+        results = SweepScheduler(batch_size=64).run_sweep(tasks)
+        assert [r.num_replicates for r in results] == [100, 100, 100]
+        for task, result in zip(tasks, results):
+            assert result.params == task.params
+            assert result.initial_state == task.initial_state
+
+    def test_deterministic_in_task_seeds(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params, num_runs=150)
+        first = SweepScheduler(batch_size=64).run_sweep(tasks)
+        second = SweepScheduler(batch_size=64).run_sweep(tasks)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.total_events, b.total_events)
+            assert np.array_equal(a.final_x0, b.final_x0)
+
+    def test_independent_of_worker_count(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params, num_runs=200)
+        inline = SweepScheduler(jobs=1, batch_size=64, sweep_batch=128).run_sweep(tasks)
+        pooled = SweepScheduler(jobs=2, batch_size=64, sweep_batch=128).run_sweep(tasks)
+        for a, b in zip(inline, pooled):
+            assert np.array_equal(a.total_events, b.total_events)
+            assert np.array_equal(a.final_x0, b.final_x0)
+            assert np.array_equal(a.noise_individual, b.noise_individual)
+
+    def test_context_manager_reuses_pool(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params, num_runs=150)
+        with SweepScheduler(jobs=2, batch_size=64, sweep_batch=128) as scheduler:
+            first = scheduler.run_sweep(tasks)
+            assert scheduler._pool is not None
+            pool = scheduler._pool
+            second = scheduler.run_sweep(tasks)
+            assert scheduler._pool is pool  # one pool for the whole sweep
+        assert scheduler._pool is None
+        for a, b in zip(first, second):
+            assert np.array_equal(a.total_events, b.total_events)
+
+    def test_events_counter_accumulates(self, sd_params, nsd_params):
+        scheduler = SweepScheduler()
+        assert scheduler.events_executed == 0
+        results = scheduler.run_sweep(_tasks(sd_params, nsd_params, num_runs=50))
+        expected = sum(int(r.total_events.sum()) for r in results)
+        assert scheduler.events_executed == expected > 0
+
+
+class TestGridEntryPoints:
+    def test_estimate_many_matches_per_config_statistics(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params, num_runs=600)
+        fused = SweepScheduler().estimate_many(tasks)
+        per_config = ReplicaScheduler()
+        for task, estimate in zip(tasks, fused):
+            alone = per_config.estimate(
+                task.params, task.initial_state, task.num_runs, rng=task.seed
+            )
+            assert estimate.num_runs == task.num_runs
+            assert abs(estimate.majority_probability - alone.majority_probability) < 0.08
+
+    def test_decompose_many_matches_mechanism_structure(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params, num_runs=200)
+        decompositions = SweepScheduler().decompose_many(tasks)
+        assert all(d.num_runs == 200 for d in decompositions)
+        assert np.all(decompositions[0].competitive_noise == 0)  # SD
+        assert np.any(decompositions[1].competitive_noise != 0)  # NSD
+
+
+class TestFusedThresholds:
+    def test_find_thresholds_matches_per_config_search(self, sd_params, nsd_params):
+        requests = [
+            ThresholdRequest(sd_params, 64, num_runs=80, seed=7),
+            ThresholdRequest(nsd_params, 64, num_runs=80, seed=8),
+        ]
+        fused = SweepScheduler().find_thresholds(requests)
+        assert all(estimate.has_threshold for estimate in fused)
+        # SD threshold never exceeds NSD at the same n (the paper's headline).
+        assert fused[0].threshold_gap <= fused[1].threshold_gap
+        # Same magnitude as the per-config search (different streams).
+        per_config = ReplicaScheduler().find_threshold(
+            sd_params, 64, num_runs=80, rng=7
+        )
+        assert per_config.threshold_gap is not None
+        ratio = fused[0].threshold_gap / per_config.threshold_gap
+        assert 0.4 <= ratio <= 2.5
+
+    def test_fanout_searches_agree_with_bisection(self, sd_params):
+        narrow = SweepScheduler().find_thresholds(
+            [ThresholdRequest(sd_params, 64, num_runs=80, seed=11, fanout=1)]
+        )[0]
+        wide = SweepScheduler().find_thresholds(
+            [ThresholdRequest(sd_params, 64, num_runs=80, seed=11, fanout=3)]
+        )[0]
+        assert narrow.has_threshold and wide.has_threshold
+        assert 0.4 <= wide.threshold_gap / narrow.threshold_gap <= 2.5
+
+    def test_multiplexer_identical_to_single_search(self, sd_params, nsd_params):
+        """Sharing rounds must not change any search's probe decisions."""
+        single = ThresholdSearch(sd_params, num_runs=60).find(64, rng=5)
+
+        def runner(probes):
+            return [
+                ThresholdSearch(probe.params, num_runs=probe.num_runs)._estimator.estimate(
+                    probe.initial_state, probe.num_runs, rng=probe.seed
+                )
+                for probe in probes
+            ]
+
+        multiplexed = drive_threshold_searches(
+            [
+                ThresholdSearch(sd_params, num_runs=60).search_steps(64, rng=5),
+                ThresholdSearch(nsd_params, num_runs=60).search_steps(64, rng=6),
+            ],
+            runner,
+        )
+        assert multiplexed[0].threshold_gap == single.threshold_gap
+        assert multiplexed[0].probes.keys() == single.probes.keys()
+
+    def test_probe_runner_length_mismatch_rejected(self, sd_params):
+        steps = ThresholdSearch(sd_params, num_runs=20).search_steps(16, rng=1)
+        with pytest.raises(ThresholdSearchError):
+            drive_threshold_searches([steps], lambda probes: [])
+
+    def test_empty_request_list_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepScheduler().find_thresholds([])
+
+
+class TestSchedulerValidation:
+    def test_jobs_sanity_check(self):
+        limit = _jobs_sanity_limit()
+        with pytest.raises(ExperimentError, match="sanity limit"):
+            ReplicaScheduler(jobs=limit + 1)
+        with pytest.raises(ExperimentError):
+            ReplicaScheduler(jobs=0)
+
+    def test_sweep_batch_validation(self):
+        with pytest.raises(ExperimentError):
+            SweepScheduler(sweep_batch=0)
+
+    def test_compaction_fraction_validation(self):
+        with pytest.raises(ExperimentError):
+            ReplicaScheduler(compaction_fraction=0.0)
+        assert ReplicaScheduler(compaction_fraction=None).compaction_fraction is None

@@ -16,6 +16,8 @@ from repro.lv.ensemble import LVEnsembleResult, LVEnsembleSimulator
 from repro.lv.simulator import LVJumpChainSimulator
 from repro.lv.state import LVState
 
+from helpers_statistical import assert_statistically_close
+
 
 STATE = LVState(36, 24)
 
@@ -31,9 +33,9 @@ def _ensemble_batch(params, state, num_runs, seed):
 class TestStatisticalAgreement:
     """Ensemble vs scalar simulator on a fixed seed budget.
 
-    Replicate counts are chosen so the Monte-Carlo standard error of each
-    compared statistic is a few percent; the tolerances below are ~4 standard
-    errors, which keeps the tests deterministic (fixed seeds) while still
+    The tolerances live in :mod:`helpers_statistical` (shared with the
+    heterogeneous sweep-engine tests): ~4 standard errors at this replicate
+    count, which keeps the tests deterministic (fixed seeds) while still
     failing loudly on any systematic bias.
     """
 
@@ -43,50 +45,10 @@ class TestStatisticalAgreement:
     def params(self, request, sd_params, nsd_params):
         return sd_params if request.param == "sd" else nsd_params
 
-    @pytest.fixture
-    def batches(self, params):
+    def test_statistically_identical_to_scalar(self, params):
         scalar = _scalar_batch(params, STATE, self.NUM_RUNS, seed=101)
         ensemble = _ensemble_batch(params, STATE, self.NUM_RUNS, seed=202)
-        return scalar, ensemble
-
-    def test_win_probability_agrees(self, batches):
-        scalar, ensemble = batches
-        p_scalar = np.mean([r.majority_consensus for r in scalar])
-        p_ensemble = np.mean([r.majority_consensus for r in ensemble])
-        assert abs(p_scalar - p_ensemble) < 0.06
-
-    def test_consensus_time_agrees(self, batches):
-        scalar, ensemble = batches
-        t_scalar = np.mean([r.total_events for r in scalar if r.reached_consensus])
-        t_ensemble = np.mean([r.total_events for r in ensemble if r.reached_consensus])
-        assert t_ensemble == pytest.approx(t_scalar, rel=0.12)
-
-    def test_event_counts_agree(self, batches):
-        scalar, ensemble = batches
-        for attribute in ("interspecific_events", "bad_noncompetitive_events", "good_events"):
-            m_scalar = np.mean([getattr(r, attribute) for r in scalar])
-            m_ensemble = np.mean([getattr(r, attribute) for r in ensemble])
-            tolerance = 0.12 * max(m_scalar, 1.0)
-            assert abs(m_scalar - m_ensemble) < tolerance, attribute
-
-    def test_individual_event_totals_agree(self, batches):
-        scalar, ensemble = batches
-        def individual(r):
-            return sum(r.births) + sum(r.deaths)
-        m_scalar = np.mean([individual(r) for r in scalar])
-        m_ensemble = np.mean([individual(r) for r in ensemble])
-        assert m_ensemble == pytest.approx(m_scalar, rel=0.12)
-
-    def test_noise_decomposition_agrees(self, batches):
-        scalar, ensemble = batches
-        for attribute in ("noise_individual", "noise_competitive"):
-            m_scalar = np.mean([getattr(r, attribute) for r in scalar])
-            m_ensemble = np.mean([getattr(r, attribute) for r in ensemble])
-            scale = max(
-                np.std([getattr(r, attribute) for r in scalar]) / np.sqrt(len(scalar)),
-                0.5,
-            )
-            assert abs(m_scalar - m_ensemble) < 8 * scale, attribute
+        assert_statistically_close(scalar, ensemble, label="ensemble-vs-scalar")
 
 
 class TestExactInvariants:
