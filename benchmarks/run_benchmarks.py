@@ -4,15 +4,29 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--scale quick]
         [--seed 0] [--output BENCH_sweep.json]
+        [--compare BENCH_sweep.json]
 
 For every registered experiment the runner records wall-clock seconds, the
 number of two-species jump events executed by the process-wide sweep
 scheduler (its ``events_executed`` counter), and the resulting events/second
 — so the performance trajectory of the sweep engine stays comparable across
-PRs as a single JSON artefact instead of a nightly eye-check.  The sweep
-acceptance measurement (fused `FIG-THRESH`-style threshold sweep versus the
-per-config scheduler path, see ``test_bench_sweep_engine.py``) is re-run and
-recorded alongside.
+PRs as a single JSON artefact instead of a nightly eye-check.  Two
+acceptance measurements are re-run and recorded alongside: the sweep-fusion
+speedup (fused `FIG-THRESH`-style threshold sweep versus the per-config
+scheduler path, see ``test_bench_sweep_engine.py``) and the
+adaptive-precision events saving at equal CI width (see
+``test_bench_adaptive_precision.py``).
+
+``--compare BASELINE.json`` turns the run into a **regression gate**: after
+measuring, the fresh numbers are compared against the committed baseline
+and the process exits non-zero when anything regressed by more than
+:data:`REGRESSION_TOLERANCE`.  The default checks are machine-independent —
+growth of the deterministic per-experiment event budgets (same seeds must
+simulate the same work) and drops of either acceptance ratio (each measured
+within one run on one machine).  ``--compare-wallclock`` additionally gates
+absolute per-experiment and total seconds; use it only when the baseline
+was recorded on a comparable machine, otherwise runner-speed differences
+drown the signal.
 
 Notes
 -----
@@ -37,11 +51,21 @@ import numpy
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.experiments.scheduler import get_default_scheduler
 
-# The sweep acceptance workload (grid, seeds, and both executor paths) is
-# defined once, next to the >=3x CI assertion, and reused here so the JSON
-# artefact always measures exactly the workload the gate asserts on.
+# The acceptance workloads (grids, seeds, and executor paths) are defined
+# once, next to the CI assertions, and reused here so the JSON artefact
+# always measures exactly the workloads the gates assert on.
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+from test_bench_adaptive_precision import _run_adaptive, _run_fixed  # noqa: E402
+from test_bench_adaptive_precision import _grid as _adaptive_grid  # noqa: E402
 from test_bench_sweep_engine import _grid, _run_per_config, _run_sweep  # noqa: E402
+
+#: Maximum tolerated relative regression versus the committed baseline.
+REGRESSION_TOLERANCE = 0.20
+
+#: Wall-clock measurements below this are skipped by the per-experiment
+#: slowdown check — at sub-tenth-of-a-second scale the comparison measures
+#: scheduler jitter, not the code.
+_SECONDS_NOISE_FLOOR = 0.1
 
 
 def measure_experiments(scale: str, seed: int) -> dict[str, dict[str, float]]:
@@ -86,10 +110,96 @@ def measure_sweep_speedup():
     }
 
 
+def measure_adaptive_saving():
+    """The adaptive acceptance measurement: events saved at equal CI width.
+
+    Runs the exact workload of ``test_bench_adaptive_precision.py`` (same
+    grid, seeds, target, and both estimation modes) outside pytest.  Event
+    counts are deterministic in the seeds, so no best-of-N is needed.
+    """
+    grid = _adaptive_grid()
+    fixed_events, _ = _run_fixed(grid)
+    started = time.perf_counter()
+    adaptive_events, _ = _run_adaptive(grid)
+    adaptive_seconds = time.perf_counter() - started
+    return {
+        "fixed_events": int(fixed_events),
+        "adaptive_events": int(adaptive_events),
+        "adaptive_seconds": round(adaptive_seconds, 4),
+        "events_saving": round(fixed_events / adaptive_events, 2),
+    }
+
+
 def _timed(task) -> float:
     started = time.perf_counter()
     task()
     return time.perf_counter() - started
+
+
+def compare_with_baseline(
+    payload: dict, baseline: dict, *, wallclock: bool = False
+) -> list[str]:
+    """Regressions of *payload* versus *baseline* (empty when clean).
+
+    Flags, each beyond :data:`REGRESSION_TOLERANCE`:
+
+    * per-experiment growth of the deterministic event budgets (a sweep
+      silently burning more events at the same seeds),
+    * drops of the sweep-fusion speedup or the adaptive events saving
+      (each a within-run ratio, so comparable across machines), and
+    * with ``wallclock=True``, per-experiment and total seconds (skipping
+      measurements under the noise floor) — only meaningful when baseline
+      and fresh run come from comparable machines.
+    """
+    failures: list[str] = []
+    limit = 1.0 + REGRESSION_TOLERANCE
+    fresh_experiments = payload["experiments"]
+    base_experiments = baseline.get("experiments", {})
+    total_fresh = 0.0
+    total_base = 0.0
+    for identifier, base in base_experiments.items():
+        fresh = fresh_experiments.get(identifier)
+        if fresh is None:
+            failures.append(f"{identifier}: present in baseline but not measured")
+            continue
+        total_fresh += fresh["seconds"]
+        total_base += base["seconds"]
+        if (
+            wallclock
+            and base["seconds"] >= _SECONDS_NOISE_FLOOR
+            and fresh["seconds"] > base["seconds"] * limit
+        ):
+            failures.append(
+                f"{identifier}: {fresh['seconds']:.2f}s vs baseline "
+                f"{base['seconds']:.2f}s (>{REGRESSION_TOLERANCE:.0%} slowdown)"
+            )
+        if base["events"] and fresh["events"] > base["events"] * limit:
+            failures.append(
+                f"{identifier}: {fresh['events']} events vs baseline "
+                f"{base['events']} (>{REGRESSION_TOLERANCE:.0%} more simulated work)"
+            )
+    if wallclock and total_base and total_fresh > total_base * limit:
+        failures.append(
+            f"total wall-clock: {total_fresh:.2f}s vs baseline {total_base:.2f}s "
+            f"(>{REGRESSION_TOLERANCE:.0%} slowdown)"
+        )
+    base_sweep = baseline.get("sweep_vs_per_config")
+    if base_sweep:
+        fresh_speedup = payload["sweep_vs_per_config"]["speedup"]
+        if fresh_speedup < base_sweep["speedup"] / limit:
+            failures.append(
+                f"sweep fusion speedup: {fresh_speedup}x vs baseline "
+                f"{base_sweep['speedup']}x"
+            )
+    base_adaptive = baseline.get("adaptive_vs_fixed")
+    if base_adaptive:
+        fresh_saving = payload["adaptive_vs_fixed"]["events_saving"]
+        if fresh_saving < base_adaptive["events_saving"] / limit:
+            failures.append(
+                f"adaptive events saving: {fresh_saving}x vs baseline "
+                f"{base_adaptive['events_saving']}x"
+            )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,6 +211,20 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_sweep.json",
     )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare against this committed baseline JSON and exit non-zero "
+        f"on any regression beyond {REGRESSION_TOLERANCE:.0%}",
+    )
+    parser.add_argument(
+        "--compare-wallclock",
+        action="store_true",
+        help="also gate absolute seconds (baseline must come from a "
+        "comparable machine; the default checks are machine-independent)",
+    )
     arguments = parser.parse_args(argv)
 
     experiments = measure_experiments(arguments.scale, arguments.seed)
@@ -109,9 +233,15 @@ def main(argv: list[str] | None = None) -> int:
         f"[sweep-vs-per-config] {sweep['fused_seconds']:.2f}s vs "
         f"{sweep['per_config_seconds']:.2f}s  ->  {sweep['speedup']}x"
     )
+    adaptive = measure_adaptive_saving()
+    print(
+        f"[adaptive-vs-fixed] {adaptive['adaptive_events']:,} vs "
+        f"{adaptive['fixed_events']:,} events  ->  "
+        f"{adaptive['events_saving']}x fewer at equal CI width"
+    )
 
     payload = {
-        "schema": 1,
+        "schema": 2,
         "scale": arguments.scale,
         "seed": arguments.seed,
         "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
@@ -119,9 +249,22 @@ def main(argv: list[str] | None = None) -> int:
         "numpy": numpy.__version__,
         "experiments": experiments,
         "sweep_vs_per_config": sweep,
+        "adaptive_vs_fixed": adaptive,
     }
     arguments.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {arguments.output}")
+
+    if arguments.compare is not None:
+        baseline = json.loads(arguments.compare.read_text())
+        failures = compare_with_baseline(
+            payload, baseline, wallclock=arguments.compare_wallclock
+        )
+        if failures:
+            print(f"\nperformance regressions versus {arguments.compare}:")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+            return 1
+        print(f"no performance regressions versus {arguments.compare}")
     return 0
 
 

@@ -1,0 +1,124 @@
+"""Benchmark: adaptive-precision waves versus fixed budgets at equal CI width.
+
+The acceptance criterion of the adaptive-precision sequential estimation
+layer, asserted on the `FIG-THRESH` workload (both mechanisms' threshold
+searches over the quick population grid):
+
+* the **fixed-budget path** sizes every probe for the default Wilson
+  half-width target the only way a fixed budget can — worst-case ``p = 1/2``
+  planning (:func:`repro.analysis.statistics.required_samples`), because a
+  probe's true ρ is unknown up front;
+* the **adaptive path** runs the same searches with a
+  :class:`~repro.analysis.statistics.PrecisionTarget` of the same width:
+  every probe executes sequential replicate waves and stops as soon as its
+  interim Wilson half-width clears the target, so probes whose ρ sits near
+  0 or 1 — most of a converging bisection — stop after a fraction of the
+  worst-case budget.
+
+The gate asserts the adaptive path simulates at least
+:data:`MIN_EVENTS_SAVING` times fewer jump events (the scheduler's
+``events_executed`` meter, deterministic in the fixed seeds) while every
+final probe estimate still meets the width target, and that both paths tell
+the same threshold story at every grid point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.statistics import (
+    PrecisionTarget,
+    required_samples,
+    wilson_half_width,
+)
+from repro.experiments.scheduler import SweepScheduler, ThresholdRequest
+from repro.experiments.workloads import population_grid
+from repro.lv.params import LVParams
+from repro.rng import stable_seed
+
+#: Minimum fixed-over-adaptive ratio of simulated events at equal CI width.
+MIN_EVENTS_SAVING = 2.0
+
+#: The width both paths must deliver (the adaptive layer's default target).
+TARGET = PrecisionTarget()
+
+
+def _grid():
+    sd = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    nsd = LVParams.non_self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    return [
+        (tag, params, n)
+        for tag, params in (("sd", sd), ("nsd", nsd))
+        for n in population_grid("quick")
+    ]
+
+
+def _requests(grid, num_runs):
+    return [
+        ThresholdRequest(
+            params, n, num_runs=num_runs, seed=stable_seed("bench-adaptive", tag, n)
+        )
+        for tag, params, n in grid
+    ]
+
+
+def _fixed_budget() -> int:
+    """Per-probe budget a fixed plan needs to guarantee the target width."""
+    return required_samples(TARGET.ci_half_width, confidence=TARGET.confidence)
+
+
+def _run_fixed(grid):
+    scheduler = SweepScheduler()
+    estimates = scheduler.find_thresholds(_requests(grid, _fixed_budget()))
+    return scheduler.events_executed, estimates
+
+
+def _run_adaptive(grid):
+    scheduler = SweepScheduler(precision=TARGET)
+    estimates = scheduler.find_thresholds(_requests(grid, _fixed_budget()))
+    return scheduler.events_executed, estimates
+
+
+def test_adaptive_precision_saves_events_at_equal_width(benchmark):
+    grid = _grid()
+
+    fixed_events, fixed_estimates = _run_fixed(grid)
+    adaptive_events, adaptive_estimates = benchmark.pedantic(
+        lambda: _run_adaptive(grid), rounds=1, iterations=1
+    )
+
+    saving = fixed_events / adaptive_events
+    benchmark.extra_info["fixed_events"] = int(fixed_events)
+    benchmark.extra_info["adaptive_events"] = int(adaptive_events)
+    benchmark.extra_info["events_saving"] = round(saving, 2)
+    assert saving >= MIN_EVENTS_SAVING, (
+        f"adaptive precision only saved {saving:.2f}x events "
+        f"({adaptive_events} vs {fixed_events} fixed) on the FIG-THRESH "
+        f"sweep; expected at least {MIN_EVENTS_SAVING}x at equal CI width"
+    )
+
+    # Equal-width check: every final probe estimate of the adaptive path
+    # meets the target half-width (at the target's own confidence level).
+    for estimate in adaptive_estimates:
+        for gap, probe in estimate.probes.items():
+            width = wilson_half_width(
+                probe.success.successes,
+                probe.success.trials,
+                confidence=TARGET.confidence,
+            )
+            assert width <= TARGET.ci_half_width + 1e-9, (
+                estimate.population_size,
+                gap,
+                width,
+            )
+
+    # Same-magnitude sanity: the two paths must tell the same threshold
+    # story at every grid point (different budgets and streams, so exact
+    # equality is not expected).
+    for fixed, adaptive in zip(fixed_estimates, adaptive_estimates):
+        assert fixed.threshold_gap is not None
+        assert adaptive.threshold_gap is not None
+        ratio = adaptive.threshold_gap / fixed.threshold_gap
+        assert 0.4 <= ratio <= 2.5, (
+            fixed.population_size,
+            fixed.threshold_gap,
+            adaptive.threshold_gap,
+        )

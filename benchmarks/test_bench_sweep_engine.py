@@ -37,7 +37,14 @@ from repro.lv.params import LVParams
 from repro.rng import stable_seed
 
 #: Minimum sweep-over-per-config speedup the sweep engine must sustain.
-MIN_SPEEDUP = 3.0
+#: 2.5x (typical measurement ~3.1x) since the per-member-stream engine:
+#: every member of a mega-batch now owns its RNG streams and hands its thin
+#: tail to the scalar finisher at the same point it would running alone,
+#: which buys bitwise per-configuration reproducibility (required by the
+#: adaptive-precision scheduler's sequential stopping decisions) and a ~4x
+#: win on heavy-tailed sweeps (T1R5), at the price of a few percent of
+#: fusion overhead on this workload.
+MIN_SPEEDUP = 2.5
 
 NUM_RUNS = 150
 

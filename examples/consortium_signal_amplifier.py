@@ -27,7 +27,9 @@ from repro.experiments.workloads import consortium_scenarios
 from repro.rng import spawn_generators
 
 
-def amplifier_success_rate(params, scenario, *, trials: int, seed: int) -> tuple[float, float, float]:
+def amplifier_success_rate(
+    params, scenario, *, trials: int, seed: int
+) -> tuple[float, float, float]:
     """Fraction of end-to-end trials where the surviving species encodes the true bit.
 
     Each trial samples a fresh noisy sensor output (so failures can come from

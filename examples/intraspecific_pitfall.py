@@ -39,7 +39,9 @@ def balanced_competition_demo() -> None:
     rows = []
     for label, p in params.items():
         for a, b in states:
-            exact = exact_majority_probability(p, (a, b), max_count=3 * (a + b), dead_heat_value=0.5)
+            exact = exact_majority_probability(
+                p, (a, b), max_count=3 * (a + b), dead_heat_value=0.5
+            )
             simulated = estimate_majority_probability(p, LVState(a, b), num_runs=600, rng=a * b)
             rows.append(
                 {

@@ -11,6 +11,7 @@ Run it with::
     python examples/reproduce_paper.py --scale quick               # minutes
     python examples/reproduce_paper.py --scale full                # longer, used for EXPERIMENTS.md
     python examples/reproduce_paper.py --only T1R2 FIG-NOISE       # a subset
+    python examples/reproduce_paper.py --smoke                     # CI smoke: tiny fixed subset
 
 Results are written next to the repository root by default
 (``experiment_results.<scale>.json`` and ``EXPERIMENTS.generated.md``) so that
@@ -43,6 +44,12 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment identifiers to run (default: all)",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: run a tiny fixed subset at quick scale so the "
+        "documented entry point stays exercised without the full sweep cost",
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=Path(__file__).resolve().parent.parent,
@@ -50,7 +57,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     arguments = parser.parse_args(argv)
 
-    identifiers = arguments.only or [spec.identifier for spec in list_experiments()]
+    if arguments.smoke:
+        if arguments.only:
+            parser.error("--smoke selects its own experiment subset; drop --only")
+        arguments.scale = "quick"
+        identifiers = ["T1R3", "FIG-NOISE"]
+    else:
+        identifiers = arguments.only or [spec.identifier for spec in list_experiments()]
     results = []
     json_path = arguments.output_dir / f"experiment_results.{arguments.scale}.json"
     report_path = arguments.output_dir / "EXPERIMENTS.generated.md"

@@ -18,6 +18,13 @@ Three subcommands cover the common entry points without writing any Python:
 :class:`~repro.experiments.scheduler.ReplicaScheduler`; the results are
 identical for every job count because batch seeds are spawned from the root
 seed before dispatch.
+
+``--target-ci-width W`` (optionally with ``--max-replicates CAP``) switches
+the sweeps from fixed replicate budgets to **adaptive precision**: every
+configuration runs replicate waves until its ρ(S) Wilson interval is at most
+``W`` wide per side, so easy configurations stop early and hard ones get the
+freed budget.  Without the flag the fixed budgets run bit-for-bit as before
+(the exact-reproducibility mode).
 """
 
 from __future__ import annotations
@@ -26,13 +33,15 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis.statistics import PrecisionTarget
 from repro.experiments import (
     list_experiments,
     render_report,
     run_experiment,
     save_results,
 )
-from repro.experiments.scheduler import configure_default_scheduler, get_default_scheduler
+from repro.experiments.scheduler import configure_default_scheduler
+from repro.experiments.sweep import SweepTask
 from repro.experiments.workloads import state_with_gap
 from repro.lv.params import LVParams
 
@@ -65,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="WIDTH",
         help="replicas per fused mega-batch of the sweep engine (default 2048)",
     )
+    _add_precision_arguments(run_parser)
     run_parser.add_argument("--json", type=Path, default=None, help="save raw results to this path")
     run_parser.add_argument(
         "--report", type=Path, default=None, help="write the markdown report to this path"
@@ -92,7 +102,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="WIDTH",
         help="replicas per fused mega-batch of the sweep engine (default 2048)",
     )
+    _add_precision_arguments(estimate_parser)
     return parser
+
+
+def _add_precision_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target-ci-width",
+        type=float,
+        default=None,
+        metavar="W",
+        help="adaptive precision: run replicate waves until every rho estimate's "
+        "Wilson half-width is at most W (omit for fixed replicate budgets)",
+    )
+    parser.add_argument(
+        "--max-replicates",
+        type=int,
+        default=None,
+        metavar="CAP",
+        help="per-configuration replicate cap of the adaptive mode "
+        f"(default {PrecisionTarget().max_replicates}; requires --target-ci-width)",
+    )
+
+
+def _precision_from_arguments(arguments: argparse.Namespace) -> "PrecisionTarget | None":
+    """Translate the precision flags into a target (or None for fixed mode)."""
+    if arguments.target_ci_width is None:
+        if arguments.max_replicates is not None:
+            raise SystemExit("--max-replicates requires --target-ci-width")
+        return None
+    if not 0.0 < arguments.target_ci_width < 1.0:
+        raise SystemExit(
+            f"--target-ci-width must be in (0, 1), got {arguments.target_ci_width}"
+        )
+    if arguments.max_replicates is None:
+        return PrecisionTarget(ci_half_width=arguments.target_ci_width)
+    if arguments.max_replicates < 1:
+        raise SystemExit(
+            f"--max-replicates must be at least 1, got {arguments.max_replicates}"
+        )
+    default = PrecisionTarget()
+    return PrecisionTarget(
+        ci_half_width=arguments.target_ci_width,
+        max_replicates=arguments.max_replicates,
+        min_replicates=min(default.min_replicates, arguments.max_replicates),
+    )
 
 
 def _command_list(_arguments: argparse.Namespace) -> int:
@@ -109,7 +163,11 @@ def _command_run(arguments: argparse.Namespace) -> int:
     if arguments.sweep_batch is not None and arguments.sweep_batch < 1:
         print(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
         return 2
-    configure_default_scheduler(jobs=arguments.jobs, sweep_batch=arguments.sweep_batch)
+    configure_default_scheduler(
+        jobs=arguments.jobs,
+        sweep_batch=arguments.sweep_batch,
+        precision=_precision_from_arguments(arguments),
+    )
     if arguments.all:
         identifiers = [spec.identifier for spec in list_experiments()]
     else:
@@ -145,7 +203,10 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
     if arguments.sweep_batch is not None and arguments.sweep_batch < 1:
         print(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
         return 2
-    configure_default_scheduler(jobs=arguments.jobs, sweep_batch=arguments.sweep_batch)
+    precision = _precision_from_arguments(arguments)
+    scheduler = configure_default_scheduler(
+        jobs=arguments.jobs, sweep_batch=arguments.sweep_batch, precision=precision
+    )
     constructor = (
         LVParams.self_destructive if arguments.mechanism == "sd" else LVParams.non_self_destructive
     )
@@ -156,9 +217,16 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
         gamma=arguments.gamma,
     )
     state = state_with_gap(arguments.population, arguments.gap)
-    estimate = get_default_scheduler().estimate(
-        params, state, arguments.runs, rng=arguments.seed
-    )
+    if precision is not None:
+        estimate = scheduler.estimate_many(
+            [SweepTask(params, state, arguments.runs, seed=arguments.seed)]
+        )[0]
+        report = scheduler.last_adaptive_report
+    else:
+        estimate = scheduler.estimate(
+            params, state, arguments.runs, rng=arguments.seed
+        )
+        report = None
     print(f"model: {params.describe()}")
     print(f"initial state: {state} (n = {state.total}, gap = {state.abs_gap})")
     print(
@@ -170,6 +238,14 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
     print(f"mean bad events J(S): {estimate.mean_bad_events:.2f}")
     if estimate.dead_heat_rate > 0:
         print(f"dead-heat rate: {estimate.dead_heat_rate:.4f}")
+    if report is not None:
+        status = "converged" if report.all_converged else "replicate cap reached"
+        print(
+            f"adaptive precision: {status} after {report.replicates[0]} replicates "
+            f"in {report.waves} wave(s) "
+            f"(achieved half-width {report.half_widths[0]:.4f}, "
+            f"target {precision.ci_half_width})"
+        )
     return 0
 
 

@@ -1,7 +1,9 @@
 """Statistical analysis utilities.
 
 * :mod:`~repro.analysis.statistics` — binomial confidence intervals (Wilson),
-  bootstrap intervals, and sample-size planning,
+  bootstrap intervals, sample-size planning, and the sequential-stopping
+  rules (:class:`~repro.analysis.statistics.PrecisionTarget`) behind the
+  adaptive-precision sweeps,
 * :mod:`~repro.analysis.concentration` — the concentration inequalities used
   throughout the paper (Chernoff, Hoeffding) as computable bound evaluators,
 * :mod:`~repro.analysis.scaling` — scaling-law fitting and model selection for
@@ -12,10 +14,16 @@
 
 from repro.analysis.statistics import (
     BinomialEstimate,
+    DEFAULT_CI_HALF_WIDTH,
+    PrecisionTarget,
     wilson_interval,
+    wilson_half_width,
     binomial_estimate,
     bootstrap_mean_interval,
+    mean_relative_half_width,
     required_samples,
+    replicates_for_proportion,
+    replicates_for_mean,
 )
 from repro.analysis.concentration import (
     chernoff_upper_tail,
@@ -34,10 +42,16 @@ from repro.analysis.tables import format_table, format_markdown_table, format_cs
 
 __all__ = [
     "BinomialEstimate",
+    "DEFAULT_CI_HALF_WIDTH",
+    "PrecisionTarget",
     "wilson_interval",
+    "wilson_half_width",
     "binomial_estimate",
     "bootstrap_mean_interval",
+    "mean_relative_half_width",
     "required_samples",
+    "replicates_for_proportion",
+    "replicates_for_mean",
     "chernoff_upper_tail",
     "chernoff_lower_tail",
     "hoeffding_two_sided",

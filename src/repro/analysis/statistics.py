@@ -1,4 +1,20 @@
-"""Binomial and bootstrap statistics for Monte-Carlo estimates."""
+"""Binomial and bootstrap statistics, and sequential-stopping rules.
+
+Two layers live here:
+
+* **one-shot estimation** — Wilson intervals for binomial proportions,
+  bootstrap intervals for heavy-tailed means, and *a-priori* sample-size
+  planning (:func:`required_samples`), and
+* **sequential stopping** — the precision-target machinery behind the
+  experiment harness's adaptive-precision sweeps: a
+  :class:`PrecisionTarget` declares how tight the estimates must be, and
+  the planning helpers (:func:`wilson_half_width`,
+  :func:`mean_relative_half_width`, :func:`replicates_for_proportion`,
+  :func:`replicates_for_mean`) translate interim results into
+  variance-aware additional-replicate budgets, so sweeps spend events where
+  the statistical error actually is instead of burning a fixed budget on
+  every configuration.
+"""
 
 from __future__ import annotations
 
@@ -13,10 +29,16 @@ from repro.rng import SeedLike, as_generator
 
 __all__ = [
     "BinomialEstimate",
+    "PrecisionTarget",
+    "DEFAULT_CI_HALF_WIDTH",
     "wilson_interval",
+    "wilson_half_width",
     "binomial_estimate",
     "bootstrap_mean_interval",
+    "mean_relative_half_width",
     "required_samples",
+    "replicates_for_proportion",
+    "replicates_for_mean",
 ]
 
 
@@ -148,6 +170,214 @@ def bootstrap_mean_interval(
     lower = float(np.quantile(means, (1.0 - confidence) / 2.0))
     upper = float(np.quantile(means, 1.0 - (1.0 - confidence) / 2.0))
     return (lower, upper)
+
+
+def wilson_half_width(
+    successes: int, trials: int, *, confidence: float = 0.95
+) -> float:
+    """Half-width of the Wilson interval — the sequential-stopping yardstick.
+
+    Examples
+    --------
+    >>> wilson_half_width(50, 100) > wilson_half_width(500, 1000)
+    True
+    """
+    lower, upper = wilson_interval(successes, trials, confidence=confidence)
+    return (upper - lower) / 2.0
+
+
+def mean_relative_half_width(
+    samples: np.ndarray, *, confidence: float = 0.95
+) -> float:
+    """Relative half-width of a normal-approximation CI for a sample mean.
+
+    ``z * sem / |mean|`` — the stopping criterion for time and event-count
+    statistics (``T(S)``, ``I(S)``, ...), which are means of positive
+    heavy-ish-tailed quantities, so *relative* precision is the natural
+    target.  Returns ``inf`` when the mean is zero, non-finite, or fewer
+    than two samples are available (no spread information yet).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(f"confidence must be in (0, 1), got {confidence}")
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 2:
+        return float("inf")
+    mean = float(samples.mean())
+    if mean == 0.0 or not np.isfinite(mean):
+        return float("inf")
+    z = _normal_quantile(confidence)
+    sem = float(samples.std(ddof=1)) / float(np.sqrt(samples.size))
+    return z * sem / abs(mean)
+
+
+def replicates_for_proportion(
+    successes: int, trials: int, target_half_width: float, *, confidence: float = 0.95
+) -> int:
+    """Variance-aware total-trial estimate to reach *target_half_width*.
+
+    Uses the Agresti–Coull shrunk proportion (the Wilson interval's centre)
+    as the variance plug-in, so configurations whose interim estimate sits
+    near 0 or 1 — the common case for "with high probability" statements —
+    are budgeted far fewer replicates than the worst-case ``p = 1/2``
+    planning of :func:`required_samples`.  This is the rule the adaptive
+    sweep scheduler uses to size follow-up waves.
+    """
+    if trials <= 0:
+        raise EstimationError(f"trials must be positive, got {trials}")
+    if successes < 0 or successes > trials:
+        raise EstimationError(
+            f"successes must lie in [0, trials]; got {successes}/{trials}"
+        )
+    if not 0.0 < target_half_width < 1.0:
+        raise EstimationError(
+            f"target_half_width must be in (0, 1), got {target_half_width}"
+        )
+    z = _normal_quantile(confidence)
+    shrunk = (successes + z * z / 2.0) / (trials + z * z)
+    variance = shrunk * (1.0 - shrunk)
+    return int(np.ceil(z * z * variance / (target_half_width * target_half_width)))
+
+
+def replicates_for_mean(
+    mean: float, std: float, relative_error: float, *, confidence: float = 0.95
+) -> float:
+    """Samples needed so the mean's relative half-width is *relative_error*.
+
+    Returns ``inf`` when the interim mean is zero or either moment is
+    non-finite (callers clamp against their replicate cap).
+    """
+    if not 0.0 < relative_error:
+        raise EstimationError(
+            f"relative_error must be positive, got {relative_error}"
+        )
+    if mean == 0.0 or not (np.isfinite(mean) and np.isfinite(std)):
+        return float("inf")
+    z = _normal_quantile(confidence)
+    needed = (z * std / (relative_error * abs(mean))) ** 2
+    return float(np.ceil(needed))
+
+
+#: Default Wilson half-width target of the adaptive-precision experiment
+#: paths (the CLI's ``--target-ci-width``).
+DEFAULT_CI_HALF_WIDTH = 0.05
+
+
+@dataclass(frozen=True)
+class PrecisionTarget:
+    """Sequential-stopping targets for adaptive-precision sweeps.
+
+    A configuration of a sweep is *converged* once every enabled criterion
+    is met (and at least *min_replicates* replicates ran); it is *exhausted*
+    once *max_replicates* replicates ran without convergence.  The fixed
+    replicate budgets of the non-adaptive paths correspond to no target at
+    all (``None`` throughout the scheduler API).
+
+    Attributes
+    ----------
+    ci_half_width:
+        Wilson half-width the success-probability estimate ρ(S) must reach.
+    relative_error:
+        Optional relative half-width target for the mean consensus time
+        ``T(S)`` (enables the time criterion when set).
+    confidence:
+        Confidence level at which both criteria are evaluated.
+    min_replicates:
+        Never stop a configuration before this many replicates (guards
+        against degenerate early stops on tiny interim samples).
+    max_replicates:
+        Hard per-configuration cap (the CLI's ``--max-replicates``); a
+        configuration hitting it retires unconverged and is reported as
+        such.
+    """
+
+    ci_half_width: float = DEFAULT_CI_HALF_WIDTH
+    relative_error: float | None = None
+    confidence: float = 0.95
+    min_replicates: int = 64
+    max_replicates: int = 100_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ci_half_width < 1.0:
+            raise EstimationError(
+                f"ci_half_width must be in (0, 1), got {self.ci_half_width}"
+            )
+        if self.relative_error is not None and self.relative_error <= 0.0:
+            raise EstimationError(
+                f"relative_error must be positive, got {self.relative_error}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise EstimationError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.min_replicates < 1:
+            raise EstimationError(
+                f"min_replicates must be at least 1, got {self.min_replicates}"
+            )
+        if self.max_replicates < self.min_replicates:
+            raise EstimationError(
+                "max_replicates must be at least min_replicates; got "
+                f"{self.max_replicates} < {self.min_replicates}"
+            )
+
+    # ------------------------------------------------------------------
+    def met_by(self, successes: int, trials: int, times: np.ndarray) -> bool:
+        """Whether interim results satisfy every enabled criterion.
+
+        Parameters
+        ----------
+        successes, trials:
+            Interim majority-consensus counts (the ρ(S) criterion).
+        times:
+            Interim consensus times of the replicates that reached
+            consensus (the ``T(S)`` criterion; ignored unless
+            *relative_error* is set).
+        """
+        if trials < self.min_replicates:
+            return False
+        if (
+            wilson_half_width(successes, trials, confidence=self.confidence)
+            > self.ci_half_width
+        ):
+            return False
+        if self.relative_error is not None:
+            if (
+                mean_relative_half_width(times, confidence=self.confidence)
+                > self.relative_error
+            ):
+                return False
+        return True
+
+    def replicates_needed(
+        self, successes: int, trials: int, times: np.ndarray
+    ) -> int:
+        """Variance-aware total-replicate estimate to meet every criterion.
+
+        The maximum of the per-criterion plans, clamped to
+        ``[min_replicates, max_replicates]``.  This is an *estimate* from
+        interim variances — the adaptive scheduler re-plans after every
+        wave, so an optimistic plan only costs an extra wave, never a wrong
+        stop.
+        """
+        needed = float(
+            replicates_for_proportion(
+                successes, trials, self.ci_half_width, confidence=self.confidence
+            )
+        )
+        if self.relative_error is not None:
+            times = np.asarray(times, dtype=float)
+            if times.size < 2:
+                needed = float(self.max_replicates)
+            else:
+                # The time plan counts consensus samples; rescale to total
+                # replicates when only a fraction of runs reach consensus.
+                time_samples = replicates_for_mean(
+                    float(times.mean()),
+                    float(times.std(ddof=1)),
+                    self.relative_error,
+                    confidence=self.confidence,
+                )
+                needed = max(needed, time_samples * (trials / times.size))
+        return int(min(max(needed, self.min_replicates), self.max_replicates))
 
 
 def required_samples(

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.chains.birth_death import BirthDeathChain, BirthDeathSummary
 from repro.exceptions import ModelError
-from repro.rng import SeedLike, as_generator, spawn_generators
+from repro.rng import SeedLike, spawn_generators
 
 __all__ = [
     "NiceChainCertificate",

@@ -24,6 +24,7 @@ from repro.consensus.estimator import (
     ConsensusEstimate,
     MajorityConsensusEstimator,
     estimate_majority_probability,
+    run_adaptive_ensemble,
 )
 from repro.consensus.threshold import (
     ThresholdEstimate,
@@ -49,6 +50,7 @@ __all__ = [
     "ConsensusEstimate",
     "MajorityConsensusEstimator",
     "estimate_majority_probability",
+    "run_adaptive_ensemble",
     "ThresholdEstimate",
     "ThresholdSearch",
     "find_threshold",

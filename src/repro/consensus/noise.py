@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.statistics import PrecisionTarget
+from repro.consensus.estimator import run_adaptive_ensemble
 from repro.exceptions import EstimationError
 from repro.lv.ensemble import LVEnsembleResult, LVEnsembleSimulator
 from repro.lv.params import LVParams
@@ -133,11 +135,15 @@ def decompose_noise(
     rng: SeedLike = None,
     max_events: int = DEFAULT_MAX_EVENTS,
     method: str = "ensemble",
+    precision: PrecisionTarget | None = None,
 ) -> NoiseDecomposition:
     """Measure the noise decomposition by Monte-Carlo simulation.
 
     *method* selects the replicate executor: the vectorized lock-step
     ensemble (default) or the scalar per-replicate loop (``"scalar"``).
+    With a *precision* target the replicate budget is chosen adaptively
+    (sequential waves until the target's criteria hold; requires the
+    ``"ensemble"`` method) and *num_runs* is ignored.
 
     Examples
     --------
@@ -152,6 +158,15 @@ def decompose_noise(
         initial_state = LVState(int(initial_state[0]), int(initial_state[1]))
     if method not in ("ensemble", "scalar"):
         raise EstimationError(f"method must be 'ensemble' or 'scalar', got {method!r}")
+    if precision is not None:
+        if method != "ensemble":
+            raise EstimationError(
+                "adaptive precision requires the vectorized 'ensemble' method"
+            )
+        ensemble = run_adaptive_ensemble(
+            params, initial_state, precision, rng=rng, max_events=max_events
+        )
+        return decomposition_from_ensemble(ensemble)
 
     if method == "ensemble":
         ensemble = LVEnsembleSimulator(params).run_ensemble(

@@ -32,9 +32,10 @@ fuse the probes of a whole threshold sweep into heterogeneous mega-batches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Generator, Sequence
 
+from repro.analysis.statistics import PrecisionTarget
 from repro.consensus.estimator import (
     BatchRunner,
     ConsensusEstimate,
@@ -73,6 +74,13 @@ class GapProbe:
     seed: int
     max_events: int = DEFAULT_MAX_EVENTS
     confidence: float = 0.9
+    #: Adaptive-precision request: drivers that support sequential
+    #: estimation (the sweep scheduler) size the probe by this target
+    #: instead of the fixed *num_runs*; the built-in estimator driver runs
+    #: the fixed budget regardless.  Refinement rounds carry a tightened
+    #: copy (halved ``ci_half_width`` per round), so straddling gaps are
+    #: resolved by narrower intervals rather than blind re-sampling.
+    precision: PrecisionTarget | None = None
 
     @property
     def initial_state(self) -> LVState:
@@ -156,6 +164,12 @@ class ThresholdSearch:
         :class:`~repro.consensus.estimator.MajorityConsensusEstimator`
         (vectorized ensemble by default; the experiment harness passes a
         :class:`~repro.experiments.scheduler.ReplicaScheduler` runner here).
+    precision:
+        Optional adaptive-precision target attached to every emitted
+        :class:`GapProbe` (tightened by refinement round).  Only drivers
+        that support sequential estimation act on it — the sweep
+        scheduler's probe runner does, the built-in estimator driver runs
+        the fixed *num_runs* budget.
     """
 
     params: LVParams
@@ -166,6 +180,7 @@ class ThresholdSearch:
     fanout: int = 1
     method: str = "ensemble"
     batch_runner: BatchRunner | None = None
+    precision: PrecisionTarget | None = None
     _estimator: MajorityConsensusEstimator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -368,6 +383,15 @@ class ThresholdSearch:
         final: dict[int, ConsensusEstimate] = {}
         pending = list(gaps)
         for round_index in range(self.max_refinement_rounds + 1):
+            precision = self.precision
+            if precision is not None and round_index:
+                # A straddling interval means the decision needs a finer
+                # estimate, not merely a fresh one: tighten the width target
+                # in step with the classic sample-size doubling.
+                precision = replace(
+                    precision,
+                    ci_half_width=precision.ci_half_width / (2**round_index),
+                )
             requests = [
                 GapProbe(
                     params=self.params,
@@ -379,6 +403,7 @@ class ThresholdSearch:
                     ),
                     max_events=self.max_events,
                     confidence=self.confidence,
+                    precision=precision,
                 )
                 for gap in pending
             ]
@@ -476,6 +501,7 @@ def find_threshold(
     max_events: int = DEFAULT_MAX_EVENTS,
     method: str = "ensemble",
     batch_runner: BatchRunner | None = None,
+    precision: PrecisionTarget | None = None,
 ) -> ThresholdEstimate:
     """One-shot convenience wrapper around :class:`ThresholdSearch`.
 
@@ -492,6 +518,7 @@ def find_threshold(
         max_events=max_events,
         method=method,
         batch_runner=batch_runner,
+        precision=precision,
     )
     return search.find(
         population_size,

@@ -22,7 +22,6 @@ Reaction labels follow a fixed scheme (``birth:Xi``, ``death:Xi``,
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.crn.network import ReactionNetwork
 from repro.crn.reaction import Reaction

@@ -19,7 +19,7 @@ by their label, not by their reactant multiset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.crn.species import Species

@@ -49,10 +49,11 @@ from repro.experiments.scheduler import (
     ReplicaScheduler,
     SweepScheduler,
     ThresholdRequest,
+    WorkerPool,
     configure_default_scheduler,
     get_default_scheduler,
 )
-from repro.experiments.sweep import SweepTask
+from repro.experiments.sweep import AdaptiveSweepReport, SweepTask
 from repro.experiments.workloads import (
     population_grid,
     gap_grid,
@@ -71,10 +72,12 @@ __all__ = [
     "run_all",
     "save_results",
     "load_results",
+    "AdaptiveSweepReport",
     "ReplicaScheduler",
     "SweepScheduler",
     "SweepTask",
     "ThresholdRequest",
+    "WorkerPool",
     "configure_default_scheduler",
     "get_default_scheduler",
     "population_grid",

@@ -21,6 +21,11 @@ configuration grid (all sizes, gaps, and mechanisms) is fused into
 heterogeneous lock-step mega-batches, and `FIG-THRESH` drives all of its
 threshold searches concurrently with per-round probe fusion.  The
 single-species chain simulations of `FIG-BAD` / `FIG-DOM` remain scalar.
+
+The per-experiment ``num_runs`` are fixed budgets; configuring the
+scheduler with a :class:`~repro.analysis.statistics.PrecisionTarget` (the
+CLI's ``--target-ci-width``) switches every grid call in this module to
+adaptive replicate waves at uniform confidence-interval width instead.
 """
 
 from __future__ import annotations
@@ -36,7 +41,6 @@ from repro.experiments.sweep import SweepTask
 from repro.experiments.workloads import gap_grid, population_grid, state_with_gap
 from repro.lv.ode import DeterministicLV
 from repro.lv.params import LVParams
-from repro.lv.state import LVState
 from repro.rng import stable_seed
 
 __all__ = [
@@ -209,8 +213,13 @@ def run_fig_threshold_scaling(scale: str = "quick", seed: int = 0) -> Experiment
         if nsd.threshold_gap is not None:
             nsd_thresholds.append((n, nsd.threshold_gap))
 
-    sd_best = select_scaling_law(*zip(*sd_thresholds))[0].law.name if len(sd_thresholds) >= 2 else "n/a"
-    nsd_best = select_scaling_law(*zip(*nsd_thresholds))[0].law.name if len(nsd_thresholds) >= 2 else "n/a"
+    def _best(thresholds):
+        if len(thresholds) < 2:
+            return "n/a"
+        return select_scaling_law(*zip(*thresholds))[0].law.name
+
+    sd_best = _best(sd_thresholds)
+    nsd_best = _best(nsd_thresholds)
     ratio_growing = (
         len(rows) >= 2
         and rows[-1]["NSD / SD"] is not None

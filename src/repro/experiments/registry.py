@@ -38,7 +38,8 @@ def _build_registry() -> dict[str, ExperimentSpec]:
         ExperimentSpec(
             identifier="T1R4",
             title="Interspecific competition with delta = 0 (prior-work models)",
-            paper_claim="O(sqrt(n log n)) suffices (prior work); O(log^2 n) suffices for SD (Table 1, row 4).",
+            paper_claim="O(sqrt(n log n)) suffices (prior work); O(log^2 n) suffices "
+            "for SD (Table 1, row 4).",
             runner=table1.run_t1r4,
         ),
         ExperimentSpec(
@@ -68,7 +69,8 @@ def _build_registry() -> dict[str, ExperimentSpec]:
         ExperimentSpec(
             identifier="FIG-BAD",
             title="Bad non-competitive events and nice-chain statistics",
-            paper_claim="J(S) = O(log n) expected, O(log^2 n) whp; E(n) = Theta(n), B(n) = O(log n) (Theorem 13b, Lemmas 5-7).",
+            paper_claim="J(S) = O(log n) expected, O(log^2 n) whp; E(n) = Theta(n), "
+            "B(n) = O(log n) (Theorem 13b, Lemmas 5-7).",
             runner=figures.run_fig_bad_events,
         ),
         ExperimentSpec(

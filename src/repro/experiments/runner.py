@@ -13,6 +13,7 @@ import time
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.statistics import PrecisionTarget
 from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentResult
 from repro.experiments.registry import get_experiment, list_experiments
@@ -31,6 +32,7 @@ def run_all(
     seed: int = 0,
     progress: bool = False,
     jobs: int | None = None,
+    precision: PrecisionTarget | None = None,
 ) -> list[ExperimentResult]:
     """Run all (or the selected) experiments sequentially.
 
@@ -46,20 +48,31 @@ def run_all(
     jobs:
         When given, run replicate batches on this many worker processes.
         The override is scoped to this call (the previous default scheduler
-        is restored afterwards), and results are identical for every value
-        of *jobs* because batch seeds are spawned before dispatch.
+        is restored afterwards, keeping the warm worker pool), and results
+        are identical for every value of *jobs* because batch seeds are
+        spawned before dispatch.
+    precision:
+        When given, run the sweeps adaptively against this
+        :class:`~repro.analysis.statistics.PrecisionTarget` instead of the
+        experiments' fixed replicate budgets.  Scoped to this call like
+        *jobs*.
     """
     previous = get_default_scheduler()
-    if jobs is not None:
-        configure_default_scheduler(jobs=jobs)
+    override = jobs is not None or precision is not None
+    if override:
+        configure_default_scheduler(
+            jobs=jobs,
+            precision=precision if precision is not None else previous.precision,
+        )
     try:
         return _run_all(identifiers, scale=scale, seed=seed, progress=progress)
     finally:
-        if jobs is not None:
+        if override:
             configure_default_scheduler(
                 jobs=previous.jobs,
                 batch_size=previous.batch_size,
                 sweep_batch=previous.sweep_batch,
+                precision=previous.precision,
             )
 
 

@@ -19,9 +19,20 @@ centralise how those budgets are executed:
   per-round probes are fused into mega-batches
   (:func:`repro.consensus.threshold.drive_threshold_searches`).
 
-Process pools are created **once per sweep** (or once per context-managed
-scheduler lifetime), not per estimate call; seeds are always spawned before
-dispatch, so results are bit-identical for every worker count.
+Both schedulers draw workers from a shared :class:`WorkerPool` context
+manager: the process pool is created lazily on the first parallel sweep,
+reused across calls *and* across scheduler reconfigurations (``jobs``
+toggles no longer respawn workers), and torn down on ``shutdown``.  Seeds
+are always spawned before dispatch and the engine gives every fused member
+its own streams, so results are bit-identical for every worker count and
+packing width.
+
+The :class:`SweepScheduler` additionally owns the **adaptive-precision
+layer**: when a :class:`~repro.analysis.statistics.PrecisionTarget` is
+configured, grid entry points run sequential replicate waves that retire
+configurations as soon as their estimates are tight enough and re-invest
+the freed mega-batch width into the configurations that still need events
+(see :meth:`SweepScheduler.run_sweep_adaptive`).
 
 A module-level default scheduler is shared by ``table1.py`` and
 ``figures.py``; the CLI and :func:`repro.experiments.runner.run_all` configure
@@ -36,6 +47,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro.analysis.statistics import PrecisionTarget
 from repro.consensus.estimator import (
     ConsensusEstimate,
     summarise_ensemble,
@@ -51,9 +63,14 @@ from repro.consensus.threshold import (
 from repro.exceptions import ExperimentError
 from repro.experiments.sweep import (
     DEFAULT_SWEEP_BATCH,
+    DEFAULT_WAVE_QUANTUM,
+    AdaptiveSweepReport,
+    AdaptiveTaskState,
+    MemberSpec,
     SweepTask,
     demux_mega_results,
     execute_mega_batch,
+    pack_members,
     plan_mega_batches,
 )
 from repro.experiments.workloads import replica_batches
@@ -71,6 +88,7 @@ __all__ = [
     "ReplicaScheduler",
     "SweepScheduler",
     "ThresholdRequest",
+    "WorkerPool",
     "get_default_scheduler",
     "configure_default_scheduler",
 ]
@@ -92,6 +110,60 @@ DEFAULT_THRESHOLD_FANOUT = 1
 def _jobs_sanity_limit() -> int:
     """The largest worker count that is plausibly intentional on this host."""
     return max(64, 8 * (os.cpu_count() or 1))
+
+
+class WorkerPool:
+    """Owns the :class:`ProcessPoolExecutor` shared by the schedulers.
+
+    Before this context manager existed, every scheduler reconfiguration
+    (e.g. :func:`runner.run_all <repro.experiments.runner.run_all>` toggling
+    ``jobs`` around a sweep) tore the process pool down and respawned it —
+    worker start-up costs paid once per experiment instead of once per
+    process.  The pool is now created lazily on first use, reused across
+    estimate/sweep calls *and* across scheduler reconfigurations
+    (:func:`configure_default_scheduler` hands it to the new scheduler), and
+    rebuilt only when a *different* worker count is requested — matching
+    the requested count exactly, so lowering ``jobs`` really lowers the
+    process-parallelism cap.
+
+    Use it as a context manager to scope the workers' lifetime explicitly::
+
+        with WorkerPool() as pool:
+            scheduler = SweepScheduler(jobs=4, pool=pool)
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._executor: ProcessPoolExecutor | None = None
+        self._workers = 0
+
+    @property
+    def workers(self) -> int:
+        """Worker count of the live executor (0 when none is running)."""
+        return self._workers if self._executor is not None else 0
+
+    def acquire(self, workers: int) -> ProcessPoolExecutor:
+        """The shared executor, (re)built only if *workers* differs from its size."""
+        if workers < 1:
+            raise ExperimentError(f"workers must be at least 1, got {workers}")
+        if self._executor is None or self._workers != workers:
+            self.shutdown()
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._workers = workers
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Stop the workers (no-op when none are running)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._workers = 0
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
 
 
 def _execute_batch(
@@ -130,6 +202,10 @@ class ThresholdRequest:
     max_events: int = DEFAULT_MAX_EVENTS
     seed: SeedLike = None
     fanout: int = DEFAULT_THRESHOLD_FANOUT
+    #: Per-request precision override; ``None`` falls back to the sweep-level
+    #: target (the ``target`` argument of ``find_thresholds``, then the
+    #: scheduler's ``precision``), and fixed budgets when all are ``None``.
+    precision: PrecisionTarget | None = None
 
 
 @dataclass
@@ -152,12 +228,18 @@ class ReplicaScheduler:
         Active-set compaction threshold forwarded to the lock-step engine
         (see :mod:`repro.lv.ensemble`); ``None`` disables compaction.
         Results are bitwise-independent of this knob.
+    pool:
+        The :class:`WorkerPool` that owns the worker processes.  Each
+        scheduler gets its own by default; pass a shared instance to let
+        several schedulers (or successive reconfigurations of the default
+        scheduler) reuse one warm set of workers.  Workers are started
+        lazily on the first parallel sweep and live until
+        :meth:`shutdown` (or the pool's own context exit).
 
-    The scheduler is a context manager: entering it starts the worker pool
-    (when ``jobs > 1``) so that consecutive ``estimate`` calls reuse the same
-    processes; otherwise each top-level call manages a pool of its own.
-    The ``events_executed`` counter accumulates the number of simulated jump
-    events, which the benchmark harness reads to report events/second.
+    The scheduler is also a context manager: entering pre-warms the pool
+    (when ``jobs > 1``) and exiting stops it.  The ``events_executed``
+    counter accumulates the number of simulated jump events, which the
+    benchmark harness reads to report events/second.
 
     Examples
     --------
@@ -171,10 +253,8 @@ class ReplicaScheduler:
     jobs: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION
+    pool: WorkerPool = field(default_factory=WorkerPool, repr=False, compare=False)
     events_executed: int = field(default=0, init=False, repr=False, compare=False)
-    _pool: ProcessPoolExecutor | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -199,36 +279,30 @@ class ReplicaScheduler:
     # Worker-pool lifecycle
     # ------------------------------------------------------------------
     def __enter__(self) -> "ReplicaScheduler":
-        if self.jobs > 1 and self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        if self.jobs > 1:
+            self.pool.acquire(self.jobs)
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop the resident worker pool (no-op when none is running)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Stop the worker pool (no-op when none is running)."""
+        self.pool.shutdown()
 
     @contextmanager
     def _pool_scope(self, num_units: int) -> Iterator[ProcessPoolExecutor | None]:
-        """Yield the executor for one sweep, creating it at most once.
+        """Yield the executor for one sweep (or ``None`` for inline runs).
 
-        Inside a context-managed scheduler the resident pool is reused;
-        otherwise a pool is created for the duration of the sweep — i.e. once
-        per top-level ``estimate`` / ``run_sweep`` / ``find_thresholds``
-        call, never once per batch.
+        The shared :class:`WorkerPool` starts its workers on the first
+        parallel sweep and keeps them warm across calls — never once per
+        batch, and no longer once per top-level call or per ``jobs``
+        reconfiguration.
         """
         if self.jobs == 1 or num_units <= 1:
             yield None
-        elif self._pool is not None:
-            yield self._pool
         else:
-            workers = min(self.jobs, num_units)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                yield pool
+            yield self.pool.acquire(self.jobs)
 
     # ------------------------------------------------------------------
     # Planning and execution
@@ -386,15 +460,38 @@ class SweepScheduler(ReplicaScheduler):
     ...      SweepTask(nsd, LVState(30, 10), 40, seed=2)])
     >>> [estimate.num_runs for estimate in estimates]
     [40, 40]
+
+    Adaptive precision
+    ------------------
+    When a :class:`~repro.analysis.statistics.PrecisionTarget` is configured
+    (the *precision* field, the CLI's ``--target-ci-width``, or a ``target``
+    argument on a grid entry point), the grid entry points switch from fixed
+    replicate budgets to **sequential waves**: every wave runs fused
+    mega-batches of per-task chunks, converged tasks retire, and the freed
+    mega-batch width goes to the survivors, whose next-wave budgets follow
+    the target's variance-aware plan.  Chunked, prefix-stable seeding plus
+    the engine's per-member streams make every estimate — and therefore the
+    retired set — bitwise-independent of ``sweep_batch``, ``batch_size``,
+    and ``jobs``.  The fixed-budget path (no target anywhere) remains the
+    exact-reproducibility mode and is bit-for-bit unchanged.
     """
 
     sweep_batch: int = DEFAULT_SWEEP_BATCH
+    precision: PrecisionTarget | None = None
+    wave_quantum: int = DEFAULT_WAVE_QUANTUM
+    last_adaptive_report: AdaptiveSweepReport | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.sweep_batch < 1:
             raise ExperimentError(
                 f"sweep_batch must be at least 1, got {self.sweep_batch}"
+            )
+        if self.wave_quantum < 1:
+            raise ExperimentError(
+                f"wave_quantum must be at least 1, got {self.wave_quantum}"
             )
 
     # ------------------------------------------------------------------
@@ -417,26 +514,113 @@ class SweepScheduler(ReplicaScheduler):
         plans = plan_mega_batches(
             tasks, batch_size=self.batch_size, sweep_batch=self.sweep_batch
         )
-        with self._pool_scope(len(plans)) as pool:
-            if pool is None:
-                results = [
-                    execute_mega_batch(plan, self.compaction_fraction, collect)
-                    for plan in plans
-                ]
-            else:
-                results = list(
-                    pool.map(
-                        execute_mega_batch,
-                        plans,
-                        [self.compaction_fraction] * len(plans),
-                        [collect] * len(plans),
-                    )
-                )
+        results = self._execute_plans(plans, collect)
         merged = demux_mega_results(len(tasks), plans, results)
         self.events_executed += sum(
             int(result.total_events.sum()) for result in merged
         )
         return merged
+
+    def _execute_plans(
+        self, plans: Sequence[Sequence[MemberSpec]], collect: str
+    ) -> list[list[LVEnsembleResult]]:
+        """Execute planned mega-batches inline or on the shared worker pool."""
+        with self._pool_scope(len(plans)) as pool:
+            if pool is None:
+                return [
+                    execute_mega_batch(plan, self.compaction_fraction, collect)
+                    for plan in plans
+                ]
+            return list(
+                pool.map(
+                    execute_mega_batch,
+                    plans,
+                    [self.compaction_fraction] * len(plans),
+                    [collect] * len(plans),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Adaptive-precision waves
+    # ------------------------------------------------------------------
+    def run_sweep_adaptive(
+        self,
+        tasks: Sequence[SweepTask],
+        *,
+        target: "PrecisionTarget | Sequence[PrecisionTarget] | None" = None,
+        collect: str = "full",
+    ) -> list[LVEnsembleResult]:
+        """Run the tasks in sequential waves until every precision target is met.
+
+        Instead of one fixed plan, the sweep executes replicate *waves*:
+        each wave fuses the pending chunks of every still-active task into
+        mega-batches (converged tasks no longer contribute, so their freed
+        width goes to the survivors), the per-task Wilson half-widths (and
+        optional time relative errors) are re-evaluated, and the next wave
+        is sized by the target's variance-aware plan.  *target* may be a
+        single :class:`~repro.analysis.statistics.PrecisionTarget` for the
+        whole sweep or one per task; when ``None`` the scheduler's
+        *precision* field applies (it must be set).
+
+        Returns the merged per-task ensembles, in task order, with however
+        many replicates each task needed.  The per-task outcome summary of
+        the run is left in :attr:`last_adaptive_report`.  Estimates are
+        bitwise-reproducible from the task seeds and the target alone —
+        independent of ``sweep_batch``, ``batch_size``, ``jobs``, and wave
+        boundaries (see :mod:`repro.experiments.sweep`).
+        """
+        if not tasks:
+            raise ExperimentError("a sweep needs at least one task")
+        targets = self._resolve_targets(len(tasks), target)
+        states = [
+            AdaptiveTaskState(index, task, task_target, self.wave_quantum)
+            for index, (task, task_target) in enumerate(zip(tasks, targets))
+        ]
+        waves = 0
+        while True:
+            wave_specs = [spec for state in states for spec in state.allocate()]
+            if not wave_specs:
+                break
+            waves += 1
+            plans = pack_members(wave_specs, self.sweep_batch)
+            wave_results = self._execute_plans(plans, collect)
+            per_task: dict[int, list[LVEnsembleResult]] = {}
+            for plan, plan_results in zip(plans, wave_results):
+                for spec, chunk in zip(plan, plan_results):
+                    per_task.setdefault(spec.task_index, []).append(chunk)
+                    self.events_executed += int(chunk.total_events.sum())
+            for index, chunks in per_task.items():
+                states[index].absorb(chunks)
+                states[index].evaluate()
+        self.last_adaptive_report = AdaptiveSweepReport(
+            waves=waves,
+            replicates=tuple(state.replicates for state in states),
+            converged=tuple(state.converged for state in states),
+            half_widths=tuple(state.half_width() for state in states),
+        )
+        return [state.merged() for state in states]
+
+    def _resolve_targets(
+        self,
+        num_tasks: int,
+        target: "PrecisionTarget | Sequence[PrecisionTarget] | None",
+    ) -> list[PrecisionTarget]:
+        """Broadcast *target* (or the scheduler default) to one per task."""
+        if target is None:
+            target = self.precision
+        if target is None:
+            raise ExperimentError(
+                "adaptive sweeps need a PrecisionTarget: pass target=... or "
+                "configure the scheduler's precision"
+            )
+        if isinstance(target, PrecisionTarget):
+            return [target] * num_tasks
+        targets = list(target)
+        if len(targets) != num_tasks:
+            raise ExperimentError(
+                f"got {len(targets)} precision targets for {num_tasks} tasks"
+            )
+        return targets
 
     # ------------------------------------------------------------------
     # Grid-level estimator entry points
@@ -446,22 +630,52 @@ class SweepScheduler(ReplicaScheduler):
         tasks: Sequence[SweepTask],
         *,
         confidence: float = 0.95,
+        target: PrecisionTarget | None = None,
     ) -> list[ConsensusEstimate]:
-        """One :class:`ConsensusEstimate` per task, from fused mega-batches."""
+        """One :class:`ConsensusEstimate` per task, from fused mega-batches.
+
+        With a precision target (the *target* argument or the scheduler's
+        *precision* field) each task runs adaptive waves until its estimate
+        reaches the target, so ``num_runs`` varies per task; otherwise every
+        task runs its fixed ``num_runs`` budget.
+        """
+        if target is None:
+            target = self.precision
+        if target is not None:
+            ensembles = self.run_sweep_adaptive(tasks, target=target)
+        else:
+            ensembles = self.run_sweep(tasks)
         return [
             summarise_ensemble(ensemble, confidence=confidence)
-            for ensemble in self.run_sweep(tasks)
+            for ensemble in ensembles
         ]
 
-    def decompose_many(self, tasks: Sequence[SweepTask]) -> list[NoiseDecomposition]:
-        """One :class:`NoiseDecomposition` per task, from fused mega-batches."""
-        return [
-            decomposition_from_ensemble(ensemble)
-            for ensemble in self.run_sweep(tasks)
-        ]
+    def decompose_many(
+        self,
+        tasks: Sequence[SweepTask],
+        *,
+        target: PrecisionTarget | None = None,
+    ) -> list[NoiseDecomposition]:
+        """One :class:`NoiseDecomposition` per task, from fused mega-batches.
+
+        Adaptive mode (a *target* here or on the scheduler) sizes each
+        task's replicate budget by the same sequential stopping rule as
+        :meth:`estimate_many` — the ρ(S) Wilson width, plus the consensus
+        time when the target enables it.
+        """
+        if target is None:
+            target = self.precision
+        if target is not None:
+            ensembles = self.run_sweep_adaptive(tasks, target=target)
+        else:
+            ensembles = self.run_sweep(tasks)
+        return [decomposition_from_ensemble(ensemble) for ensemble in ensembles]
 
     def find_thresholds(
-        self, requests: Sequence[ThresholdRequest]
+        self,
+        requests: Sequence[ThresholdRequest],
+        *,
+        target: PrecisionTarget | None = None,
     ) -> list[ThresholdEstimate]:
         """Run a whole threshold sweep with per-round probe fusion.
 
@@ -472,15 +686,24 @@ class SweepScheduler(ReplicaScheduler):
         sets pays the lock-step cost once per round instead of once per
         probe.  Probe decisions and seeds per search are identical to
         :meth:`ReplicaScheduler.find_threshold`'s search schedule.
+
+        With a precision target (per request, the *target* argument, or the
+        scheduler's *precision* field) each probe is estimated adaptively:
+        probes whose ρ sits near 0 or 1 — most of a converging bisection —
+        stop after a fraction of the fixed budget, while straddling probes
+        get tightened width targets from the search's refinement rounds.
         """
         if not requests:
             raise ExperimentError("a threshold sweep needs at least one request")
+        if target is None:
+            target = self.precision
         searches = [
             ThresholdSearch(
                 request.params,
                 num_runs=request.num_runs,
                 max_events=request.max_events,
                 fanout=request.fanout,
+                precision=request.precision or target,
             ).search_steps(
                 request.population_size,
                 target_probability=request.target_probability,
@@ -489,15 +712,17 @@ class SweepScheduler(ReplicaScheduler):
             )
             for request in requests
         ]
-        if self.jobs > 1 and self._pool is None:
-            # Pin one resident pool for every probe round of the sweep; the
-            # per-round run_sweep calls reuse it instead of starting their own.
-            with self:
-                return drive_threshold_searches(searches, self._run_probe_round)
         return drive_threshold_searches(searches, self._run_probe_round)
 
     def _run_probe_round(self, probes: Sequence[GapProbe]) -> list[ConsensusEstimate]:
-        """Execute one round of threshold probes as a fused sweep."""
+        """Execute one round of threshold probes as a fused sweep.
+
+        Fixed-budget probes run as one fused plan; adaptive probes (those
+        carrying a precision target) run as one fused adaptive sweep with
+        per-probe targets.  Threshold decisions only read win counts and
+        consensus times, so both run in the engine's lean ``"win"``
+        collection mode.
+        """
         tasks = [
             SweepTask(
                 params=probe.params,
@@ -509,9 +734,20 @@ class SweepScheduler(ReplicaScheduler):
             )
             for probe in probes
         ]
-        # Threshold decisions only read win counts and consensus times, so
-        # the probes run in the engine's lean "win" collection mode.
-        ensembles = self.run_sweep(tasks, collect="win")
+        fixed = [i for i, probe in enumerate(probes) if probe.precision is None]
+        adaptive = [i for i, probe in enumerate(probes) if probe.precision is not None]
+        ensembles: list[LVEnsembleResult | None] = [None] * len(probes)
+        if fixed:
+            for i, ensemble in zip(fixed, self.run_sweep([tasks[i] for i in fixed], collect="win")):
+                ensembles[i] = ensemble
+        if adaptive:
+            adaptive_results = self.run_sweep_adaptive(
+                [tasks[i] for i in adaptive],
+                target=[probes[i].precision for i in adaptive],
+                collect="win",
+            )
+            for i, ensemble in zip(adaptive, adaptive_results):
+                ensembles[i] = ensemble
         return [
             summarise_ensemble(ensemble, confidence=probe.confidence, collected="win")
             for probe, ensemble in zip(probes, ensembles)
@@ -527,19 +763,35 @@ def get_default_scheduler() -> SweepScheduler:
     return _default_scheduler
 
 
+#: Sentinel distinguishing "leave the precision unchanged" from an explicit
+#: ``precision=None`` (which switches back to fixed budgets).
+_KEEP = object()
+
+
 def configure_default_scheduler(
     *,
     jobs: int | None = None,
     batch_size: int | None = None,
     sweep_batch: int | None = None,
+    precision: "PrecisionTarget | None | object" = _KEEP,
 ) -> SweepScheduler:
-    """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``)."""
+    """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``).
+
+    The previous scheduler's :class:`WorkerPool` is handed to the new one,
+    so reconfiguring mid-experiment (e.g. ``run_all`` scoping a ``--jobs``
+    override) reuses the warm worker processes instead of rebuilding the
+    pool; pass ``precision`` to switch the experiment drivers between
+    adaptive waves (a :class:`~repro.analysis.statistics.PrecisionTarget`)
+    and fixed budgets (``None``).
+    """
     global _default_scheduler
     previous = _default_scheduler
-    previous.shutdown()
     _default_scheduler = SweepScheduler(
         jobs=previous.jobs if jobs is None else jobs,
         batch_size=previous.batch_size if batch_size is None else batch_size,
         sweep_batch=previous.sweep_batch if sweep_batch is None else sweep_batch,
+        precision=previous.precision if precision is _KEEP else precision,
+        wave_quantum=previous.wave_quantum,
+        pool=previous.pool,
     )
     return _default_scheduler

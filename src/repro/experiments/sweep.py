@@ -17,18 +17,20 @@ This module owns the deterministic plumbing:
   ``(task, batch)`` up front (:func:`repro.rng.spawn_seeds`), and greedily
   pack the batches, in task order, into mega-batches of bounded width,
 * :func:`execute_mega_batch` — run one mega-batch (module-level so process
-  pools can pickle it); the mega-batch's RNG root is a
-  :class:`numpy.random.SeedSequence` over its members' seeds, so execution is
-  deterministic given the plan, and
+  pools can pickle it); every member carries its own seed into the engine's
+  per-member streams (:func:`repro.lv.ensemble.run_sweep_ensemble`), and
 * :func:`demux_mega_results` — regroup per-member ensemble results back into
   one merged :class:`~repro.lv.ensemble.LVEnsembleResult` per task.
 
 Because batch seeds are spawned from each task's root seed *before* packing
-and dispatch, per-task results are reproducible from the task seeds alone and
-independent of the worker count.  The mega-batch *stream* additionally
-depends on which members share a batch, i.e. on the ``sweep_batch`` width —
-that knob (like ``batch_size``) selects among equally valid deterministic
-executions of the same statistical sweep.
+and dispatch, and because the lock-step engine gives every member its own
+random streams, per-task results are **bitwise-reproducible from the task
+seeds alone** — independent of the worker count, of the ``sweep_batch``
+packing width, and of which other tasks share the sweep.  ``sweep_batch``
+(like ``batch_size``) is purely an execution knob.  This invariance is what
+lets the adaptive-precision layer (:meth:`SweepScheduler.run_sweep_adaptive
+<repro.experiments.scheduler.SweepScheduler.run_sweep_adaptive>`) make
+sequential stopping decisions that do not depend on how waves were packed.
 """
 
 from __future__ import annotations
@@ -38,6 +40,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.statistics import PrecisionTarget, wilson_half_width
+from repro.consensus.estimator import (
+    DEFAULT_WAVE_QUANTUM,
+    adaptive_goal_chunks,
+    chunk_ladder_size,
+)
 from repro.exceptions import ExperimentError
 from repro.experiments.workloads import replica_batches
 from repro.lv.ensemble import (
@@ -53,9 +61,13 @@ from repro.rng import SeedLike, spawn_seeds
 
 __all__ = [
     "DEFAULT_SWEEP_BATCH",
+    "DEFAULT_WAVE_QUANTUM",
     "SweepTask",
     "MemberSpec",
+    "AdaptiveTaskState",
+    "AdaptiveSweepReport",
     "plan_mega_batches",
+    "pack_members",
     "execute_mega_batch",
     "demux_mega_results",
 ]
@@ -158,6 +170,20 @@ def plan_mega_batches(
             for size, seed in zip(sizes, seeds)
         )
 
+    return pack_members(members, sweep_batch)
+
+
+def pack_members(
+    members: Sequence[MemberSpec], sweep_batch: int
+) -> list[list[MemberSpec]]:
+    """Greedily pack member specs, in order, into bounded-width mega-batches.
+
+    A member wider than *sweep_batch* gets a mega-batch of its own rather
+    than being split further.  Shared by the fixed-budget planner and the
+    adaptive waves; because the engine gives every member its own streams,
+    the packing never affects any member's results — only how much lock-step
+    width each executed batch amortises its per-step cost over.
+    """
     mega_batches: list[list[MemberSpec]] = []
     current: list[MemberSpec] = []
     width = 0
@@ -180,18 +206,18 @@ def execute_mega_batch(
 ) -> list[LVEnsembleResult]:
     """Run one planned mega-batch and return its per-member results.
 
-    The mega-batch's RNG root is ``SeedSequence([member seeds...])``: a pure
-    function of the plan, unique per mega-batch (member seeds are
-    independently spawned 63-bit integers), and picklable-friendly because
-    only integers cross process boundaries.  *collect* selects the engine's
-    statistics level (:data:`repro.lv.ensemble.COLLECT_MODES`).
+    Each member is seeded with its own plan seed through the engine's
+    per-member streams, so a member's result is bitwise-identical to running
+    its ``(task, batch)`` slice alone — execution is a pure function of the
+    plan entries, independent of how they were packed, and pickle-friendly
+    because only integers cross process boundaries.  *collect* selects the
+    engine's statistics level (:data:`repro.lv.ensemble.COLLECT_MODES`).
     """
     if not specs:
         raise ExperimentError("cannot execute an empty mega-batch")
-    rng = np.random.SeedSequence([spec.seed for spec in specs])
     return run_sweep_ensemble(
         [spec.to_member() for spec in specs],
-        rng=rng,
+        member_seeds=[spec.seed for spec in specs],
         compaction_fraction=compaction_fraction,
         collect=collect,
     )
@@ -224,3 +250,171 @@ def demux_mega_results(
             raise ExperimentError(f"task {index} received no mega-batch results")
         merged.append(LVEnsembleResult.concatenate(chunks))
     return merged
+
+
+# ----------------------------------------------------------------------
+# Adaptive-precision waves
+# ----------------------------------------------------------------------
+
+class AdaptiveTaskState:
+    """Chunk accounting and interim statistics of one adaptive-sweep task.
+
+    The task's replicate stream is the fixed chunk ladder of
+    :data:`repro.consensus.estimator.DEFAULT_WAVE_QUANTUM`-sized rungs with
+    prefix-stable per-rung seeds; :meth:`allocate` hands out the next rungs
+    (sized by the shared variance-aware rule
+    :func:`~repro.consensus.estimator.adaptive_goal_chunks`), :meth:`absorb`
+    folds the executed chunk results in, and :meth:`evaluate` applies the
+    sequential stopping rule.  Combined with the engine's per-member
+    streams, interim results — and therefore every stopping decision — are
+    bitwise-independent of wave grouping, ``sweep_batch`` packing, and
+    worker count, and identical to the standalone
+    :func:`~repro.consensus.estimator.run_adaptive_ensemble` path.
+    ``task.num_runs`` is not consulted — in adaptive mode the precision
+    target owns the budget (the fixed-budget path is the
+    exact-reproducibility alternative).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        task: SweepTask,
+        target: PrecisionTarget,
+        quantum: int = DEFAULT_WAVE_QUANTUM,
+    ):
+        if quantum < 1:
+            raise ExperimentError(f"wave quantum must be at least 1, got {quantum}")
+        self.index = index
+        self.task = task
+        self.target = target
+        self.quantum = quantum
+        self.chunks_done = 0
+        self.replicates = 0
+        self.successes = 0
+        self.waves = 0
+        self.converged = False
+        self._chunk_results: list[LVEnsembleResult] = []
+        self._time_chunks: list[np.ndarray] = []
+        self._seeds: list[int] = []
+        # Total rungs of the chunk ladder (last rung truncated at the cap).
+        self._ladder_chunks = -(-target.max_replicates // quantum)
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """Whether the replicate cap was reached without convergence."""
+        return not self.converged and self.chunks_done >= self._ladder_chunks
+
+    @property
+    def active(self) -> bool:
+        return not self.converged and not self.exhausted
+
+    def _chunk_seed(self, rung: int) -> int:
+        # spawn_seeds is prefix-stable (SeedSequence children are keyed by
+        # spawn index), so re-spawning a longer prefix never changes the
+        # seeds already handed out; the doubling growth keeps the total
+        # respawn work linear in the rungs actually executed.
+        if rung >= len(self._seeds):
+            self._seeds = spawn_seeds(
+                self.task.seed, max(rung + 1, 2 * len(self._seeds))
+            )
+        return self._seeds[rung]
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> list[MemberSpec]:
+        """Member specs for this task's next wave (empty when settled).
+
+        Wave sizing follows the shared rule
+        (:func:`~repro.consensus.estimator.adaptive_goal_chunks`): cover
+        ``min_replicates`` first, then the variance-aware plan under the
+        growth cap, always at least one rung.
+        """
+        if not self.active:
+            return []
+        goal = adaptive_goal_chunks(
+            self.target,
+            self.quantum,
+            self.chunks_done,
+            self.successes,
+            self.replicates,
+            self._times(),
+        )
+        task = self.task
+        specs = [
+            MemberSpec(
+                task_index=self.index,
+                params=task.params,
+                counts=(task.initial_state.x0, task.initial_state.x1),
+                num_replicates=chunk_ladder_size(self.target, self.quantum, rung),
+                seed=self._chunk_seed(rung),
+                max_events=task.max_events,
+            )
+            for rung in range(self.chunks_done, goal)
+        ]
+        if specs:
+            self.waves += 1
+        return specs
+
+    def absorb(self, chunk_results: Sequence[LVEnsembleResult]) -> None:
+        """Fold one wave's executed chunk results into the interim state."""
+        for chunk in chunk_results:
+            self._chunk_results.append(chunk)
+            self.chunks_done += 1
+            self.replicates += chunk.num_replicates
+            self.successes += int(np.count_nonzero(chunk.majority_consensus))
+            self._time_chunks.append(
+                chunk.total_events[chunk.reached_consensus].astype(float)
+            )
+
+    def evaluate(self) -> None:
+        """Apply the sequential stopping rule to the interim results."""
+        if self.replicates == 0 or self.converged:
+            return
+        self.converged = self.target.met_by(
+            self.successes, self.replicates, self._times()
+        )
+
+    # ------------------------------------------------------------------
+    def _times(self) -> np.ndarray:
+        if not self._time_chunks:
+            return np.empty(0)
+        return np.concatenate(self._time_chunks)
+
+    def half_width(self) -> float:
+        """Achieved Wilson half-width of the interim ρ estimate."""
+        if self.replicates == 0:
+            return float("inf")
+        return wilson_half_width(
+            self.successes, self.replicates, confidence=self.target.confidence
+        )
+
+    def merged(self) -> LVEnsembleResult:
+        """All executed chunks concatenated, in ladder order."""
+        if not self._chunk_results:
+            raise ExperimentError(
+                f"task {self.index} ({self.task.label!r}) executed no chunks"
+            )
+        return LVEnsembleResult.concatenate(self._chunk_results)
+
+
+@dataclass(frozen=True)
+class AdaptiveSweepReport:
+    """Per-task outcome summary of one adaptive sweep.
+
+    ``converged[i]`` is ``False`` for tasks that hit the replicate cap with
+    the target still unmet — their estimates are still returned (at the
+    cap's precision), but callers can surface the shortfall.
+    """
+
+    waves: int
+    replicates: tuple[int, ...]
+    converged: tuple[bool, ...]
+    half_widths: tuple[float, ...]
+
+    @property
+    def total_replicates(self) -> int:
+        return sum(self.replicates)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(self.converged)

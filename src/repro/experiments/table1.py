@@ -11,6 +11,15 @@ All replicate batches are executed through the process-wide
 sweep, every probed gap, every mechanism — is flattened into heterogeneous
 lock-step mega-batches, with deterministic per-``(configuration, batch)``
 seeds and optional ``--jobs`` parallelism.
+
+The per-experiment ``num_runs`` below are the **fixed budgets** of the
+exact-reproducibility mode.  When the scheduler carries a
+:class:`~repro.analysis.statistics.PrecisionTarget` (the CLI's
+``--target-ci-width``), every ``estimate_many``/``decompose_many``/
+``find_thresholds`` call in this module switches to adaptive replicate
+waves: configurations stop as soon as their ρ estimates reach the target
+width, so the fixed budgets become irrelevant and the quoted numbers may
+rest on fewer (or more) replicates at uniform precision.
 """
 
 from __future__ import annotations
@@ -183,7 +192,11 @@ def run_t1r2(scale: str = "quick", seed: int = 0) -> ExperimentResult:
             ),
         ),
     ]
-    states = [(12, 8), (18, 6), (30, 10)] if scale == "quick" else [(12, 8), (18, 6), (30, 10), (60, 20), (90, 30)]
+    states = (
+        [(12, 8), (18, 6), (30, 10)]
+        if scale == "quick"
+        else [(12, 8), (18, 6), (30, 10), (60, 20), (90, 30)]
+    )
     grid = [
         (label, params, a, b)
         for label, params in configurations
@@ -243,7 +256,13 @@ def run_t1r2(scale: str = "quick", seed: int = 0) -> ExperimentResult:
         ),
         scale=scale,
         seed=seed,
-        parameters={"beta": _BETA, "delta": _DELTA, "alpha": _ALPHA, "gamma": 2 * _ALPHA, "runs": num_runs},
+        parameters={
+            "beta": _BETA,
+            "delta": _DELTA,
+            "alpha": _ALPHA,
+            "gamma": 2 * _ALPHA,
+            "runs": num_runs,
+        },
         rows=rows,
         findings=findings,
         shape_matches_paper=all_consistent,
@@ -385,7 +404,11 @@ def run_t1r5(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     """Table 1, row 5: no competition — threshold n − 1 and ρ = a/(a+b)."""
     num_runs = 400 if scale == "quick" else 2000
     params = LVParams(beta=_BETA, delta=_BETA, alpha0=0.0, alpha1=0.0)
-    states = [(12, 8), (24, 8), (40, 10)] if scale == "quick" else [(12, 8), (24, 8), (40, 10), (80, 20)]
+    states = (
+        [(12, 8), (24, 8), (40, 10)]
+        if scale == "quick"
+        else [(12, 8), (24, 8), (40, 10), (80, 20)]
+    )
     # Without competition the consensus time has a ~1/T tail (the minimum of
     # two critical birth-death extinction times), so a single replica can
     # draw millions of events and dominate the sweep's wall-clock.  Capping

@@ -70,7 +70,9 @@ def state_with_gap(population_size: int, gap: int) -> LVState:
     return LVState.from_gap(population_size, gap)
 
 
-def population_grid(scale: str, *, smallest: int = 64, points_full: int = 6, points_quick: int = 3) -> list[int]:
+def population_grid(
+    scale: str, *, smallest: int = 64, points_full: int = 6, points_quick: int = 3
+) -> list[int]:
     """Geometric grid of population sizes for a threshold-scaling sweep.
 
     ``quick`` uses the first *points_quick* powers of two starting at

@@ -9,7 +9,6 @@ paper.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.kinetics.base import StochasticSimulator
 

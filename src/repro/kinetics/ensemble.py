@@ -18,7 +18,7 @@ replicas in lock-step instead of looping over them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 

@@ -31,24 +31,33 @@ Event-index convention (shared with the scalar simulator's selection order):
 
 RNG consumption-order contract
 ------------------------------
-Reproducibility from the root seed is guaranteed by a fixed consumption
-order that is *independent of the compaction threshold and of the uniform
-block size*:
+Every member of a mega-batch owns its own random streams, so a member's
+results are **bitwise-identical to running that member alone** — fused
+execution is purely an execution strategy, never a statistical choice.
+Reproducibility is guaranteed by a fixed consumption order that is
+*independent of the compaction threshold, of the uniform block size, and of
+which other members share the mega-batch*:
 
-1. The root ``rng`` spawns exactly two child streams
-   (:func:`repro.rng.spawn_generators`): the **step stream** and the
-   **tail stream**.
-2. The lock-step loop consumes the step stream as one flat sequence of
-   uniforms: step ``t`` consumes exactly one value per replica that is
-   *alive* at the start of the step's draw, assigned in ascending
-   original-replica-index order.  Replicas retired earlier in the same
-   iteration (event budget exhausted, absorbed) consume nothing.  Uniforms
-   are drawn from the generator in blocks, but ``numpy``'s ``Generator.random``
-   stream is invariant under call partitioning, so the block size never
-   changes which uniform a replica sees.
-3. Once at most :data:`SCALAR_FINISH_WIDTH` replicas remain, the survivors
-   are finished one by one, in ascending original-replica-index order, by the
-   scalar simulator drawing from the tail stream.
+1. Each member resolves to one root seed: entry ``i`` of *member_seeds*
+   when given, else the ``i``-th seed spawned from the batch-level ``rng``
+   (:func:`repro.rng.spawn_seeds`).  The member's root spawns exactly two
+   child streams (:func:`repro.rng.spawn_generators`): the member's
+   **step stream** and **tail stream**.
+2. The lock-step loop consumes each member's step stream as one flat
+   sequence of uniforms: step ``t`` consumes exactly one value per replica
+   of that member that is *alive* at the start of the step's draw, assigned
+   in ascending original-replica-index order.  Replicas retired earlier in
+   the same iteration (event budget exhausted, absorbed) consume nothing.
+   Uniforms are drawn from the generator in blocks, but ``numpy``'s
+   ``Generator.random`` stream is invariant under call partitioning, so the
+   block size never changes which uniform a replica sees.
+3. Once at most :data:`SCALAR_FINISH_WIDTH` of a member's replicas remain
+   active, *that member's* survivors are finished one by one, in ascending
+   original-replica-index order, by the scalar simulator drawing from the
+   member's tail stream — the same handoff point the member would reach
+   running alone, which is what makes fused and solo execution bitwise
+   interchangeable (and retires heavy-tailed members from the vector loop
+   early instead of letting them ride along at full step cost).
 
 Compaction invariants
 ---------------------
@@ -71,9 +80,14 @@ import numpy as np
 
 from repro.exceptions import InvalidConfigurationError
 from repro.lv.params import LVParams
-from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
+from repro.lv.simulator import (
+    DEFAULT_MAX_EVENTS,
+    LVJumpChainSimulator,
+    LVRunResult,
+    _UNIFORM_BUFFER as _SCALAR_UNIFORM_BUFFER,
+)
 from repro.lv.state import LVState
-from repro.rng import SeedLike, spawn_generators
+from repro.rng import SeedLike, spawn_generators, spawn_seeds
 
 __all__ = [
     "LVEnsembleSimulator",
@@ -98,9 +112,10 @@ _BIRTH0, _BIRTH1, _DEATH0, _DEATH1, _INTER0, _INTER1, _INTRA0, _INTRA1 = range(8
 #: replica-event of a thin lock-step batch).
 SCALAR_FINISH_WIDTH = 8
 
-#: Minimum number of uniforms drawn per RNG call (amortises the per-call
-#: generator overhead across lock-step iterations).  Results are independent
-#: of this value; see the consumption-order contract in the module docstring.
+#: Minimum number of uniforms drawn per member per RNG call (amortises the
+#: per-call generator overhead across lock-step iterations).  Results are
+#: independent of this value; see the consumption-order contract in the
+#: module docstring.
 _UNIFORM_BLOCK = 16384
 
 #: Pack the live replicas to the front whenever at least this fraction of the
@@ -374,6 +389,40 @@ class LVEnsembleResult:
         return results
 
 
+class _MemberStreams:
+    """Per-member blocked uniform draws plus the per-member tail generators.
+
+    Stream derivation follows the module docstring's consumption-order
+    contract: each member seed spawns a (step, tail) generator pair, the step
+    stream is consumed through a per-member block buffer, and the tail stream
+    is handed to the scalar finisher untouched.
+    """
+
+    def __init__(self, member_seeds: Sequence[int]):
+        self.step_generators: list[np.random.Generator] = []
+        self.tail_generators: list[np.random.Generator] = []
+        for seed in member_seeds:
+            step, tail = spawn_generators(seed, 2)
+            self.step_generators.append(step)
+            self.tail_generators.append(tail)
+        self._buffers = [np.empty(0) for _ in member_seeds]
+        self._cursors = [0] * len(member_seeds)
+
+    def draw(self, member: int, count: int) -> np.ndarray:
+        """The next *count* uniforms of *member*'s step stream (a view)."""
+        buffer = self._buffers[member]
+        cursor = self._cursors[member]
+        if buffer.size - cursor < count:
+            block = max(_UNIFORM_BLOCK, count)
+            buffer = np.concatenate(
+                [buffer[cursor:], self.step_generators[member].random(block)]
+            )
+            self._buffers[member] = buffer
+            cursor = 0
+        self._cursors[member] = cursor + count
+        return buffer[cursor : cursor + count]
+
+
 class _LockstepState:
     """Packed working arrays of a heterogeneous lock-step run.
 
@@ -543,6 +592,7 @@ def run_sweep_ensemble(
     members: Sequence[SweepMember],
     *,
     rng: SeedLike = None,
+    member_seeds: Sequence[SeedLike] | None = None,
     compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION,
     collect: str = "full",
 ) -> list[LVEnsembleResult]:
@@ -555,8 +605,16 @@ def run_sweep_ensemble(
         members' replicate counts.  Members may differ in every parameter,
         in the initial state, and in the event budget.
     rng:
-        Root seed.  See the module docstring for the consumption-order
-        contract that makes the results reproducible from this seed alone.
+        Batch-level root seed, used only when *member_seeds* is not given:
+        member ``i`` then receives the ``i``-th seed spawned from it.  See
+        the module docstring for the consumption-order contract.
+    member_seeds:
+        One root seed per member.  Member ``i``'s results are then
+        bitwise-identical to ``run_sweep_ensemble([members[i]],
+        rng=member_seeds[i])`` — i.e. to running the member alone — no
+        matter which members share the mega-batch.  This is the hook the
+        experiment schedulers use to make fused sweeps bit-reproducible
+        per configuration.
     compaction_fraction:
         Pack live replicas to the front whenever at least this fraction of
         the working width has retired; ``None`` disables compaction.  Results
@@ -599,7 +657,17 @@ def run_sweep_ensemble(
         raise InvalidConfigurationError(
             f"collect must be one of {COLLECT_MODES}, got {collect!r}"
         )
-    step_generator, tail_generator = spawn_generators(rng, 2)
+    if member_seeds is None:
+        seeds = spawn_seeds(rng, len(members))
+    else:
+        if len(member_seeds) != len(members):
+            raise InvalidConfigurationError(
+                f"got {len(member_seeds)} member seeds for {len(members)} members"
+            )
+        # One spawn per member: the same derivation a one-member batch applies
+        # to its ``rng``, which is what makes fused and solo runs bitwise equal.
+        seeds = [spawn_seeds(seed, 1)[0] for seed in member_seeds]
+    streams = _MemberStreams(seeds)
 
     state = _LockstepState(members)
     outputs = _SweepOutputs(state.width)
@@ -607,8 +675,7 @@ def run_sweep_ensemble(
         members,
         state,
         outputs,
-        step_generator,
-        tail_generator,
+        streams,
         compaction_fraction,
         collect == "full",
     )
@@ -627,16 +694,52 @@ def _advance_lockstep(
     members: Sequence[SweepMember],
     state: _LockstepState,
     outputs: _SweepOutputs,
-    step_generator: np.random.Generator,
-    tail_generator: np.random.Generator,
+    streams: _MemberStreams,
     compaction_fraction: float | None,
     collect_stats: bool,
 ) -> None:
     """The heterogeneous lock-step loop (see the module docstring contracts)."""
-    num_alive = int(np.count_nonzero(state.alive))
+    num_members = len(members)
     any_absorbable = bool(state.absorbable.any())
-    uniforms = np.empty(0)
-    cursor = 0
+
+    # Per-member alive tallies and the derived uniform-draw segments.  Alive
+    # replicas, taken in ascending original-replica-index order, are grouped
+    # contiguously by member (planning lays members out contiguously and
+    # packing preserves order), so ``zip(seg_members, seg_counts)`` describes
+    # exactly how one step's per-member uniform draws concatenate into the
+    # flat per-alive-replica sequence.  The single-member case (the whole
+    # per-configuration path) skips the tallies entirely.
+    alive_counts = np.bincount(state.member[state.alive], minlength=num_members)
+    num_alive = int(alive_counts.sum())
+    seg_pairs: list[tuple[int, int]] = []
+    min_alive = 0
+    segments_stale = True
+
+    def rebuild_segments() -> None:
+        nonlocal seg_pairs, min_alive, segments_stale
+        index = np.nonzero(alive_counts)[0]
+        counts = alive_counts[index]
+        seg_pairs = list(zip(index.tolist(), counts.tolist()))
+        min_alive = int(counts.min()) if index.size else 0
+        segments_stale = False
+
+    def retire(mask: np.ndarray) -> None:
+        """Drop *mask*'s rows (a packed boolean mask) from the tallies."""
+        nonlocal num_alive, min_alive, segments_stale
+        if num_members == 1:
+            num_alive -= int(np.count_nonzero(mask))
+            min_alive = num_alive
+        else:
+            dropped = np.bincount(state.member[mask], minlength=num_members)
+            alive_counts[:] -= dropped
+            num_alive -= int(dropped.sum())
+            segments_stale = True
+
+    if num_members == 1:
+        min_alive = num_alive
+    # Scratch for the per-step concatenation of per-member uniform draws
+    # (the packed width only ever shrinks, so the initial width suffices).
+    drawn_scratch = np.empty(state.width)
 
     def working_buffers():
         """Width-dependent scratch and cached per-pack quantities.
@@ -692,22 +795,60 @@ def _advance_lockstep(
     # a replica's event count at retirement equals the step index.
     step = 0
     while num_alive > 0:
-        if num_alive <= SCALAR_FINISH_WIDTH:
+        if segments_stale and num_members > 1:
+            rebuild_segments()
+        if min_alive <= SCALAR_FINISH_WIDTH:
             # The per-step numpy dispatch cost is width-independent, so a
-            # thin active set is cheaper to finish with the scalar loop.
-            _finish_scalar_tail(members, state, outputs, tail_generator, step)
-            break
+            # member's thin active set is cheaper to finish with the scalar
+            # loop — at the same per-member count the member would hand off
+            # at running alone (the bitwise-equivalence contract).
+            if num_members == 1:
+                thin = [0]
+            else:
+                thin = [
+                    member_index
+                    for member_index, count in seg_pairs
+                    if count <= SCALAR_FINISH_WIDTH
+                ]
+            finisher = (
+                _finish_member_tail if collect_stats else _finish_member_tail_lean
+            )
+            for member_index in thin:
+                tail_rows = np.nonzero(
+                    state.alive & (state.member == member_index)
+                )[0]
+                finisher(
+                    members[member_index],
+                    state,
+                    outputs,
+                    streams.tail_generators[member_index],
+                    step,
+                    tail_rows,
+                )
+                state.alive[tail_rows] = False
+                if num_members == 1:
+                    num_alive = 0
+                else:
+                    num_alive -= int(alive_counts[member_index])
+                    alive_counts[member_index] = 0
+            if num_members == 1:
+                break
+            rebuild_segments()
+            if num_alive == 0:
+                break
+            alive_idx = np.nonzero(state.alive)[0]
 
         if step >= min_budget:
             exhausted = state.alive & (state.max_events <= step)
             if exhausted.any():
                 outputs.events[state.orig[exhausted]] = step
                 outputs.termination[state.orig[exhausted]] = _MAX_EVENTS
+                retire(exhausted)
                 state.alive &= ~exhausted
-                num_alive = int(np.count_nonzero(state.alive))
-                alive_idx = np.nonzero(state.alive)[0]
                 if num_alive == 0:
                     break
+                alive_idx = np.nonzero(state.alive)[0]
+                continue
 
         if (
             compaction_fraction is not None
@@ -761,20 +902,26 @@ def _advance_lockstep(
             if absorbed.any():
                 outputs.events[state.orig[absorbed]] = step
                 outputs.termination[state.orig[absorbed]] = _ABSORBED
+                retire(absorbed)
                 state.alive &= ~absorbed
-                num_alive = int(np.count_nonzero(state.alive))
-                alive_idx = np.nonzero(state.alive)[0]
                 if num_alive == 0:
                     break
+                alive_idx = np.nonzero(state.alive)[0]
 
-        # One uniform per alive replica, ascending original-index order (the
-        # RNG consumption contract); replicas retired above consume nothing.
-        if uniforms.size - cursor < num_alive:
-            block = max(_UNIFORM_BLOCK, num_alive)
-            uniforms = np.concatenate([uniforms[cursor:], step_generator.random(block)])
-            cursor = 0
-        drawn = uniforms[cursor : cursor + num_alive]
-        cursor += num_alive
+        # One uniform per alive replica of each member, drawn from the
+        # member's own step stream, concatenated in ascending original-index
+        # order (the RNG consumption contract); replicas retired above
+        # consume nothing.
+        if num_members == 1:
+            drawn = streams.draw(0, num_alive)
+        else:
+            if segments_stale:
+                rebuild_segments()
+            drawn = drawn_scratch[:num_alive]
+            offset = 0
+            for member_index, count in seg_pairs:
+                drawn[offset : offset + count] = streams.draw(member_index, count)
+                offset += count
         if num_alive == width:
             np.multiply(drawn, total, out=threshold)
         else:
@@ -833,39 +980,125 @@ def _advance_lockstep(
         finished = state.alive & ((x0 == 0) | (x1 == 0))
         if finished.any():
             outputs.events[state.orig[finished]] = step
+            retire(finished)
             state.alive &= ~finished
-            num_alive = int(np.count_nonzero(state.alive))
             alive_idx = np.nonzero(state.alive)[0]
 
 
-def _finish_scalar_tail(
-    members: Sequence[SweepMember],
+def _finish_member_tail_lean(
+    member: SweepMember,
     state: _LockstepState,
     outputs: _SweepOutputs,
     tail_generator: np.random.Generator,
     step: int,
+    rows: np.ndarray,
 ) -> None:
-    """Finish the last few active replicas with the scalar simulator.
+    """Win-collect twin of :func:`_finish_member_tail`.
 
-    Survivors are processed in ascending original-replica-index order (packed
-    order), each continuing from its mid-run state with its remaining event
-    budget.  The scalar sub-run measures noise relative to the majority of
-    *its* initial (mid-run) state, so its noise components are negated when
-    that reference disagrees with the replica's.
+    Mirrors :meth:`LVJumpChainSimulator.run
+    <repro.lv.simulator.LVJumpChainSimulator.run>`'s control flow and RNG
+    consumption exactly — same uniform block size, one draw per event, the
+    same propensity arithmetic and selection cascade — so the trajectories
+    are bitwise-identical to the full finisher's.  It only skips the
+    per-event accounting (noise, histograms, gap tracking) that ``"win"``
+    summaries never read, which roughly halves the per-event cost of the
+    scalar tails threshold probes pay.
     """
-    simulators: dict[int, LVJumpChainSimulator] = {}
-    for i in np.nonzero(state.alive)[0]:
+    params = member.params
+    beta, delta = params.beta, params.delta
+    alpha0, alpha1 = params.alpha0, params.alpha1
+    gamma0, gamma1 = params.gamma0, params.gamma1
+    self_destructive = params.is_self_destructive
+    for i in rows:
         where = int(state.orig[i])
         outputs.events[where] = step
         remaining = int(state.max_events[i]) - step
         if remaining <= 0:
             outputs.termination[where] = _MAX_EVENTS
             continue
-        member_index = int(state.member[i])
-        simulator = simulators.get(member_index)
+        x0 = int(state.x0[i])
+        x1 = int(state.x1[i])
+        uniforms = tail_generator.random(_SCALAR_UNIFORM_BUFFER)
+        cursor = 0
+        events = 0
+        termination = _CONSENSUS
+        while x0 > 0 and x1 > 0:
+            if events >= remaining:
+                termination = _MAX_EVENTS
+                break
+            birth0 = beta * x0
+            birth1 = beta * x1
+            death0 = delta * x0
+            death1 = delta * x1
+            pair01 = x0 * x1
+            inter0 = alpha0 * pair01
+            inter1 = alpha1 * pair01
+            intra0 = gamma0 * x0 * (x0 - 1) / 2.0
+            intra1 = gamma1 * x1 * (x1 - 1) / 2.0
+            total = birth0 + birth1 + death0 + death1 + inter0 + inter1 + intra0 + intra1
+            if total <= 0.0:
+                termination = _ABSORBED
+                break
+            if cursor >= len(uniforms):
+                uniforms = tail_generator.random(_SCALAR_UNIFORM_BUFFER)
+                cursor = 0
+            threshold = uniforms[cursor] * total
+            cursor += 1
+            if threshold < birth0:
+                x0 += 1
+            elif threshold < birth0 + birth1:
+                x1 += 1
+            elif threshold < birth0 + birth1 + death0:
+                x0 -= 1
+            elif threshold < birth0 + birth1 + death0 + death1:
+                x1 -= 1
+            elif threshold < birth0 + birth1 + death0 + death1 + inter0:
+                if self_destructive:
+                    x0 -= 1
+                x1 -= 1
+            elif threshold < birth0 + birth1 + death0 + death1 + inter0 + inter1:
+                x0 -= 1
+                if self_destructive:
+                    x1 -= 1
+            elif threshold < birth0 + birth1 + death0 + death1 + inter0 + inter1 + intra0:
+                x0 -= 2 if self_destructive else 1
+            else:
+                x1 -= 2 if self_destructive else 1
+            events += 1
+        state.x0[i] = x0
+        state.x1[i] = x1
+        outputs.events[where] += events
+        if termination != _CONSENSUS:
+            outputs.termination[where] = termination
+
+
+def _finish_member_tail(
+    member: SweepMember,
+    state: _LockstepState,
+    outputs: _SweepOutputs,
+    tail_generator: np.random.Generator,
+    step: int,
+    rows: np.ndarray,
+) -> None:
+    """Finish one member's last few active replicas with the scalar simulator.
+
+    Survivors are processed in ascending original-replica-index order (packed
+    order), each continuing from its mid-run state with its remaining event
+    budget, drawing from the member's own tail stream.  The scalar sub-run
+    measures noise relative to the majority of *its* initial (mid-run) state,
+    so its noise components are negated when that reference disagrees with
+    the replica's.
+    """
+    simulator: LVJumpChainSimulator | None = None
+    for i in rows:
+        where = int(state.orig[i])
+        outputs.events[where] = step
+        remaining = int(state.max_events[i]) - step
+        if remaining <= 0:
+            outputs.termination[where] = _MAX_EVENTS
+            continue
         if simulator is None:
-            simulator = LVJumpChainSimulator(members[member_index].params)
-            simulators[member_index] = simulator
+            simulator = LVJumpChainSimulator(member.params)
         mid_state = LVState(int(state.x0[i]), int(state.x1[i]))
         result = simulator.run(mid_state, rng=tail_generator, max_events=remaining)
         state.x0[i] = result.final_state.x0
@@ -893,7 +1126,6 @@ def _finish_scalar_tail(
             outputs.termination[where] = _MAX_EVENTS
         elif result.termination == "absorbed":
             outputs.termination[where] = _ABSORBED
-    state.alive[:] = False
 
 
 class LVEnsembleSimulator:

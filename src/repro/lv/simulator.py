@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.exceptions import InvalidConfigurationError, SimulationError
 from repro.lv.params import LVParams

@@ -36,7 +36,9 @@ class TestWilsonInterval:
         assert low < 0.8 < high
 
     def test_bounds_within_unit_interval(self):
-        assert wilson_interval(0, 50) == pytest.approx((0.0, pytest.approx(0.08, abs=0.05)), abs=0.1)
+        assert wilson_interval(0, 50) == pytest.approx(
+            (0.0, pytest.approx(0.08, abs=0.05)), abs=0.1
+        )
         low, high = wilson_interval(50, 50)
         assert high == 1.0 and low > 0.9
 

@@ -102,7 +102,9 @@ class TestNiceChain:
         alpha = alpha0 + alpha1
         for m in (1, 2, 5, 17, 100):
             assert chain.birth_probability(m) == pytest.approx(theta / (alpha * m + theta))
-            assert chain.death_probability(m) == pytest.approx(min(alpha0, alpha1) / (alpha + 2 * theta))
+            assert chain.death_probability(m) == pytest.approx(
+                min(alpha0, alpha1) / (alpha + 2 * theta)
+            )
 
     def test_lv_dominating_chain_probabilities_valid(self):
         chain = lv_dominating_birth_death(beta=2.0, delta=2.0, alpha0=0.1, alpha1=0.1)
@@ -204,7 +206,9 @@ class TestNiceChainProperties:
         alpha1=st.floats(min_value=0.05, max_value=5.0),
         state=st.integers(min_value=1, max_value=10_000),
     )
-    def test_dominating_chain_is_always_a_valid_nice_chain(self, beta, delta, alpha0, alpha1, state):
+    def test_dominating_chain_is_always_a_valid_nice_chain(
+        self, beta, delta, alpha0, alpha1, state
+    ):
         chain = lv_dominating_birth_death(beta=beta, delta=delta, alpha0=alpha0, alpha1=alpha1)
         p = chain.birth_probability(state)
         q = chain.death_probability(state)

@@ -50,7 +50,9 @@ class TestEstimator:
         assert estimate.majority_probability == pytest.approx(0.55, abs=0.12)
 
     def test_meets_and_misses_target(self, sd_params):
-        confident_win = estimate_majority_probability(sd_params, LVState(95, 5), num_runs=200, rng=3)
+        confident_win = estimate_majority_probability(
+            sd_params, LVState(95, 5), num_runs=200, rng=3
+        )
         assert confident_win.meets_target(0.8)
         coin_flip = estimate_majority_probability(
             sd_params, LVState.from_gap(50, 0), num_runs=200, rng=4

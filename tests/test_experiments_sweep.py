@@ -26,7 +26,6 @@ from repro.experiments.sweep import (
     execute_mega_batch,
     plan_mega_batches,
 )
-from repro.lv.params import LVParams
 from repro.lv.state import LVState
 
 
@@ -109,11 +108,12 @@ class TestRunSweep:
         tasks = _tasks(sd_params, nsd_params, num_runs=150)
         with SweepScheduler(jobs=2, batch_size=64, sweep_batch=128) as scheduler:
             first = scheduler.run_sweep(tasks)
-            assert scheduler._pool is not None
-            pool = scheduler._pool
+            assert scheduler.pool.workers == 2
+            executor = scheduler.pool.acquire(2)
             second = scheduler.run_sweep(tasks)
-            assert scheduler._pool is pool  # one pool for the whole sweep
-        assert scheduler._pool is None
+            # The same warm workers serve every sweep of the context.
+            assert scheduler.pool.acquire(2) is executor
+        assert scheduler.pool.workers == 0
         for a, b in zip(first, second):
             assert np.array_equal(a.total_events, b.total_events)
 

@@ -36,7 +36,8 @@ class TestEventClassification:
         assert kinds["intra:X1"] is EventKind.INTRASPECIFIC
 
     def test_structural_fallback_birth(self):
-        assert classify_reaction(Reaction({X: 1}, {X: 2}, rate=1.0, label="custom")) is EventKind.BIRTH
+        custom = Reaction({X: 1}, {X: 2}, rate=1.0, label="custom")
+        assert classify_reaction(custom) is EventKind.BIRTH
 
     def test_structural_fallback_death(self):
         assert classify_reaction(Reaction({X: 1}, {}, rate=1.0, label="custom")) is EventKind.DEATH

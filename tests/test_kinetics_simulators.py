@@ -13,7 +13,6 @@ from repro.kinetics import (
     DirectMethodSimulator,
     ExtinctionReached,
     JumpChainSimulator,
-    MaxEvents,
     NextReactionSimulator,
     TauLeapingSimulator,
 )
@@ -153,7 +152,9 @@ class TestTauLeaping:
 
         for _ in range(120):
             exact_finals.append(
-                DirectMethodSimulator(network).run({x: 100}, stop=MaxTime(0.5), rng=rng).final_state[0]
+                DirectMethodSimulator(network)
+                .run({x: 100}, stop=MaxTime(0.5), rng=rng)
+                .final_state[0]
             )
             leap_finals.append(
                 TauLeapingSimulator(network, tau=0.02)

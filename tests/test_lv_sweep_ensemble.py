@@ -22,7 +22,6 @@ from repro.lv.ensemble import (
     SweepMember,
     run_sweep_ensemble,
 )
-from repro.lv.params import LVParams
 from repro.lv.state import LVState
 
 from helpers_statistical import assert_statistically_close
@@ -89,6 +88,34 @@ class TestHeterogeneousStatisticalIdentity:
             p_a = fused[index].majority_consensus.mean()
             p_b = refused[index].majority_consensus.mean()
             assert abs(p_a - p_b) < 0.08
+
+
+class TestPerMemberStreams:
+    """Every member owns its RNG streams: fused == solo, bitwise."""
+
+    def test_member_seeds_match_solo_runs(self, sd_params, nsd_params):
+        members = _mixed_members(sd_params, nsd_params, num_runs=250)
+        seeds = [101, 202, 303, 404]
+        fused = run_sweep_ensemble(members, member_seeds=seeds)
+        for member, seed, result in zip(members, seeds, fused):
+            solo = run_sweep_ensemble([member], rng=seed)[0]
+            _assert_identical(result, solo)
+
+    def test_results_independent_of_packing(self, sd_params, nsd_params):
+        members = _mixed_members(sd_params, nsd_params, num_runs=150)
+        seeds = [7, 8, 9, 10]
+        together = run_sweep_ensemble(members, member_seeds=seeds)
+        split = run_sweep_ensemble(
+            members[:2], member_seeds=seeds[:2]
+        ) + run_sweep_ensemble(members[2:], member_seeds=seeds[2:])
+        for a, b in zip(together, split):
+            _assert_identical(a, b)
+
+    def test_member_seed_count_validated(self, sd_params):
+        with pytest.raises(InvalidConfigurationError):
+            run_sweep_ensemble(
+                [SweepMember(sd_params, LVState(10, 6), 4)], member_seeds=[1, 2]
+            )
 
 
 class TestCompactionDeterminism:
