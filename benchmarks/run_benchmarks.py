@@ -10,12 +10,14 @@ For every registered experiment the runner records wall-clock seconds, the
 number of two-species jump events executed by the process-wide sweep
 scheduler (its ``events_executed`` counter), and the resulting events/second
 — so the performance trajectory of the sweep engine stays comparable across
-PRs as a single JSON artefact instead of a nightly eye-check.  Two
+PRs as a single JSON artefact instead of a nightly eye-check.  Three
 acceptance measurements are re-run and recorded alongside: the sweep-fusion
 speedup (fused `FIG-THRESH`-style threshold sweep versus the per-config
-scheduler path, see ``test_bench_sweep_engine.py``) and the
+scheduler path, see ``test_bench_sweep_engine.py``), the
 adaptive-precision events saving at equal CI width (see
-``test_bench_adaptive_precision.py``).
+``test_bench_adaptive_precision.py``), and the tau-backend event-throughput
+ratio over the exact ensemble at n = 10^5 (see
+``test_bench_tau_backend.py``).
 
 ``--compare BASELINE.json`` turns the run into a **regression gate**: after
 measuring, the fresh numbers are compared against the committed baseline
@@ -58,6 +60,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from test_bench_adaptive_precision import _run_adaptive, _run_fixed  # noqa: E402
 from test_bench_adaptive_precision import _grid as _adaptive_grid  # noqa: E402
 from test_bench_sweep_engine import _grid, _run_per_config, _run_sweep  # noqa: E402
+from test_bench_tau_backend import _run_exact, _run_tau  # noqa: E402
+from test_bench_tau_backend import _workload as _tau_workload  # noqa: E402
+from test_bench_tau_backend import warm_up as _tau_warm_up  # noqa: E402
 
 #: Maximum tolerated relative regression versus the committed baseline.
 REGRESSION_TOLERANCE = 0.20
@@ -130,6 +135,34 @@ def measure_adaptive_saving():
     }
 
 
+def measure_tau_backend():
+    """The hybrid-backend acceptance measurement: tau vs exact at n = 10^5.
+
+    Runs the exact workload of ``test_bench_tau_backend.py`` (same grid,
+    seeds, replicate counts, warm-up) outside pytest and reports both
+    backends' event throughput — estimated leap firings and exact events
+    share one unit — plus their ratio, the number the CI gate asserts to
+    be >= 10.
+    """
+    grid = _tau_workload()
+    _tau_warm_up(grid)
+    started = time.perf_counter()
+    exact_events, _ = _run_exact(grid)
+    exact_seconds = time.perf_counter() - started
+    tau_seconds = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        tau_events, _ = _run_tau(grid)
+        tau_seconds = min(tau_seconds, time.perf_counter() - started)
+    exact_throughput = exact_events / exact_seconds
+    tau_throughput = tau_events / tau_seconds
+    return {
+        "exact_events_per_sec": round(exact_throughput),
+        "tau_events_per_sec": round(tau_throughput),
+        "throughput_ratio": round(tau_throughput / exact_throughput, 2),
+    }
+
+
 def _timed(task) -> float:
     started = time.perf_counter()
     task()
@@ -199,6 +232,14 @@ def compare_with_baseline(
                 f"adaptive events saving: {fresh_saving}x vs baseline "
                 f"{base_adaptive['events_saving']}x"
             )
+    base_tau = baseline.get("tau_vs_exact")
+    if base_tau:
+        fresh_ratio = payload["tau_vs_exact"]["throughput_ratio"]
+        if fresh_ratio < base_tau["throughput_ratio"] / limit:
+            failures.append(
+                f"tau backend throughput ratio: {fresh_ratio}x vs baseline "
+                f"{base_tau['throughput_ratio']}x"
+            )
     return failures
 
 
@@ -239,9 +280,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{adaptive['fixed_events']:,} events  ->  "
         f"{adaptive['events_saving']}x fewer at equal CI width"
     )
+    tau = measure_tau_backend()
+    print(
+        f"[tau-vs-exact] {tau['tau_events_per_sec']:,} vs "
+        f"{tau['exact_events_per_sec']:,} events/s  ->  "
+        f"{tau['throughput_ratio']}x throughput at n=10^5"
+    )
 
     payload = {
-        "schema": 2,
+        "schema": 3,
         "scale": arguments.scale,
         "seed": arguments.seed,
         "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
@@ -250,6 +297,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": experiments,
         "sweep_vs_per_config": sweep,
         "adaptive_vs_fixed": adaptive,
+        "tau_vs_exact": tau,
     }
     arguments.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {arguments.output}")

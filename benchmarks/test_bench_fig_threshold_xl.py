@@ -1,0 +1,22 @@
+"""Benchmark `FIG-THRESH-XL`: large-n separation via the hybrid tau backend.
+
+Regenerates the large-population separation probes (n up to 10^6 at quick
+scale) and checks the asymptotic story the exact-SSA experiments cannot
+reach: SD wins w.h.p. at log^2 n gaps while NSD's success probability at
+the same gaps decays toward 1/2, and ~sqrt(n) gaps rescue NSD.
+"""
+
+from __future__ import annotations
+
+
+def test_fig_threshold_xl(run_registered_experiment):
+    result = run_registered_experiment("FIG-THRESH-XL")
+    assert result.rows
+    largest = result.rows[-1]
+    assert largest["n"] >= 10**6
+    for row in result.rows:
+        assert row["rho SD @ log^2 n"] >= row["rho NSD @ log^2 n"]
+        assert row["rho NSD @ 3 sqrt(n)"] >= 0.9
+    # The separation at the polylog gap grows with n.
+    assert largest["SD - NSD @ log^2 n"] >= result.rows[0]["SD - NSD @ log^2 n"]
+    assert result.shape_matches_paper, result.render_text()

@@ -25,6 +25,13 @@ configuration runs replicate waves until its ρ(S) Wilson interval is at most
 ``W`` wide per side, so easy configurations stop early and hard ones get the
 freed budget.  Without the flag the fixed budgets run bit-for-bit as before
 (the exact-reproducibility mode).
+
+``--backend {exact,tau,auto}`` selects the simulation backend: ``exact``
+(default, bitwise-reproducible lock-step jump chains), ``tau`` (the
+approximate vectorized tau-leaping engine for very large populations), or
+``auto`` (tau above a population threshold, exact below).  ``--tau-epsilon``
+tunes the leap accuracy.  Tau results are seed-deterministic but not
+bitwise-comparable to exact results; see DESIGN.md for the contract.
 """
 
 from __future__ import annotations
@@ -74,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="WIDTH",
         help="replicas per fused mega-batch of the sweep engine (default 2048)",
     )
+    _add_backend_arguments(run_parser)
     _add_precision_arguments(run_parser)
     run_parser.add_argument("--json", type=Path, default=None, help="save raw results to this path")
     run_parser.add_argument(
@@ -102,8 +110,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="WIDTH",
         help="replicas per fused mega-batch of the sweep engine (default 2048)",
     )
+    _add_backend_arguments(estimate_parser)
     _add_precision_arguments(estimate_parser)
     return parser
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("exact", "tau", "auto"),
+        default=None,
+        help="simulation backend: 'exact' (default; bitwise-reproducible "
+        "jump chains), 'tau' (approximate vectorized tau-leaping for very "
+        "large populations), or 'auto' (tau above a population threshold)",
+    )
+    parser.add_argument(
+        "--tau-epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="tau-leaping accuracy: bounded relative propensity change per "
+        "leap (default 0.03; smaller is more accurate and slower)",
+    )
 
 
 def _add_precision_arguments(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +184,13 @@ def _command_list(_arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_tau_epsilon(arguments: argparse.Namespace) -> None:
+    if arguments.tau_epsilon is not None and not 0.0 < arguments.tau_epsilon < 1.0:
+        raise SystemExit(
+            f"--tau-epsilon must be in (0, 1), got {arguments.tau_epsilon}"
+        )
+
+
 def _command_run(arguments: argparse.Namespace) -> int:
     if arguments.jobs < 1:
         print(f"--jobs must be at least 1, got {arguments.jobs}")
@@ -163,10 +198,13 @@ def _command_run(arguments: argparse.Namespace) -> int:
     if arguments.sweep_batch is not None and arguments.sweep_batch < 1:
         print(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
         return 2
+    _validate_tau_epsilon(arguments)
     configure_default_scheduler(
         jobs=arguments.jobs,
         sweep_batch=arguments.sweep_batch,
         precision=_precision_from_arguments(arguments),
+        backend=arguments.backend,
+        tau_epsilon=arguments.tau_epsilon,
     )
     if arguments.all:
         identifiers = [spec.identifier for spec in list_experiments()]
@@ -203,9 +241,14 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
     if arguments.sweep_batch is not None and arguments.sweep_batch < 1:
         print(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
         return 2
+    _validate_tau_epsilon(arguments)
     precision = _precision_from_arguments(arguments)
     scheduler = configure_default_scheduler(
-        jobs=arguments.jobs, sweep_batch=arguments.sweep_batch, precision=precision
+        jobs=arguments.jobs,
+        sweep_batch=arguments.sweep_batch,
+        precision=precision,
+        backend=arguments.backend,
+        tau_epsilon=arguments.tau_epsilon,
     )
     constructor = (
         LVParams.self_destructive if arguments.mechanism == "sd" else LVParams.non_self_destructive

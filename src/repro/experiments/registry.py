@@ -61,6 +61,13 @@ def _build_registry() -> dict[str, ExperimentSpec]:
             runner=figures.run_fig_threshold_scaling,
         ),
         ExperimentSpec(
+            identifier="FIG-THRESH-XL",
+            title="Large-n threshold separation via the hybrid tau-leaping backend",
+            paper_claim="SD wins whp at log^2 n gaps while NSD decays toward 1/2 at the "
+            "same gaps and needs ~sqrt(n); visible only for n >> 10^5 (Table 1, row 1).",
+            runner=figures.run_fig_threshold_scaling_xl,
+        ),
+        ExperimentSpec(
             identifier="FIG-TIME",
             title="Consensus-time scaling",
             paper_claim="Consensus within O(n) events (Theorem 13a).",

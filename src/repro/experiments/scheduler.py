@@ -80,6 +80,12 @@ from repro.lv.ensemble import (
     LVEnsembleSimulator,
 )
 from repro.lv.params import LVParams
+from repro.lv.tau import (
+    BACKENDS,
+    DEFAULT_TAU_EPSILON,
+    LVTauEnsembleSimulator,
+    resolve_backend,
+)
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_seeds
@@ -173,12 +179,21 @@ def _execute_batch(
     seed: int,
     max_events: int,
     compaction_fraction: float | None,
+    backend: str = "exact",
+    tau_epsilon: float = DEFAULT_TAU_EPSILON,
 ) -> LVEnsembleResult:
     """Run one lock-step batch (module-level so process pools can pickle it).
 
     Returning the :class:`LVEnsembleResult` arrays keeps both the in-process
-    path and the pool IPC free of per-replicate Python objects.
+    path and the pool IPC free of per-replicate Python objects.  *backend*
+    (``"auto"`` resolved by the configuration's total population) selects
+    between the exact lock-step engine and the tau-leaping fast path.
     """
+    if resolve_backend(backend, counts[0] + counts[1]) == "tau":
+        tau_simulator = LVTauEnsembleSimulator(params, epsilon=tau_epsilon)
+        return tau_simulator.run_ensemble(
+            LVState(counts[0], counts[1]), num_runs, rng=seed, max_events=max_events
+        )
     simulator = LVEnsembleSimulator(params, compaction_fraction=compaction_fraction)
     return simulator.run_ensemble(
         LVState(counts[0], counts[1]), num_runs, rng=seed, max_events=max_events
@@ -228,6 +243,17 @@ class ReplicaScheduler:
         Active-set compaction threshold forwarded to the lock-step engine
         (see :mod:`repro.lv.ensemble`); ``None`` disables compaction.
         Results are bitwise-independent of this knob.
+    backend:
+        Simulation backend for every executed batch: ``"exact"`` (the
+        default — the bitwise-reproducible lock-step jump-chain engine),
+        ``"tau"`` (the approximate large-``n`` tau-leaping engine of
+        :mod:`repro.lv.tau`), or ``"auto"`` (tau at or above
+        :data:`repro.lv.tau.DEFAULT_TAU_POPULATION` total population,
+        exact below).  Individual :class:`~repro.experiments.sweep.SweepTask`
+        entries may override this per task.
+    tau_epsilon:
+        Accuracy parameter of the tau-leaping backend (bounded relative
+        propensity change per leap); ignored by the exact engine.
     pool:
         The :class:`WorkerPool` that owns the worker processes.  Each
         scheduler gets its own by default; pass a shared instance to let
@@ -238,8 +264,11 @@ class ReplicaScheduler:
 
     The scheduler is also a context manager: entering pre-warms the pool
     (when ``jobs > 1``) and exiting stops it.  The ``events_executed``
-    counter accumulates the number of simulated jump events, which the
-    benchmark harness reads to report events/second.
+    counter accumulates the number of simulated jump events — exact events
+    plus the tau backend's estimated leap firings — which the benchmark
+    harness reads to report events/second; ``leap_events_executed`` counts
+    the leap-estimated subset, so ``events_executed -
+    leap_events_executed`` is the exactly simulated remainder.
 
     Examples
     --------
@@ -253,8 +282,11 @@ class ReplicaScheduler:
     jobs: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION
+    backend: str = "exact"
+    tau_epsilon: float = DEFAULT_TAU_EPSILON
     pool: WorkerPool = field(default_factory=WorkerPool, repr=False, compare=False)
     events_executed: int = field(default=0, init=False, repr=False, compare=False)
+    leap_events_executed: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -273,6 +305,14 @@ class ReplicaScheduler:
             raise ExperimentError(
                 "compaction_fraction must be in (0, 1] or None, "
                 f"got {self.compaction_fraction}"
+            )
+        if self.backend not in BACKENDS:
+            raise ExperimentError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if not 0.0 < self.tau_epsilon < 1.0:
+            raise ExperimentError(
+                f"tau_epsilon must be in (0, 1), got {self.tau_epsilon}"
             )
 
     # ------------------------------------------------------------------
@@ -330,7 +370,16 @@ class ReplicaScheduler:
         sizes = self.plan(num_runs)
         seeds = spawn_seeds(rng, len(sizes))
         tasks = [
-            (params, (state.x0, state.x1), size, seed, max_events, self.compaction_fraction)
+            (
+                params,
+                (state.x0, state.x1),
+                size,
+                seed,
+                max_events,
+                self.compaction_fraction,
+                self.backend,
+                self.tau_epsilon,
+            )
             for size, seed in zip(sizes, seeds)
         ]
         with self._pool_scope(len(tasks)) as pool:
@@ -339,8 +388,19 @@ class ReplicaScheduler:
             else:
                 batches = list(pool.map(_execute_batch, *zip(*tasks)))
         merged = LVEnsembleResult.concatenate(batches)
-        self.events_executed += int(merged.total_events.sum())
+        self._meter(merged)
         return merged
+
+    def _meter(self, result: LVEnsembleResult) -> None:
+        """Fold one ensemble's event counts into the scheduler's meters.
+
+        ``events_executed`` counts every simulated event (exact plus
+        leap-estimated firings); ``leap_events_executed`` the leap-estimated
+        subset contributed by the tau backend.
+        """
+        self.events_executed += int(result.total_events.sum())
+        if result.leap_events is not None:
+            self.leap_events_executed += int(result.leap_events.sum())
 
     def run_replicates(
         self,
@@ -516,9 +576,8 @@ class SweepScheduler(ReplicaScheduler):
         )
         results = self._execute_plans(plans, collect)
         merged = demux_mega_results(len(tasks), plans, results)
-        self.events_executed += sum(
-            int(result.total_events.sum()) for result in merged
-        )
+        for result in merged:
+            self._meter(result)
         return merged
 
     def _execute_plans(
@@ -528,7 +587,13 @@ class SweepScheduler(ReplicaScheduler):
         with self._pool_scope(len(plans)) as pool:
             if pool is None:
                 return [
-                    execute_mega_batch(plan, self.compaction_fraction, collect)
+                    execute_mega_batch(
+                        plan,
+                        self.compaction_fraction,
+                        collect,
+                        self.backend,
+                        self.tau_epsilon,
+                    )
                     for plan in plans
                 ]
             return list(
@@ -537,6 +602,8 @@ class SweepScheduler(ReplicaScheduler):
                     plans,
                     [self.compaction_fraction] * len(plans),
                     [collect] * len(plans),
+                    [self.backend] * len(plans),
+                    [self.tau_epsilon] * len(plans),
                 )
             )
 
@@ -588,7 +655,7 @@ class SweepScheduler(ReplicaScheduler):
             for plan, plan_results in zip(plans, wave_results):
                 for spec, chunk in zip(plan, plan_results):
                     per_task.setdefault(spec.task_index, []).append(chunk)
-                    self.events_executed += int(chunk.total_events.sum())
+                    self._meter(chunk)
             for index, chunks in per_task.items():
                 states[index].absorb(chunks)
                 states[index].evaluate()
@@ -774,6 +841,8 @@ def configure_default_scheduler(
     batch_size: int | None = None,
     sweep_batch: int | None = None,
     precision: "PrecisionTarget | None | object" = _KEEP,
+    backend: str | None = None,
+    tau_epsilon: float | None = None,
 ) -> SweepScheduler:
     """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``).
 
@@ -782,7 +851,9 @@ def configure_default_scheduler(
     override) reuses the warm worker processes instead of rebuilding the
     pool; pass ``precision`` to switch the experiment drivers between
     adaptive waves (a :class:`~repro.analysis.statistics.PrecisionTarget`)
-    and fixed budgets (``None``).
+    and fixed budgets (``None``), and ``backend`` / ``tau_epsilon`` to
+    select the simulation backend (the CLI's ``--backend`` and
+    ``--tau-epsilon``).
     """
     global _default_scheduler
     previous = _default_scheduler
@@ -791,6 +862,8 @@ def configure_default_scheduler(
         batch_size=previous.batch_size if batch_size is None else batch_size,
         sweep_batch=previous.sweep_batch if sweep_batch is None else sweep_batch,
         precision=previous.precision if precision is _KEEP else precision,
+        backend=previous.backend if backend is None else backend,
+        tau_epsilon=previous.tau_epsilon if tau_epsilon is None else tau_epsilon,
         wave_quantum=previous.wave_quantum,
         pool=previous.pool,
     )

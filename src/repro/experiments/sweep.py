@@ -55,6 +55,12 @@ from repro.lv.ensemble import (
     run_sweep_ensemble,
 )
 from repro.lv.params import LVParams
+from repro.lv.tau import (
+    BACKENDS,
+    DEFAULT_TAU_EPSILON,
+    resolve_backend,
+    run_tau_sweep_ensemble,
+)
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_seeds
@@ -93,6 +99,12 @@ class SweepTask:
     seed: SeedLike = None
     max_events: int = DEFAULT_MAX_EVENTS
     label: str = ""
+    #: Per-task backend override: ``None`` defers to the executing
+    #: scheduler's backend; ``"exact"``, ``"tau"``, or ``"auto"`` pin this
+    #: task regardless of the scheduler default (the large-``n`` experiments
+    #: pin ``"auto"`` so their 10^6-population configurations leap even when
+    #: the process default is the exact engine).
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.initial_state, LVState):
@@ -109,6 +121,11 @@ class SweepTask:
             raise ExperimentError(
                 f"max_events must be positive, got {self.max_events} (task {self.label!r})"
             )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ExperimentError(
+                f"backend must be None or one of {BACKENDS}, got {self.backend!r} "
+                f"(task {self.label!r})"
+            )
 
 
 @dataclass(frozen=True)
@@ -121,6 +138,8 @@ class MemberSpec:
     num_replicates: int
     seed: int
     max_events: int
+    #: The owning task's backend override (``None`` = scheduler default).
+    backend: str | None = None
 
     def to_member(self) -> SweepMember:
         return SweepMember(
@@ -166,6 +185,7 @@ def plan_mega_batches(
                 num_replicates=size,
                 seed=seed,
                 max_events=task.max_events,
+                backend=task.backend,
             )
             for size, seed in zip(sizes, seeds)
         )
@@ -203,6 +223,8 @@ def execute_mega_batch(
     specs: Sequence[MemberSpec],
     compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION,
     collect: str = "full",
+    backend: str = "exact",
+    tau_epsilon: float = DEFAULT_TAU_EPSILON,
 ) -> list[LVEnsembleResult]:
     """Run one planned mega-batch and return its per-member results.
 
@@ -212,15 +234,44 @@ def execute_mega_batch(
     plan entries, independent of how they were packed, and pickle-friendly
     because only integers cross process boundaries.  *collect* selects the
     engine's statistics level (:data:`repro.lv.ensemble.COLLECT_MODES`).
+
+    *backend* is the scheduler-level selector; a spec's own ``backend``
+    field overrides it, and ``"auto"`` resolves per member by total initial
+    population (:func:`repro.lv.tau.resolve_backend`).  Members resolving to
+    the exact engine advance in one fused lock-step batch; members resolving
+    to tau-leaping run through :func:`repro.lv.tau.run_tau_sweep_ensemble`
+    with the same per-member seed derivation.  Either way every member's
+    result depends only on its own seed and configuration, never on the
+    batch composition.
     """
     if not specs:
         raise ExperimentError("cannot execute an empty mega-batch")
-    return run_sweep_ensemble(
-        [spec.to_member() for spec in specs],
-        member_seeds=[spec.seed for spec in specs],
-        compaction_fraction=compaction_fraction,
-        collect=collect,
-    )
+    resolved = [
+        resolve_backend(spec.backend or backend, spec.counts[0] + spec.counts[1])
+        for spec in specs
+    ]
+    exact_positions = [i for i, kind in enumerate(resolved) if kind == "exact"]
+    tau_positions = [i for i, kind in enumerate(resolved) if kind == "tau"]
+    results: list[LVEnsembleResult | None] = [None] * len(specs)
+    if exact_positions:
+        exact_results = run_sweep_ensemble(
+            [specs[i].to_member() for i in exact_positions],
+            member_seeds=[specs[i].seed for i in exact_positions],
+            compaction_fraction=compaction_fraction,
+            collect=collect,
+        )
+        for i, result in zip(exact_positions, exact_results):
+            results[i] = result
+    if tau_positions:
+        tau_results = run_tau_sweep_ensemble(
+            [specs[i].to_member() for i in tau_positions],
+            member_seeds=[specs[i].seed for i in tau_positions],
+            epsilon=tau_epsilon,
+            collect=collect,
+        )
+        for i, result in zip(tau_positions, tau_results):
+            results[i] = result
+    return results
 
 
 def demux_mega_results(
@@ -348,6 +399,7 @@ class AdaptiveTaskState:
                 num_replicates=chunk_ladder_size(self.target, self.quantum, rung),
                 seed=self._chunk_seed(rung),
                 max_events=task.max_events,
+                backend=task.backend,
             )
             for rung in range(self.chunks_done, goal)
         ]

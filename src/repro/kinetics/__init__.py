@@ -12,8 +12,9 @@ alternatives:
 * :class:`~repro.kinetics.jump_chain.JumpChainSimulator` — the embedded
   discrete-time jump chain the paper's theorems are stated for,
 * :class:`~repro.kinetics.tau_leaping.TauLeapingSimulator` — approximate
-  tau-leaping for large populations (not used by the experiments but useful
-  for exploratory work).
+  tau-leaping for large populations over arbitrary networks; the experiment
+  stack's large-``n`` fast path is its vectorized LV specialisation
+  (:mod:`repro.lv.tau`), selectable as ``backend="tau"``.
 
 All simulators share the :class:`~repro.kinetics.trajectory.Trajectory`
 container and the stopping conditions from :mod:`repro.kinetics.stopping`.

@@ -11,6 +11,16 @@ The implementation uses the simple "binomial capping" safeguard: if a leap
 would drive any species negative, the step size is halved and the leap is
 re-attempted, falling back to single-reaction (SSA-like) steps when ``τ``
 becomes very small.
+
+Event-accounting contract
+-------------------------
+``max_events`` budgets and the ``num_events`` passed to stopping conditions
+are metered in **estimated reaction firings** (``firings.sum()`` per leap),
+the same unit every exact simulator uses — a tau-leap run and an exact run
+with the same budget therefore simulate comparable amounts of work.  The
+trajectory's ``num_events`` still counts *recorded steps* (one per leap, or
+one per degenerate single-reaction fallback), since that is what the
+trajectory physically stores.
 """
 
 from __future__ import annotations
@@ -64,11 +74,20 @@ class TauLeapingSimulator(StochasticSimulator):
         record_steps: bool = False,
         rng: SeedLike = None,
     ) -> Trajectory:
-        """Simulate one trajectory; ``num_events`` counts *leaps*, not reactions.
+        """Simulate one trajectory.
 
-        The per-leap aggregate state changes are recorded with the synthetic
+        Per-leap aggregate state changes are recorded with the synthetic
         reaction label ``"tau-leap"`` and kind ``OTHER`` since a single leap
-        may bundle many reactions of different kinds.
+        may bundle many reactions of different kinds; degenerate
+        single-reaction fallback steps fire exactly one known reaction and
+        are recorded under that reaction's real label and kind.
+
+        ``max_events`` and the ``num_events`` seen by stopping conditions
+        count **estimated reaction firings**, not leaps (see the module
+        docstring).  When a :class:`~repro.kinetics.stopping.MaxTime`
+        condition is present the final leap is shortened to end exactly at
+        the time limit, so recorded stop times never overshoot the boundary
+        by a bundled leap.
         """
         from repro.kinetics.events import EventKind
 
@@ -79,21 +98,29 @@ class TauLeapingSimulator(StochasticSimulator):
             stop = stop.bind(self.network)
         budget = 10_000_000 if max_events is None else int(max_events)
         if budget <= 0:
-            raise ValueError(f"max_events must be positive, got {max_events}")
+            raise ValueError(f"max_events must be positive, got {budget}")
+        time_limit = _time_limit(stop)
 
         time = 0.0
+        fired = 0
         if stop is not None and stop.should_stop_vector(
             state, network=self.network, time=time, num_events=0
         ):
             return trajectory.finish(stop.reason)
 
-        while trajectory.num_events < budget:
+        while fired < budget:
             propensities = self._propensities(state)
             total = float(propensities.sum())
             if total <= 0.0:
                 return trajectory.finish("absorbed")
 
             tau = self.tau
+            if time_limit is not None and time + tau > time_limit:
+                # Shorten the final leap to end exactly on the time boundary
+                # instead of bundling up to τ worth of reactions past it.
+                tau = time_limit - time
+            label = "tau-leap"
+            kind = EventKind.OTHER
             while True:
                 firings = generator.poisson(propensities * tau)
                 delta = firings @ self._changes
@@ -101,7 +128,9 @@ class TauLeapingSimulator(StochasticSimulator):
                     break
                 tau /= 2.0
                 if tau < self.min_tau:
-                    # Degenerate to a single exact SSA step.
+                    # Degenerate to a single exact SSA step, recorded under
+                    # the fired reaction's real label and kind so per-reaction
+                    # event accounting stays correct downstream.
                     threshold = generator.random() * total
                     cumulative = 0.0
                     index = len(propensities) - 1
@@ -114,20 +143,56 @@ class TauLeapingSimulator(StochasticSimulator):
                     firings[index] = 1
                     delta = self._changes[index]
                     tau = float(generator.exponential(1.0 / total))
+                    label = self._labels[index]
+                    kind = self._kinds[index]
                     break
 
+            if time_limit is not None and time + tau > time_limit:
+                # Only reachable via the exponential waiting time of the
+                # single-reaction fallback (leap steps are shortened above):
+                # the next reaction fires after the time boundary, so — as in
+                # exact SSA — stop at the boundary without applying it.
+                time = time_limit
+                if stop is not None and stop.should_stop_vector(
+                    state, network=self.network, time=time, num_events=fired
+                ):
+                    return trajectory.finish(stop.reason)
+                return trajectory.finish("max-time")
             state = state + delta
             if np.any(state < 0):
                 raise SimulationError("tau-leaping drove a species count negative")
             time += tau
+            fired += int(firings.sum())
             trajectory.record_event(
                 time=time,
-                reaction_label="tau-leap",
-                kind=EventKind.OTHER,
+                reaction_label=label,
+                kind=kind,
                 state=state,
             )
             if stop is not None and stop.should_stop_vector(
-                state, network=self.network, time=time, num_events=trajectory.num_events
+                state, network=self.network, time=time, num_events=fired
             ):
                 return trajectory.finish(stop.reason)
         return trajectory.finish("max-events")
+
+
+def _time_limit(stop: StoppingCondition | None) -> float | None:
+    """The tightest ``MaxTime`` limit inside *stop* (recursing into ``AnyOf``).
+
+    Used to shorten the final leap so time-based stopping conditions end
+    exactly on their boundary instead of overshooting by up to ``τ``.
+    """
+    from repro.kinetics.stopping import AnyOf, MaxTime
+
+    if stop is None:
+        return None
+    if isinstance(stop, MaxTime):
+        return stop.limit
+    if isinstance(stop, AnyOf):
+        limits = [
+            limit
+            for condition in stop.conditions
+            if (limit := _time_limit(condition)) is not None
+        ]
+        return min(limits) if limits else None
+    return None

@@ -15,6 +15,10 @@ Section 1.3 and the deterministic ODE of Section 2.1:
 * :class:`~repro.lv.ensemble.LVEnsembleSimulator` — the vectorized replica
   engine that advances a whole batch of jump chains in lock-step with the
   same event accounting (the workhorse of the experiments),
+* :class:`~repro.lv.tau.LVTauEnsembleSimulator` — the approximate
+  large-``n`` backend: vectorized tau-leaping with an exact scalar endgame
+  (selectable via ``backend="exact"|"tau"|"auto"`` throughout the
+  experiment stack),
 * :mod:`~repro.lv.ode` — the deterministic competitive LV ODE (Eq. 4),
 * :mod:`~repro.lv.regimes` — classification of parameter choices into the
   rows of Table 1.
@@ -25,10 +29,24 @@ from repro.lv.state import LVState
 from repro.lv.models import LVModel
 from repro.lv.simulator import LVJumpChainSimulator, LVRunResult, StepRecord
 from repro.lv.ensemble import LVEnsembleSimulator, LVEnsembleResult
+from repro.lv.tau import (
+    BACKENDS,
+    DEFAULT_TAU_EPSILON,
+    DEFAULT_TAU_POPULATION,
+    LVTauEnsembleSimulator,
+    resolve_backend,
+    run_tau_sweep_ensemble,
+)
 from repro.lv.ode import DeterministicLV, ODEResult
 from repro.lv.regimes import Table1Row, classify_regime
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_TAU_EPSILON",
+    "DEFAULT_TAU_POPULATION",
+    "LVTauEnsembleSimulator",
+    "resolve_backend",
+    "run_tau_sweep_ensemble",
     "CompetitionMechanism",
     "LVParams",
     "LVState",

@@ -228,6 +228,12 @@ class LVEnsembleResult:
     max_total_population: np.ndarray
     min_gap_seen: np.ndarray
     hit_tie: np.ndarray
+    #: Per-replica count of events executed as *estimated* tau-leap firings
+    #: (the remainder of ``total_events`` was simulated exactly).  ``None``
+    #: for ensembles produced by the exact lock-step engine; populated by the
+    #: tau-leaping backend (:mod:`repro.lv.tau`) so schedulers can meter
+    #: approximate and exact work separately.
+    leap_events: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Aggregate views
@@ -336,6 +342,20 @@ class LVEnsembleResult:
             ),
             min_gap_seen=np.concatenate([r.min_gap_seen for r in results]),
             hit_tie=np.concatenate([r.hit_tie for r in results]),
+            leap_events=(
+                None
+                if all(r.leap_events is None for r in results)
+                # Exact chunks of a mixed-backend merge contribute zero
+                # leap-estimated events.
+                else np.concatenate(
+                    [
+                        r.leap_events
+                        if r.leap_events is not None
+                        else np.zeros_like(r.total_events)
+                        for r in results
+                    ]
+                )
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -1072,6 +1092,49 @@ def _finish_member_tail_lean(
             outputs.termination[where] = termination
 
 
+def merge_scalar_tail_run(
+    accumulators, index, result: LVRunResult, mid_state: LVState, reference: int
+) -> "int | None":
+    """Fold one scalar sub-run's accounting into *accumulators* at row *index*.
+
+    *accumulators* is any object carrying the per-replica arrays
+    ``histogram`` / ``bad`` / ``good`` / ``noise_ind`` / ``noise_comp`` /
+    ``max_total`` / ``min_gap`` / ``hit_tie`` — the lock-step working state
+    and the tau backend's output arrays both do, which is what keeps the two
+    engines' exact-endgame accounting from drifting apart.  The scalar
+    sub-run measures noise relative to the majority of *its* initial
+    (mid-run) state, so its noise components are negated when that reference
+    disagrees with the replica's (*reference*).  Returns the termination
+    code to record, or ``None`` when the sub-run reached consensus.
+    """
+    accumulators.histogram[index, _BIRTH0] += result.births[0]
+    accumulators.histogram[index, _BIRTH1] += result.births[1]
+    accumulators.histogram[index, _DEATH0] += result.deaths[0]
+    accumulators.histogram[index, _DEATH1] += result.deaths[1]
+    accumulators.histogram[index, _INTER0] += result.interspecific_events
+    accumulators.histogram[index, _INTRA0] += result.intraspecific_events[0]
+    accumulators.histogram[index, _INTRA1] += result.intraspecific_events[1]
+    accumulators.bad[index] += result.bad_noncompetitive_events
+    accumulators.good[index] += result.good_events
+    sub_majority = mid_state.majority_species
+    sub_reference = 0 if sub_majority is None else sub_majority
+    flip = -1 if sub_reference != reference else 1
+    accumulators.noise_ind[index] += flip * result.noise_individual
+    accumulators.noise_comp[index] += flip * result.noise_competitive
+    accumulators.max_total[index] = max(
+        int(accumulators.max_total[index]), result.max_total_population
+    )
+    accumulators.min_gap[index] = min(
+        int(accumulators.min_gap[index]), result.min_gap_seen
+    )
+    accumulators.hit_tie[index] |= result.hit_tie
+    if result.termination == "max-events":
+        return _MAX_EVENTS
+    if result.termination == "absorbed":
+        return _ABSORBED
+    return None
+
+
 def _finish_member_tail(
     member: SweepMember,
     state: _LockstepState,
@@ -1084,10 +1147,8 @@ def _finish_member_tail(
 
     Survivors are processed in ascending original-replica-index order (packed
     order), each continuing from its mid-run state with its remaining event
-    budget, drawing from the member's own tail stream.  The scalar sub-run
-    measures noise relative to the majority of *its* initial (mid-run) state,
-    so its noise components are negated when that reference disagrees with
-    the replica's.
+    budget, drawing from the member's own tail stream; the sub-run accounting
+    is folded in by :func:`merge_scalar_tail_run`.
     """
     simulator: LVJumpChainSimulator | None = None
     for i in rows:
@@ -1104,28 +1165,10 @@ def _finish_member_tail(
         state.x0[i] = result.final_state.x0
         state.x1[i] = result.final_state.x1
         outputs.events[where] += result.total_events
-        state.histogram[i, _BIRTH0] += result.births[0]
-        state.histogram[i, _BIRTH1] += result.births[1]
-        state.histogram[i, _DEATH0] += result.deaths[0]
-        state.histogram[i, _DEATH1] += result.deaths[1]
-        state.histogram[i, _INTER0] += result.interspecific_events
-        state.histogram[i, _INTRA0] += result.intraspecific_events[0]
-        state.histogram[i, _INTRA1] += result.intraspecific_events[1]
-        state.bad[i] += result.bad_noncompetitive_events
-        state.good[i] += result.good_events
         reference = 0 if state.sign[i] == 1 else 1
-        sub_majority = mid_state.majority_species
-        sub_reference = 0 if sub_majority is None else sub_majority
-        flip = -1 if sub_reference != reference else 1
-        state.noise_ind[i] += flip * result.noise_individual
-        state.noise_comp[i] += flip * result.noise_competitive
-        state.max_total[i] = max(int(state.max_total[i]), result.max_total_population)
-        state.min_gap[i] = min(int(state.min_gap[i]), result.min_gap_seen)
-        state.hit_tie[i] |= result.hit_tie
-        if result.termination == "max-events":
-            outputs.termination[where] = _MAX_EVENTS
-        elif result.termination == "absorbed":
-            outputs.termination[where] = _ABSORBED
+        code = merge_scalar_tail_run(state, i, result, mid_state, reference)
+        if code is not None:
+            outputs.termination[where] = code
 
 
 class LVEnsembleSimulator:

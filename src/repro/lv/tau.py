@@ -1,0 +1,657 @@
+"""Vectorized tau-leaping backend for large-population LV ensembles.
+
+The exact lock-step engine (:mod:`repro.lv.ensemble`) pays one vectorized
+step per jump-chain *event*, so its cost grows linearly in the event count —
+consensus from ``n`` individuals takes ``O(n)`` events, which caps practical
+populations around ``n ~ 10^4``.  This module provides the approximate
+large-``n`` fast path: whole replica batches advance by **Poisson leaps**
+that bundle many reactions per step, so the paper's asymptotic claims
+(``O(log^2 n)`` versus ``sqrt(n)`` thresholds) can actually be observed at
+``n = 10^6`` and beyond.
+
+Per batched leap, the kernel
+
+1. evaluates the eight LV reaction-class propensities for every replica,
+2. chooses a per-replica step ``tau`` by the standard bounded
+   relative-propensity-change rule (Cao-Gillespie selection with parameter
+   ``epsilon``: the mean and standard deviation of each species' change per
+   leap are both capped at ``max(epsilon * x_i / g_i, 1)``),
+3. draws a Poisson firing matrix with means ``a_j * tau`` and applies the
+   aggregate stoichiometry,
+4. rejects any leap that would drive a count negative, halving that
+   replica's ``tau`` and redrawing (per replica, not per batch), and
+5. degenerates to single exact-SSA steps for replicas whose leap would fire
+   at most about one reaction, recorded under the real reaction class.
+
+Hybrid exact tail
+-----------------
+Near absorption the leap approximation is invalid (propensities change by
+O(1) factors per event), so replicas whose total population falls to
+:data:`DEFAULT_EXACT_TAIL_POPULATION` or below are handed to the exact
+scalar jump-chain simulator (:class:`~repro.lv.simulator.LVJumpChainSimulator`),
+which finishes them event-by-event from the member's dedicated tail stream.
+Consensus probabilities therefore get the exact endgame dynamics; leaping is
+only ever applied in the large-population regime it is valid in.
+
+Reproducibility contract
+------------------------
+Seed derivation mirrors :func:`repro.lv.ensemble.run_sweep_ensemble`: every
+member of a batch owns its root seed, which spawns a (step, tail) generator
+pair; the step stream drives the Poisson/uniform draws of the leap loop in
+ascending original-replica-index order, and the tail stream feeds the scalar
+finisher.  Members are simulated independently, so a member's results are
+**bitwise-identical to running it alone** — fused execution is purely an
+execution strategy, exactly as for the exact engine.  Results are
+seed-deterministic, but tau trajectories are *not* bitwise-comparable to
+exact trajectories: the backends agree statistically (enforced by the test
+suite's shared tolerance helper), not sample-by-sample.
+
+Event accounting
+----------------
+``total_events`` counts **estimated reaction firings** (``firings.sum()``
+per leap) plus the exactly simulated tail/fallback events, matching the unit
+every exact simulator uses; the additional ``leap_events`` array records the
+leap-estimated subset so schedulers can meter approximate and exact work
+separately.  Event-granularity path statistics (``J(S)`` bad events, good
+events, ``min_gap_seen``, ``hit_tie``) are accumulated at *leap* granularity
+while leaping (minority resolved at the start of each leap) and exactly in
+the scalar tail — statistically faithful estimates, not per-event counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidConfigurationError, SimulationError
+from repro.lv.ensemble import (
+    _ABSORBED,
+    _CONSENSUS,
+    _DX0_TABLE,
+    _DX1_TABLE,
+    _MAX_EVENTS,
+    COLLECT_MODES,
+    LVEnsembleResult,
+    SweepMember,
+    merge_scalar_tail_run,
+)
+from repro.lv.params import LVParams
+from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator
+from repro.lv.state import LVState
+from repro.rng import SeedLike, spawn_generators, spawn_seeds
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_TAU_EPSILON",
+    "DEFAULT_TAU_POPULATION",
+    "DEFAULT_EXACT_TAIL_POPULATION",
+    "LVTauEnsembleSimulator",
+    "resolve_backend",
+    "run_tau_sweep_ensemble",
+]
+
+#: Selectable simulation backends: ``"exact"`` (the lock-step jump-chain
+#: engine), ``"tau"`` (this module), and ``"auto"`` (tau at or above
+#: :data:`DEFAULT_TAU_POPULATION` total population, exact below).
+BACKENDS = ("exact", "tau", "auto")
+
+#: Bounded relative-propensity-change parameter of the tau-selection rule.
+#: Smaller values take shorter, more accurate leaps; 0.03 is the standard
+#: literature default and keeps the statistical-agreement tests comfortably
+#: inside the shared tolerances.
+DEFAULT_TAU_EPSILON = 0.03
+
+#: ``"auto"`` backend switch-over: configurations whose total initial
+#: population is at least this run on the tau backend.  Below it the exact
+#: engine is already fast and stays bitwise-reproducible.
+DEFAULT_TAU_POPULATION = 50_000
+
+#: Replicas whose total population falls to this value or below are handed
+#: to the exact scalar simulator: near absorption per-event propensity
+#: changes are O(1) and the leap approximation is invalid, while the exact
+#: endgame costs only O(tail population) events.
+DEFAULT_EXACT_TAIL_POPULATION = 512
+
+#: Leaps expected to fire fewer than this many reactions degenerate to a
+#: single exact-SSA step (drawn from the step stream, recorded under the
+#: real reaction class) — a Poisson leap of sub-unit mean costs the same
+#: dispatch but adds approximation error for no speed.
+_MIN_EXPECTED_FIRINGS = 1.0
+
+#: Event indices shared with :mod:`repro.lv.ensemble`.
+_BIRTH0, _BIRTH1, _DEATH0, _DEATH1, _INTER0, _INTER1, _INTRA0, _INTRA1 = range(8)
+
+
+def resolve_backend(
+    backend: str,
+    population: int,
+    *,
+    tau_population: int = DEFAULT_TAU_POPULATION,
+) -> str:
+    """Resolve a backend selector to ``"exact"`` or ``"tau"``.
+
+    ``"auto"`` chooses the tau backend when *population* (the configuration's
+    total initial population) is at least *tau_population*, and the exact
+    engine below it — large populations get the approximate fast path,
+    small ones keep bitwise exact-reproducibility.
+
+    Examples
+    --------
+    >>> resolve_backend("auto", 1_000_000)
+    'tau'
+    >>> resolve_backend("auto", 512)
+    'exact'
+    >>> resolve_backend("exact", 1_000_000)
+    'exact'
+    """
+    if backend not in BACKENDS:
+        raise InvalidConfigurationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if backend == "auto":
+        return "tau" if population >= tau_population else "exact"
+    return backend
+
+
+def run_tau_sweep_ensemble(
+    members: Sequence[SweepMember],
+    *,
+    rng: SeedLike = None,
+    member_seeds: Sequence[SeedLike] | None = None,
+    epsilon: float = DEFAULT_TAU_EPSILON,
+    exact_tail_population: int = DEFAULT_EXACT_TAIL_POPULATION,
+    collect: str = "full",
+) -> list[LVEnsembleResult]:
+    """Tau-leaping twin of :func:`repro.lv.ensemble.run_sweep_ensemble`.
+
+    Advances every member's replica batch by vectorized Poisson leaps and
+    returns one :class:`~repro.lv.ensemble.LVEnsembleResult` per member, in
+    member order.  Seed derivation matches the exact engine's contract
+    (one root seed per member spawning a step and a tail stream), and
+    members are simulated independently, so a member's results are
+    bitwise-identical to running it alone regardless of batch composition.
+
+    Parameters
+    ----------
+    members:
+        Ordered configuration slices, as for the exact engine.
+    rng, member_seeds:
+        Batch-level root seed, or one root seed per member (the scheduler's
+        reproducibility hook); identical semantics to the exact engine.
+    epsilon:
+        Tau-selection accuracy parameter (bounded relative propensity
+        change per leap).
+    exact_tail_population:
+        Hand a replica to the exact scalar simulator once its total
+        population is at or below this value (``0`` disables the handoff
+        and leaps all the way to absorption).
+    collect:
+        Accepted for signature compatibility with the exact engine.  The
+        tau kernel's per-leap accounting is a negligible fraction of its
+        cost, so full statistics are always collected.
+
+    Examples
+    --------
+    >>> sd = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> result = run_tau_sweep_ensemble(
+    ...     [SweepMember(sd, LVState(120_000, 80_000), 4)], rng=7)[0]
+    >>> bool(result.reached_consensus.all())
+    True
+    >>> int(result.leap_events.sum()) > 0
+    True
+    """
+    members = list(members)
+    if not members:
+        raise InvalidConfigurationError("a tau sweep needs at least one member")
+    _validate_epsilon(epsilon)
+    if collect not in COLLECT_MODES:
+        raise InvalidConfigurationError(
+            f"collect must be one of {COLLECT_MODES}, got {collect!r}"
+        )
+    if exact_tail_population < 0:
+        raise InvalidConfigurationError(
+            f"exact_tail_population must be non-negative, got {exact_tail_population}"
+        )
+    if member_seeds is None:
+        seeds = spawn_seeds(rng, len(members))
+    else:
+        if len(member_seeds) != len(members):
+            raise InvalidConfigurationError(
+                f"got {len(member_seeds)} member seeds for {len(members)} members"
+            )
+        # Same one-spawn-per-member derivation as the exact engine, so a
+        # fused member equals the solo run bitwise.
+        seeds = [spawn_seeds(seed, 1)[0] for seed in member_seeds]
+    results = []
+    for member, seed in zip(members, seeds):
+        step_generator, tail_generator = spawn_generators(seed, 2)
+        results.append(
+            _run_member_tau(
+                member, step_generator, tail_generator, epsilon, exact_tail_population
+            )
+        )
+    return results
+
+
+def _validate_epsilon(epsilon: float) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidConfigurationError(
+            f"tau epsilon must be in (0, 1), got {epsilon}"
+        )
+
+
+class _TauOutputs:
+    """Full-width result arrays of one member's tau run, by original index."""
+
+    def __init__(self, size: int):
+        self.final_x0 = np.zeros(size, dtype=np.int64)
+        self.final_x1 = np.zeros(size, dtype=np.int64)
+        self.events = np.zeros(size, dtype=np.int64)
+        self.leap_events = np.zeros(size, dtype=np.int64)
+        self.termination = np.full(size, _CONSENSUS, dtype=np.int8)
+        self.histogram = np.zeros((size, 8), dtype=np.int64)
+        self.bad = np.zeros(size, dtype=np.int64)
+        self.good = np.zeros(size, dtype=np.int64)
+        self.noise_ind = np.zeros(size, dtype=np.int64)
+        self.noise_comp = np.zeros(size, dtype=np.int64)
+        self.max_total = np.zeros(size, dtype=np.int64)
+        self.min_gap = np.zeros(size, dtype=np.int64)
+        self.hit_tie = np.zeros(size, dtype=bool)
+
+    def to_result(self, member: SweepMember) -> LVEnsembleResult:
+        return LVEnsembleResult(
+            params=member.params,
+            initial_state=member.initial_state,
+            final_x0=self.final_x0,
+            final_x1=self.final_x1,
+            total_events=self.events,
+            termination_codes=self.termination,
+            births=self.histogram[:, _BIRTH0 : _BIRTH1 + 1].copy(),
+            deaths=self.histogram[:, _DEATH0 : _DEATH1 + 1].copy(),
+            interspecific_events=(
+                self.histogram[:, _INTER0] + self.histogram[:, _INTER1]
+            ),
+            intraspecific_events=self.histogram[:, _INTRA0 : _INTRA1 + 1].copy(),
+            bad_noncompetitive_events=self.bad,
+            good_events=self.good,
+            noise_individual=self.noise_ind,
+            noise_competitive=self.noise_comp,
+            max_total_population=self.max_total,
+            min_gap_seen=self.min_gap,
+            hit_tie=self.hit_tie,
+            leap_events=self.leap_events,
+        )
+
+
+class _TauState:
+    """Packed working arrays of one member's replica batch."""
+
+    #: Per-replica accumulators scattered to the outputs at retirement.
+    ARRAYS = (
+        "x0",
+        "x1",
+        "events",
+        "leap_events",
+        "histogram",
+        "bad",
+        "good",
+        "noise_ind",
+        "noise_comp",
+        "max_total",
+        "min_gap",
+        "hit_tie",
+        "orig",
+    )
+
+    def __init__(self, member: SweepMember):
+        size = member.num_replicates
+        self.orig = np.arange(size)
+        self.x0 = np.full(size, member.initial_state.x0, dtype=np.int64)
+        self.x1 = np.full(size, member.initial_state.x1, dtype=np.int64)
+        self.events = np.zeros(size, dtype=np.int64)
+        self.leap_events = np.zeros(size, dtype=np.int64)
+        self.histogram = np.zeros((size, 8), dtype=np.int64)
+        self.bad = np.zeros(size, dtype=np.int64)
+        self.good = np.zeros(size, dtype=np.int64)
+        self.noise_ind = np.zeros(size, dtype=np.int64)
+        self.noise_comp = np.zeros(size, dtype=np.int64)
+        self.max_total = self.x0 + self.x1
+        self.min_gap = np.abs(self.x0 - self.x1)
+        self.hit_tie = self.x0 == self.x1
+
+    @property
+    def width(self) -> int:
+        return int(self.orig.size)
+
+    def scatter(self, outputs: _TauOutputs, rows: np.ndarray) -> None:
+        """Write *rows*' accumulators to their original output slots."""
+        where = self.orig[rows]
+        outputs.final_x0[where] = self.x0[rows]
+        outputs.final_x1[where] = self.x1[rows]
+        outputs.events[where] = self.events[rows]
+        outputs.leap_events[where] = self.leap_events[rows]
+        outputs.histogram[where] = self.histogram[rows]
+        outputs.bad[where] = self.bad[rows]
+        outputs.good[where] = self.good[rows]
+        outputs.noise_ind[where] = self.noise_ind[rows]
+        outputs.noise_comp[where] = self.noise_comp[rows]
+        outputs.max_total[where] = self.max_total[rows]
+        outputs.min_gap[where] = self.min_gap[rows]
+        outputs.hit_tie[where] = self.hit_tie[rows]
+
+    def pack(self, keep: np.ndarray) -> None:
+        """Drop every row not in *keep* (a sorted index array)."""
+        for name in self.ARRAYS:
+            setattr(self, name, getattr(self, name)[keep])
+
+
+def _safe_ratio(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """``numerator / denominator`` with zero denominators mapping to +inf."""
+    out = np.full(numerator.shape, np.inf)
+    np.divide(numerator, denominator, out=out, where=denominator > 0)
+    return out
+
+
+def _run_member_tau(
+    member: SweepMember,
+    step_generator: np.random.Generator,
+    tail_generator: np.random.Generator,
+    epsilon: float,
+    exact_tail_population: int,
+) -> LVEnsembleResult:
+    """Advance one member's replica batch by vectorized Poisson leaps."""
+    params = member.params
+    budget = member.max_events
+    mechanism_row = 1 if params.is_self_destructive else 0
+    dx0 = _DX0_TABLE[mechanism_row, :8]
+    dx1 = _DX1_TABLE[mechanism_row, :8]
+    dx0_float = dx0.astype(np.float64)
+    dx1_float = dx1.astype(np.float64)
+    # Gap sign convention of the exact engine: +1 measures the gap as
+    # x0 - x1 (species 0 is the reference majority, also on ties).
+    sign = -1 if member.initial_state.majority_species == 1 else 1
+    # Highest order of any reaction consuming species i (the g_i of the
+    # tau-selection rule); both species are second-order whenever any
+    # pairwise competition exists.
+    g0 = 2.0 if (params.alpha > 0.0 or params.gamma0 > 0.0) else 1.0
+    g1 = 2.0 if (params.alpha > 0.0 or params.gamma1 > 0.0) else 1.0
+
+    outputs = _TauOutputs(member.num_replicates)
+    state = _TauState(member)
+
+    while state.width:
+        x0, x1 = state.x0, state.x1
+        # --- retirement sweep (order: consensus, budget, propensities) ---
+        finished = (x0 == 0) | (x1 == 0)
+        exhausted = ~finished & (state.events >= budget)
+        if exhausted.any():
+            outputs.termination[state.orig[exhausted]] = _MAX_EVENTS
+        retired = finished | exhausted
+        if retired.any():
+            state.scatter(outputs, np.nonzero(retired)[0])
+            state.pack(np.nonzero(~retired)[0])
+            if not state.width:
+                break
+            x0, x1 = state.x0, state.x1
+
+        rows = _propensity_rows(params, x0, x1)
+        total = rows.sum(axis=0)
+        absorbed = total <= 0.0
+        tail = ~absorbed & (x0 + x1 <= exact_tail_population)
+        if absorbed.any():
+            absorbed_rows = np.nonzero(absorbed)[0]
+            outputs.termination[state.orig[absorbed_rows]] = _ABSORBED
+            state.scatter(outputs, absorbed_rows)
+        if tail.any():
+            # Exact endgame: ascending original-replica order, one scalar
+            # run per survivor from the member's tail stream.
+            _finish_exact_tail(
+                member, state, outputs, tail_generator, np.nonzero(tail)[0]
+            )
+        dropped = absorbed | tail
+        if dropped.any():
+            keep = np.nonzero(~dropped)[0]
+            state.pack(keep)
+            if not state.width:
+                break
+            rows = rows[:, keep]
+            total = total[keep]
+            x0, x1 = state.x0, state.x1
+
+        # --- per-replica tau selection (bounded relative change) ---
+        mu0 = dx0_float @ rows
+        mu1 = dx1_float @ rows
+        var0 = (dx0_float**2) @ rows
+        var1 = (dx1_float**2) @ rows
+        bound0 = np.maximum(epsilon * x0 / g0, 1.0)
+        bound1 = np.maximum(epsilon * x1 / g1, 1.0)
+        tau = np.minimum(
+            np.minimum(
+                _safe_ratio(bound0, np.abs(mu0)), _safe_ratio(bound0**2, var0)
+            ),
+            np.minimum(
+                _safe_ratio(bound1, np.abs(mu1)), _safe_ratio(bound1**2, var1)
+            ),
+        )
+
+        # --- Poisson leaps with per-replica rejection halving ---
+        width = state.width
+        firings = np.zeros((8, width), dtype=np.int64)
+        exact_step = np.nonzero(tau * total < _MIN_EXPECTED_FIRINGS)[0]
+        pending = np.nonzero(tau * total >= _MIN_EXPECTED_FIRINGS)[0]
+        while pending.size:
+            draw = step_generator.poisson(rows[:, pending] * tau[pending])
+            delta0 = dx0 @ draw
+            delta1 = dx1 @ draw
+            accepted = (x0[pending] + delta0 >= 0) & (x1[pending] + delta1 >= 0)
+            firings[:, pending[accepted]] = draw[:, accepted]
+            pending = pending[~accepted]
+            tau[pending] /= 2.0
+            degenerate = tau[pending] * total[pending] < _MIN_EXPECTED_FIRINGS
+            if degenerate.any():
+                exact_step = np.concatenate([exact_step, pending[degenerate]])
+                pending = pending[~degenerate]
+        if exact_step.size:
+            # Single exact-SSA steps for replicas whose leap would fire at
+            # most ~one reaction, attributed to the real reaction class.
+            # Thresholds scale by the *cumulative* total (not `total`, whose
+            # unrolled summation can differ by 1 ulp) so the selection count
+            # can never land past the last positive-propensity class.
+            exact_step.sort()
+            cumulative = np.cumsum(rows[:, exact_step], axis=0)
+            thresholds = step_generator.random(exact_step.size) * cumulative[-1]
+            event = np.minimum((cumulative <= thresholds).sum(axis=0), 7)
+            firings[event, exact_step] = 1
+
+        # --- apply the aggregate stoichiometry and account the leap ---
+        delta0 = dx0 @ firings
+        delta1 = dx1 @ firings
+        gap_before = x0 - x1
+        x0 += delta0
+        x1 += delta1
+        if (x0 < 0).any() or (x1 < 0).any():
+            raise SimulationError("tau-leaping drove a species count negative")
+        fired = firings.sum(axis=0)
+        state.events += fired
+        leap_fired = fired.copy()
+        leap_fired[exact_step] = 0
+        state.leap_events += leap_fired
+        state.histogram += firings.T
+
+        # Noise decomposition: exact given the firing matrix, since the gap
+        # change is linear in the firings.
+        gap_delta_individual = (
+            firings[_BIRTH0] - firings[_BIRTH1] - firings[_DEATH0] + firings[_DEATH1]
+        )
+        gap_delta = delta0 - delta1
+        state.noise_ind += sign * -gap_delta_individual
+        state.noise_comp += sign * -(gap_delta - gap_delta_individual)
+
+        # Leap-granularity estimates of the per-event path statistics: the
+        # current minority is resolved once per leap (see module docstring).
+        minority_is_0 = gap_before < 0
+        tied = gap_before == 0
+        minority_births = np.where(minority_is_0, firings[_BIRTH0], firings[_BIRTH1])
+        majority_deaths = np.where(minority_is_0, firings[_DEATH1], firings[_DEATH0])
+        state.bad += np.where(tied, 0, minority_births + majority_deaths)
+        minority_shrinkers = np.where(
+            minority_is_0,
+            firings[_DEATH0] + firings[_INTRA0],
+            firings[_DEATH1] + firings[_INTRA1],
+        )
+        interspecific = firings[_INTER0] + firings[_INTER1]
+        state.good += np.where(tied, 0, minority_shrinkers + interspecific)
+
+        np.maximum(state.max_total, x0 + x1, out=state.max_total)
+        gap_after = x0 - x1
+        np.minimum(state.min_gap, np.abs(gap_after), out=state.min_gap)
+        state.hit_tie |= gap_after == 0
+
+    return outputs.to_result(member)
+
+
+def _propensity_rows(params: LVParams, x0: np.ndarray, x1: np.ndarray) -> np.ndarray:
+    """The eight LV reaction-class propensities, shape ``(8, width)``."""
+    rows = np.zeros((8, x0.size), dtype=np.float64)
+    if params.beta:
+        rows[_BIRTH0] = params.beta * x0
+        rows[_BIRTH1] = params.beta * x1
+    if params.delta:
+        rows[_DEATH0] = params.delta * x0
+        rows[_DEATH1] = params.delta * x1
+    if params.alpha:
+        pair = (x0 * x1).astype(np.float64)
+        rows[_INTER0] = params.alpha0 * pair
+        rows[_INTER1] = params.alpha1 * pair
+    if params.gamma0:
+        rows[_INTRA0] = params.gamma0 * (x0 * (x0 - 1)) / 2.0
+    if params.gamma1:
+        rows[_INTRA1] = params.gamma1 * (x1 * (x1 - 1)) / 2.0
+    return rows
+
+
+def _finish_exact_tail(
+    member: SweepMember,
+    state: _TauState,
+    outputs: _TauOutputs,
+    tail_generator: np.random.Generator,
+    rows: np.ndarray,
+) -> None:
+    """Finish *rows* with the exact scalar simulator (the hybrid endgame).
+
+    Mirrors the exact engine's scalar finisher: survivors run in ascending
+    original-replica-index order from the member's tail stream, each with
+    its remaining event budget; the sub-run accounting is folded in by the
+    shared :func:`repro.lv.ensemble.merge_scalar_tail_run` (including the
+    mid-run noise-reference flip), so the two backends' exact-endgame
+    statistics can never drift apart.
+    """
+    simulator: LVJumpChainSimulator | None = None
+    reference = 0 if member.initial_state.majority_species != 1 else 1
+    for i in rows:
+        where = int(state.orig[i])
+        remaining = int(member.max_events) - int(state.events[i])
+        state.scatter(outputs, np.array([i]))
+        if remaining <= 0:
+            outputs.termination[where] = _MAX_EVENTS
+            continue
+        if simulator is None:
+            simulator = LVJumpChainSimulator(member.params)
+        mid_state = LVState(int(state.x0[i]), int(state.x1[i]))
+        result = simulator.run(mid_state, rng=tail_generator, max_events=remaining)
+        outputs.final_x0[where] = result.final_state.x0
+        outputs.final_x1[where] = result.final_state.x1
+        outputs.events[where] += result.total_events
+        code = merge_scalar_tail_run(outputs, where, result, mid_state, reference)
+        if code is not None:
+            outputs.termination[where] = code
+
+
+class LVTauEnsembleSimulator:
+    """Approximate large-``n`` twin of :class:`~repro.lv.ensemble.LVEnsembleSimulator`.
+
+    Advances a batch of independent two-species replicas by vectorized
+    Poisson tau-leaps (see the module docstring), handing each replica to
+    the exact scalar simulator once its population drops to the
+    *exact_tail_population* endgame.  Results are seed-deterministic but not
+    bitwise-comparable to the exact engine's; statistical agreement is
+    enforced by the test suite.
+
+    Parameters
+    ----------
+    params:
+        Rates and competition mechanism, shared by all replicas.
+    epsilon:
+        Tau-selection accuracy (bounded relative propensity change).
+    exact_tail_population:
+        Population at which replicas switch to the exact scalar endgame
+        (``0`` disables the handoff).
+
+    Examples
+    --------
+    >>> params = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+    >>> simulator = LVTauEnsembleSimulator(params)
+    >>> ensemble = simulator.run_ensemble(LVState(600_000, 400_000), 4, rng=7)
+    >>> bool(ensemble.reached_consensus.all())
+    True
+    """
+
+    def __init__(
+        self,
+        params: LVParams,
+        *,
+        epsilon: float = DEFAULT_TAU_EPSILON,
+        exact_tail_population: int = DEFAULT_EXACT_TAIL_POPULATION,
+    ):
+        _validate_epsilon(epsilon)
+        if exact_tail_population < 0:
+            raise InvalidConfigurationError(
+                f"exact_tail_population must be non-negative, got {exact_tail_population}"
+            )
+        self.params = params
+        self.epsilon = epsilon
+        self.exact_tail_population = exact_tail_population
+
+    def run_ensemble(
+        self,
+        initial_state: LVState | tuple[int, int],
+        num_replicates: int,
+        *,
+        rng: SeedLike = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> LVEnsembleResult:
+        """Run *num_replicates* tau-leaping replicas from *initial_state*.
+
+        The event budget and the returned ``total_events`` are metered in
+        estimated reaction firings (leaps) plus exact events (tail), the
+        same unit as the exact engine; a replica may overshoot the budget
+        by at most one leap's firings.
+        """
+        state = LVJumpChainSimulator._coerce_state(initial_state)
+        if num_replicates <= 0:
+            raise InvalidConfigurationError(
+                f"num_replicates must be positive, got {num_replicates}"
+            )
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        member = SweepMember(self.params, state, num_replicates, max_events)
+        return run_tau_sweep_ensemble(
+            [member],
+            rng=rng,
+            epsilon=self.epsilon,
+            exact_tail_population=self.exact_tail_population,
+        )[0]
+
+    def run_batch(
+        self,
+        initial_state: LVState | tuple[int, int],
+        num_runs: int,
+        *,
+        rng: SeedLike = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> list:
+        """Per-replica :class:`~repro.lv.simulator.LVRunResult` view of an ensemble."""
+        return self.run_ensemble(
+            initial_state, num_runs, rng=rng, max_events=max_events
+        ).to_run_results()

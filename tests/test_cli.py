@@ -28,6 +28,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["estimate", "--population", "100"])
 
+    def test_backend_flags_parse(self):
+        arguments = build_parser().parse_args(
+            ["run", "T1R3", "--backend", "tau", "--tau-epsilon", "0.05"]
+        )
+        assert arguments.backend == "tau"
+        assert arguments.tau_epsilon == 0.05
+
+    def test_backend_defaults_to_none(self):
+        arguments = build_parser().parse_args(["run", "T1R3"])
+        assert arguments.backend is None
+        assert arguments.tau_epsilon is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "T1R3", "--backend", "fast"])
+
 
 class TestCommands:
     def test_list_prints_every_experiment(self, capsys):
@@ -103,3 +119,52 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "NSD" in capsys.readouterr().out
+
+    def test_estimate_command_with_tau_backend(self, capsys):
+        from repro.experiments.scheduler import (
+            configure_default_scheduler,
+            get_default_scheduler,
+        )
+
+        original = get_default_scheduler()
+        try:
+            exit_code = main(
+                [
+                    "estimate",
+                    "--mechanism",
+                    "sd",
+                    "--population",
+                    "60000",
+                    "--gap",
+                    "200",
+                    "--runs",
+                    "8",
+                    "--seed",
+                    "0",
+                    "--backend",
+                    "tau",
+                ]
+            )
+            assert exit_code == 0
+            assert "rho estimate" in capsys.readouterr().out
+            assert get_default_scheduler().leap_events_executed > 0
+        finally:
+            configure_default_scheduler(
+                backend=original.backend, tau_epsilon=original.tau_epsilon
+            )
+
+    def test_invalid_tau_epsilon_exits(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "estimate",
+                    "--mechanism",
+                    "sd",
+                    "--population",
+                    "64",
+                    "--gap",
+                    "8",
+                    "--tau-epsilon",
+                    "2.0",
+                ]
+            )

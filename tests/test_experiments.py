@@ -27,6 +27,7 @@ EXPECTED_IDS = {
     "T1R5",
     "FIG-GAP",
     "FIG-THRESH",
+    "FIG-THRESH-XL",
     "FIG-TIME",
     "FIG-BAD",
     "FIG-NOISE",

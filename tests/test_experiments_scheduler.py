@@ -133,3 +133,112 @@ class TestDefaultScheduler:
         small = ReplicaScheduler(batch_size=32).estimate(sd_params, STATE, 400, rng=29)
         large = ReplicaScheduler(batch_size=400).estimate(sd_params, STATE, 400, rng=31)
         assert abs(small.majority_probability - large.majority_probability) < 0.1
+
+
+class TestBackendSelection:
+    """The backend selector threaded through the scheduling layer."""
+
+    def test_invalid_backend_and_epsilon_rejected(self):
+        with pytest.raises(ExperimentError):
+            ReplicaScheduler(backend="approximate")
+        with pytest.raises(ExperimentError):
+            ReplicaScheduler(tau_epsilon=0.0)
+
+    def test_tau_backend_estimate_and_leap_metering(self, sd_params):
+        scheduler = ReplicaScheduler(backend="tau")
+        estimate = scheduler.estimate(
+            sd_params, LVState(30_060, 29_940), 16, rng=4
+        )
+        assert estimate.num_runs == 16
+        assert 0 < scheduler.leap_events_executed <= scheduler.events_executed
+
+    def test_exact_backend_keeps_leap_meter_at_zero(self, sd_params):
+        scheduler = ReplicaScheduler()
+        scheduler.estimate(sd_params, STATE, 32, rng=4)
+        assert scheduler.leap_events_executed == 0
+        assert scheduler.events_executed > 0
+
+    def test_auto_below_threshold_is_bitwise_exact(self, sd_params):
+        auto = ReplicaScheduler(backend="auto").run_ensembles(
+            sd_params, STATE, 64, rng=11
+        )
+        exact = ReplicaScheduler(backend="exact").run_ensembles(
+            sd_params, STATE, 64, rng=11
+        )
+        assert (auto.total_events == exact.total_events).all()
+        assert (auto.final_x0 == exact.final_x0).all()
+
+    def test_sweep_task_backend_override_wins(self, sd_params):
+        from repro.experiments.scheduler import SweepScheduler
+        from repro.experiments.sweep import SweepTask
+
+        scheduler = SweepScheduler()  # exact default
+        tasks = [
+            SweepTask(sd_params, STATE, 16, seed=1),
+            SweepTask(
+                sd_params, LVState(30_060, 29_940), 8, seed=2, backend="tau"
+            ),
+        ]
+        results = scheduler.run_sweep(tasks)
+        assert results[0].leap_events is None
+        assert results[1].leap_events is not None
+        assert scheduler.leap_events_executed == int(results[1].leap_events.sum())
+
+    def test_sweep_task_backend_validation(self, sd_params):
+        from repro.experiments.sweep import SweepTask
+
+        with pytest.raises(ExperimentError):
+            SweepTask(sd_params, STATE, 16, backend="fast")
+
+    def test_mixed_mega_batch_preserves_member_order(self, sd_params, nsd_params):
+        from repro.experiments.sweep import MemberSpec, execute_mega_batch
+        from repro.lv.tau import run_tau_sweep_ensemble
+
+        specs = [
+            MemberSpec(0, sd_params, (30, 18), 8, seed=7, max_events=10**6),
+            MemberSpec(
+                1, nsd_params, (30_060, 29_940), 4, seed=8, max_events=10**7,
+                backend="tau",
+            ),
+            MemberSpec(2, sd_params, (24, 12), 8, seed=9, max_events=10**6),
+        ]
+        results = execute_mega_batch(specs, backend="exact")
+        assert [r.num_replicates for r in results] == [8, 4, 8]
+        assert results[0].leap_events is None
+        assert results[2].leap_events is None
+        solo = run_tau_sweep_ensemble(
+            [specs[1].to_member()], member_seeds=[specs[1].seed]
+        )[0]
+        assert (results[1].total_events == solo.total_events).all()
+
+    def test_adaptive_waves_run_on_tau_backend(self, sd_params):
+        from repro.analysis.statistics import PrecisionTarget
+        from repro.experiments.scheduler import SweepScheduler
+        from repro.experiments.sweep import SweepTask
+
+        scheduler = SweepScheduler(
+            backend="tau",
+            precision=PrecisionTarget(
+                ci_half_width=0.2, min_replicates=32, max_replicates=128
+            ),
+        )
+        estimates = scheduler.estimate_many(
+            [SweepTask(sd_params, LVState(25_030, 24_970), 64, seed=3)]
+        )
+        assert estimates[0].num_runs >= 32
+        assert scheduler.leap_events_executed > 0
+
+    def test_configure_default_scheduler_backend(self):
+        original = get_default_scheduler()
+        try:
+            configured = configure_default_scheduler(
+                backend="auto", tau_epsilon=0.05
+            )
+            assert configured.backend == "auto"
+            assert configured.tau_epsilon == 0.05
+            # Partial reconfiguration keeps the backend knobs.
+            assert configure_default_scheduler(jobs=1).backend == "auto"
+        finally:
+            configure_default_scheduler(
+                backend=original.backend, tau_epsilon=original.tau_epsilon
+            )

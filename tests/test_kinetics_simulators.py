@@ -165,6 +165,112 @@ class TestTauLeaping:
         assert np.mean(exact_finals) == pytest.approx(100 * np.exp(-0.5), rel=0.1)
         assert np.mean(leap_finals) == pytest.approx(100 * np.exp(-0.5), rel=0.1)
 
+    def test_max_time_stop_does_not_overshoot(self):
+        """Regression: the final leap used to record a stop time up to tau past the boundary."""
+        from repro.kinetics import MaxTime
+
+        network = build_birth_death_network(birth_rate=1.0, death_rate=1.0)
+        x = network.species[0]
+        simulator = TauLeapingSimulator(network, tau=0.25)
+        for seed in range(5):
+            trajectory = simulator.run({x: 500}, stop=MaxTime(1.0), rng=seed)
+            assert trajectory.termination == "max-time"
+            assert trajectory.final_time <= 1.0 + 1e-12
+
+    def test_max_time_clamp_applies_through_nested_anyof(self):
+        """The boundary clamp must find a MaxTime nested inside composite stops."""
+        from repro.kinetics import AnyOf, MaxTime
+
+        network = build_birth_death_network(birth_rate=1.0, death_rate=1.0)
+        x = network.species[0]
+        simulator = TauLeapingSimulator(network, tau=0.25)
+        stop = AnyOf([ExtinctionReached(x), AnyOf([MaxTime(1.0)])])
+        trajectory = simulator.run({x: 500}, stop=stop, rng=2)
+        assert trajectory.termination == "max-time"
+        assert trajectory.final_time <= 1.0 + 1e-12
+
+    def test_fallback_reaction_crossing_the_time_boundary_is_not_applied(self):
+        """A fallback reaction whose waiting time crosses MaxTime must not fire.
+
+        Exact SSA semantics: the state at the time limit is the state before
+        the next reaction.  The degenerate single-reaction fallback used to
+        apply the crossing reaction and clamp its recorded time onto the
+        boundary.
+        """
+        from repro.kinetics import MaxTime
+        from repro.kinetics.events import EventKind
+
+        network = build_birth_death_network(birth_rate=0.0, death_rate=1000.0)
+        x = network.species[0]
+        limit = 0.003
+        simulator = TauLeapingSimulator(network, tau=4.0, min_tau=3.0)
+        for seed in range(10):
+            trajectory = simulator.run(
+                {x: 5}, stop=MaxTime(limit), record_steps=True, rng=seed
+            )
+            assert trajectory.final_time <= limit
+            # Any applied fallback reaction happened strictly before the
+            # boundary — the old behaviour recorded the crossing reaction
+            # clamped onto it.  (Zero-firing leaps shortened onto the
+            # boundary are fine; leaps may also bundle deaths, so recorded
+            # DEATH steps only lower-bound the removals.)
+            for step in trajectory.steps:
+                if step.kind is EventKind.DEATH:
+                    assert step.time < limit
+            assert 5 - trajectory.final_state[0] >= trajectory.events_of_kind(
+                EventKind.DEATH
+            )
+
+    def test_max_events_meters_estimated_firings(self):
+        """Regression: the budget used to count leaps while exact simulators count reactions."""
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = TauLeapingSimulator(network, tau=0.01)
+        trajectory = simulator.run({x: 5000}, max_events=100, rng=3)
+        assert trajectory.termination == "max-events"
+        fired = 5000 - trajectory.final_state[0]
+        # The budget is metered in reactions: at ~50 firings per leap the run
+        # must stop within one leap of the 100-firing budget, after only a
+        # handful of recorded leaps.
+        assert 100 <= fired <= 300
+        assert trajectory.num_events < 10
+
+    def test_max_events_stop_condition_counts_firings(self):
+        from repro.kinetics import MaxEvents
+
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = TauLeapingSimulator(network, tau=0.01)
+        trajectory = simulator.run({x: 5000}, stop=MaxEvents(100), rng=3)
+        assert trajectory.termination == "max-events"
+        assert 100 <= 5000 - trajectory.final_state[0] <= 300
+
+    def test_nonpositive_budget_message_reports_coerced_value(self):
+        """Regression: the error used to format the pre-int() value."""
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = TauLeapingSimulator(network, tau=0.01)
+        with pytest.raises(ValueError, match=r"got 0$"):
+            simulator.run({x: 10}, max_events=0.5)
+
+    def test_degenerate_fallback_labels_real_reaction(self):
+        """Regression: SSA fallback steps were recorded as 'tau-leap'/OTHER events."""
+        from repro.kinetics.events import EventKind
+
+        network = _death_only_network()
+        x = network.species[0]
+        simulator = TauLeapingSimulator(network, tau=4.0, min_tau=3.0)
+        trajectory = simulator.run(
+            {x: 3}, stop=ExtinctionReached(x), record_steps=True, rng=0
+        )
+        assert trajectory.final_state == (0,)
+        fallback_steps = [
+            step for step in trajectory.steps if step.reaction_label != "tau-leap"
+        ]
+        assert fallback_steps, "expected at least one degenerate fallback step"
+        assert all(step.kind is EventKind.DEATH for step in fallback_steps)
+        assert trajectory.events_of_kind(EventKind.DEATH) == len(fallback_steps)
+
 
 class TestCrossSimulatorAgreement:
     def test_majority_probability_agrees_between_jump_chain_and_direct(self):

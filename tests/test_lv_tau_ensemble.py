@@ -1,0 +1,229 @@
+"""Tests for the vectorized tau-leaping backend (:mod:`repro.lv.tau`).
+
+The tau backend must be a *statistical* drop-in for the exact engines on
+both competition mechanisms — same win probabilities, consensus-time and
+event-count distributions within the shared Monte-Carlo tolerances — while
+remaining seed-deterministic and honouring the same fused-equals-solo
+per-member stream contract as the exact lock-step engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidConfigurationError
+from repro.lv.ensemble import LVEnsembleSimulator, SweepMember, run_sweep_ensemble
+from repro.lv.state import LVState
+from repro.lv.tau import (
+    BACKENDS,
+    DEFAULT_TAU_POPULATION,
+    LVTauEnsembleSimulator,
+    resolve_backend,
+    run_tau_sweep_ensemble,
+)
+
+from helpers_statistical import assert_statistically_close
+
+#: Moderate population where both backends are fast enough for hundreds of
+#: replicates, with gaps placing the win probability away from 0 and 1.
+_AGREEMENT_N = 2000
+_AGREEMENT_RUNS = 400
+
+
+class TestResolveBackend:
+    def test_explicit_backends_pass_through(self):
+        assert resolve_backend("exact", 10**7) == "exact"
+        assert resolve_backend("tau", 10) == "tau"
+
+    def test_auto_switches_on_population(self):
+        assert resolve_backend("auto", DEFAULT_TAU_POPULATION) == "tau"
+        assert resolve_backend("auto", DEFAULT_TAU_POPULATION - 1) == "exact"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            resolve_backend("approximate", 100)
+
+    def test_backends_constant(self):
+        assert BACKENDS == ("exact", "tau", "auto")
+
+
+class TestStatisticalAgreement:
+    """Tau vs exact ensembles, shared tolerance helper, both mechanisms."""
+
+    @pytest.mark.parametrize("gap", [8, 60])
+    def test_agrees_with_exact_sd(self, sd_params, gap):
+        state = LVState((_AGREEMENT_N + gap) // 2, (_AGREEMENT_N - gap) // 2)
+        tau = LVTauEnsembleSimulator(sd_params).run_ensemble(
+            state, _AGREEMENT_RUNS, rng=11
+        )
+        exact = LVEnsembleSimulator(sd_params).run_ensemble(
+            state, _AGREEMENT_RUNS, rng=11
+        )
+        assert_statistically_close(tau, exact, label=f"sd-gap{gap}")
+        # Self-destructive competition has exactly zero competitive noise —
+        # the approximation must preserve the identity, not just the mean.
+        assert np.all(tau.noise_competitive == 0)
+
+    @pytest.mark.parametrize("gap", [40])
+    def test_agrees_with_exact_nsd(self, nsd_params, gap):
+        state = LVState((_AGREEMENT_N + gap) // 2, (_AGREEMENT_N - gap) // 2)
+        tau = LVTauEnsembleSimulator(nsd_params).run_ensemble(
+            state, _AGREEMENT_RUNS, rng=13
+        )
+        exact = LVEnsembleSimulator(nsd_params).run_ensemble(
+            state, _AGREEMENT_RUNS, rng=13
+        )
+        assert_statistically_close(tau, exact, label=f"nsd-gap{gap}")
+
+    def test_agrees_with_exact_at_large_population(self, sd_params):
+        """Overlapping-n cross-check in the regime the backend is built for."""
+        state = LVState(30_060, 29_940)
+        tau = LVTauEnsembleSimulator(sd_params).run_ensemble(state, 64, rng=5)
+        exact = LVEnsembleSimulator(sd_params).run_ensemble(state, 64, rng=5)
+        assert_statistically_close(tau, exact, label="sd-large")
+
+
+class TestStreamContract:
+    """Per-member streams: fused == solo, bitwise, like the exact engine."""
+
+    def test_fused_members_equal_solo_runs(self, sd_params, nsd_params):
+        members = [
+            SweepMember(sd_params, LVState(3030, 2970), 12),
+            SweepMember(nsd_params, LVState(2020, 1980), 8),
+        ]
+        seeds = [101, 202]
+        fused = run_tau_sweep_ensemble(members, member_seeds=seeds)
+        for member, seed, fused_result in zip(members, seeds, fused):
+            solo = run_tau_sweep_ensemble([member], member_seeds=[seed])[0]
+            for attribute in (
+                "final_x0",
+                "final_x1",
+                "total_events",
+                "leap_events",
+                "termination_codes",
+                "births",
+                "deaths",
+                "interspecific_events",
+                "intraspecific_events",
+                "bad_noncompetitive_events",
+                "good_events",
+                "noise_individual",
+                "noise_competitive",
+                "max_total_population",
+                "min_gap_seen",
+                "hit_tie",
+            ):
+                assert np.array_equal(
+                    getattr(fused_result, attribute), getattr(solo, attribute)
+                ), attribute
+
+    def test_root_seed_determinism(self, sd_params):
+        simulator = LVTauEnsembleSimulator(sd_params)
+        first = simulator.run_ensemble(LVState(5050, 4950), 16, rng=42)
+        second = simulator.run_ensemble(LVState(5050, 4950), 16, rng=42)
+        assert np.array_equal(first.final_x0, second.final_x0)
+        assert np.array_equal(first.total_events, second.total_events)
+        third = simulator.run_ensemble(LVState(5050, 4950), 16, rng=43)
+        assert not np.array_equal(first.total_events, third.total_events)
+
+
+class TestTauEnsembleBehaviour:
+    def test_all_replicas_reach_consensus(self, sd_params):
+        result = LVTauEnsembleSimulator(sd_params).run_ensemble(
+            LVState(60_300, 59_700), 16, rng=7
+        )
+        assert bool(result.reached_consensus.all())
+        assert result.termination_counts() == {"consensus": 16}
+        assert np.minimum(result.final_x0, result.final_x1).max() == 0
+
+    def test_event_budget_is_metered_in_firings(self, sd_params):
+        result = LVTauEnsembleSimulator(sd_params).run_ensemble(
+            LVState(30_000, 30_000), 8, rng=3, max_events=5_000
+        )
+        assert result.termination_counts() == {"max-events": 8}
+        # The budget is checked between leaps, so every replica fired at
+        # least the budget and overshot by at most one leap.
+        assert (result.total_events >= 5_000).all()
+        assert (result.total_events <= 5_000 + 2 * 0.03 * 60_000).all()
+
+    def test_leap_and_exact_events_split(self, sd_params):
+        result = LVTauEnsembleSimulator(sd_params).run_ensemble(
+            LVState(30_060, 29_940), 8, rng=9
+        )
+        assert result.leap_events is not None
+        assert (result.leap_events > 0).all()
+        assert (result.leap_events <= result.total_events).all()
+        # The exact scalar endgame (population <= tail threshold) always
+        # contributes events in this regime.
+        assert (result.total_events > result.leap_events).all()
+
+    def test_exact_tail_handoff_can_be_disabled(self, sd_params):
+        result = LVTauEnsembleSimulator(
+            sd_params, exact_tail_population=0
+        ).run_ensemble(LVState(3030, 2970), 8, rng=21)
+        assert bool(result.reached_consensus.all())
+        assert result.leap_events is not None
+
+    def test_initial_consensus_retires_immediately(self, sd_params):
+        result = LVTauEnsembleSimulator(sd_params).run_ensemble(
+            LVState(9, 0), 4, rng=1
+        )
+        assert (result.total_events == 0).all()
+        assert bool(result.reached_consensus.all())
+
+    def test_run_batch_materialises_run_results(self, sd_params):
+        results = LVTauEnsembleSimulator(sd_params).run_batch(
+            LVState(2020, 1980), 4, rng=2
+        )
+        assert len(results) == 4
+        assert all(r.reached_consensus for r in results)
+
+    def test_minority_majority_convention_respected(self, sd_params):
+        """A species-1 majority flips the noise reference, as in the exact engine."""
+        flipped = LVTauEnsembleSimulator(sd_params).run_ensemble(
+            LVState(2970, 3030), 64, rng=17
+        )
+        reference = LVTauEnsembleSimulator(sd_params).run_ensemble(
+            LVState(3030, 2970), 64, rng=17
+        )
+        # Neutral rates: the mirrored configurations tell the same story.
+        assert flipped.majority_consensus.mean() == pytest.approx(
+            reference.majority_consensus.mean(), abs=0.15
+        )
+
+
+class TestValidation:
+    def test_epsilon_bounds(self, sd_params):
+        with pytest.raises(InvalidConfigurationError):
+            LVTauEnsembleSimulator(sd_params, epsilon=0.0)
+        with pytest.raises(InvalidConfigurationError):
+            LVTauEnsembleSimulator(sd_params, epsilon=1.0)
+
+    def test_tail_population_bounds(self, sd_params):
+        with pytest.raises(InvalidConfigurationError):
+            LVTauEnsembleSimulator(sd_params, exact_tail_population=-1)
+
+    def test_replicates_and_budget_validation(self, sd_params):
+        simulator = LVTauEnsembleSimulator(sd_params)
+        with pytest.raises(InvalidConfigurationError):
+            simulator.run_ensemble(LVState(10, 10), 0, rng=0)
+        with pytest.raises(ValueError):
+            simulator.run_ensemble(LVState(10, 10), 4, rng=0, max_events=0)
+
+    def test_sweep_validation(self, sd_params):
+        with pytest.raises(InvalidConfigurationError):
+            run_tau_sweep_ensemble([])
+        member = SweepMember(sd_params, LVState(30, 10), 4)
+        with pytest.raises(InvalidConfigurationError):
+            run_tau_sweep_ensemble([member], member_seeds=[1, 2])
+        with pytest.raises(InvalidConfigurationError):
+            run_tau_sweep_ensemble([member], epsilon=2.0)
+        with pytest.raises(InvalidConfigurationError):
+            run_tau_sweep_ensemble([member], collect="wim")
+
+    def test_exact_engine_results_carry_no_leap_events(self, sd_params):
+        exact = run_sweep_ensemble(
+            [SweepMember(sd_params, LVState(36, 24), 8)], rng=3
+        )[0]
+        assert exact.leap_events is None
