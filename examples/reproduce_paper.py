@@ -12,10 +12,16 @@ Run it with::
     python examples/reproduce_paper.py --scale full                # longer, used for EXPERIMENTS.md
     python examples/reproduce_paper.py --only T1R2 FIG-NOISE       # a subset
     python examples/reproduce_paper.py --smoke                     # CI smoke: tiny fixed subset
+    python examples/reproduce_paper.py --scale full --cache-dir runs/full --resume
+                                                                   # checkpointed: kill + rerun resumes
 
 Results are written next to the repository root by default
 (``experiment_results.<scale>.json`` and ``EXPERIMENTS.generated.md``) so that
-re-running never silently overwrites the checked-in ``EXPERIMENTS.md``.
+re-running never silently overwrites the checked-in ``EXPERIMENTS.md``.  With
+``--cache-dir`` the run is additionally checkpointed through the persistent
+result store (``repro.store``): executed chunks are journaled as they finish,
+an interrupted sweep resumes bitwise-identically, and ``--resume`` skips
+experiments whose exact run already completed.
 """
 
 from __future__ import annotations
@@ -26,11 +32,13 @@ import time
 from pathlib import Path
 
 from repro.experiments import (
+    configure_default_scheduler,
     list_experiments,
     render_report,
     run_experiment,
     save_results,
 )
+from repro.store import ExperimentStore
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,7 +63,23 @@ def main(argv: list[str] | None = None) -> int:
         default=Path(__file__).resolve().parent.parent,
         help="directory for the JSON results and the generated report",
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="checkpoint the sweep through the persistent result store: "
+        "journaled chunks replay on rerun, so a killed full-scale run "
+        "resumes bitwise-identically",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --cache-dir: skip experiments whose exact run already "
+        "completed (served from the run cache)",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.resume and arguments.cache_dir is None:
+        parser.error("--resume requires --cache-dir")
 
     if arguments.smoke:
         if arguments.only:
@@ -64,28 +88,50 @@ def main(argv: list[str] | None = None) -> int:
         identifiers = ["T1R3", "FIG-NOISE"]
     else:
         identifiers = arguments.only or [spec.identifier for spec in list_experiments()]
+
+    # Open the store only after every argument check has passed, so a usage
+    # error can never leave the cache directory's writer lock acquired.
+    store = None
+    if arguments.cache_dir is not None:
+        store = ExperimentStore(arguments.cache_dir)
+        configure_default_scheduler(store=store)
     results = []
     json_path = arguments.output_dir / f"experiment_results.{arguments.scale}.json"
     report_path = arguments.output_dir / "EXPERIMENTS.generated.md"
 
-    for identifier in identifiers:
-        started = time.perf_counter()
-        result = run_experiment(identifier, scale=arguments.scale, seed=arguments.seed)
-        elapsed = time.perf_counter() - started
-        verdict = (
-            "n/a"
-            if result.shape_matches_paper is None
-            else ("match" if result.shape_matches_paper else "MISMATCH")
-        )
-        print(f"[{identifier:>10}] {elapsed:8.1f}s  shape: {verdict}", flush=True)
-        results.append(result)
-        # Persist incrementally so partial sweeps are never lost.
-        save_results(results, json_path)
-        report_path.write_text(render_report(results))
+    try:
+        for identifier in identifiers:
+            started = time.perf_counter()
+            result = run_experiment(
+                identifier,
+                scale=arguments.scale,
+                seed=arguments.seed,
+                store=store,
+                resume=arguments.resume,
+            )
+            elapsed = time.perf_counter() - started
+            verdict = (
+                "n/a"
+                if result.shape_matches_paper is None
+                else ("match" if result.shape_matches_paper else "MISMATCH")
+            )
+            print(f"[{identifier:>10}] {elapsed:8.1f}s  shape: {verdict}", flush=True)
+            results.append(result)
+            # Persist incrementally so partial sweeps are never lost.
+            save_results(results, json_path)
+            report_path.write_text(render_report(results))
 
-    print(f"\nwrote {json_path}")
-    print(f"wrote {report_path}")
-    return 0
+        print(f"\nwrote {json_path}")
+        print(f"wrote {report_path}")
+        if store is not None:
+            print(f"cache: {store.stats.summary()}")
+        return 0
+    finally:
+        # Detach and release the store on every exit path (including an
+        # aborted sweep) so later in-process work never journals to it.
+        if store is not None:
+            configure_default_scheduler(store=None)
+            store.close()
 
 
 if __name__ == "__main__":

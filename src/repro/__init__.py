@@ -32,6 +32,7 @@ from repro.exceptions import (
     EstimationError,
     ThresholdSearchError,
     ExperimentError,
+    StoreError,
 )
 from repro.rng import as_generator, spawn_generators, spawn_seeds, stable_seed
 from repro.crn import (
@@ -76,6 +77,7 @@ from repro.lv import (
     Table1Row,
 )
 from repro.experiments import ReplicaScheduler
+from repro.store import ExperimentStore
 from repro.consensus import (
     MajorityConsensusEstimator,
     estimate_majority_probability,
@@ -101,6 +103,7 @@ __all__ = [
     "EstimationError",
     "ThresholdSearchError",
     "ExperimentError",
+    "StoreError",
     # RNG
     "as_generator",
     "spawn_generators",
@@ -145,6 +148,8 @@ __all__ = [
     "Table1Row",
     # Experiment harness
     "ReplicaScheduler",
+    # Result store
+    "ExperimentStore",
     # Consensus analysis
     "MajorityConsensusEstimator",
     "estimate_majority_probability",

@@ -32,11 +32,23 @@ approximate vectorized tau-leaping engine for very large populations), or
 ``auto`` (tau above a population threshold, exact below).  ``--tau-epsilon``
 tunes the leap accuracy.  Tau results are seed-deterministic but not
 bitwise-comparable to exact results; see DESIGN.md for the contract.
+
+``--cache-dir DIR`` attaches the persistent result store
+(:mod:`repro.store`): every executed simulation chunk is journaled as it
+finishes and already-journaled chunks are replayed instead of recomputed, so
+an interrupted run (Ctrl-C, SIGTERM, crash) re-invoked against the same
+cache directory reproduces the uninterrupted run **bit-for-bit** while only
+simulating the missing suffix.  ``--resume`` additionally serves experiments
+whose exact ``(id, config, seed)`` run already completed straight from the
+run tier (and defaults the cache directory to ``.repro-cache`` when no
+``--cache-dir`` is given); ``--no-cache`` disables the store even when the
+``REPRO_CACHE_DIR`` environment variable is set.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -47,12 +59,20 @@ from repro.experiments import (
     run_experiment,
     save_results,
 )
-from repro.experiments.scheduler import configure_default_scheduler
+from repro.experiments.scheduler import (
+    configure_default_scheduler,
+    get_default_scheduler,
+)
 from repro.experiments.sweep import SweepTask
 from repro.experiments.workloads import state_with_gap
 from repro.lv.params import LVParams
+from repro.store import ExperimentStore
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "DEFAULT_CACHE_DIR"]
+
+#: Cache directory used by ``--resume`` when neither ``--cache-dir`` nor the
+#: ``REPRO_CACHE_DIR`` environment variable names one.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arguments(run_parser)
     _add_precision_arguments(run_parser)
+    _add_cache_arguments(run_parser)
     run_parser.add_argument("--json", type=Path, default=None, help="save raw results to this path")
     run_parser.add_argument(
         "--report", type=Path, default=None, help="write the markdown report to this path"
@@ -112,7 +133,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arguments(estimate_parser)
     _add_precision_arguments(estimate_parser)
+    _add_cache_arguments(estimate_parser)
     return parser
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persistent result store: journal executed chunks here and replay "
+        "already-journaled chunks instead of recomputing them (defaults to "
+        "$REPRO_CACHE_DIR when set)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve experiments whose exact (id, config, seed) run already "
+        f"completed from the cache (cache dir defaults to {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result store even when REPRO_CACHE_DIR is set",
+    )
+
+
+def _store_from_arguments(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> "ExperimentStore | None":
+    """Resolve the cache flags into a store (or ``None`` for no caching)."""
+    if arguments.no_cache:
+        if arguments.resume:
+            parser.error("--no-cache cannot be combined with --resume")
+        if arguments.cache_dir is not None:
+            parser.error("--no-cache cannot be combined with --cache-dir")
+        return None
+    cache_dir = arguments.cache_dir
+    if cache_dir is None:
+        environment = os.environ.get("REPRO_CACHE_DIR")
+        if environment:
+            cache_dir = Path(environment)
+    if cache_dir is None and arguments.resume:
+        cache_dir = Path(DEFAULT_CACHE_DIR)
+    if cache_dir is None:
+        return None
+    return ExperimentStore(cache_dir)
 
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
@@ -153,20 +220,27 @@ def _add_precision_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _precision_from_arguments(arguments: argparse.Namespace) -> "PrecisionTarget | None":
-    """Translate the precision flags into a target (or None for fixed mode)."""
+def _precision_from_arguments(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> "PrecisionTarget | None":
+    """Translate the precision flags into a target (or None for fixed mode).
+
+    All range checks go through ``parser.error`` so every invalid numeric
+    flag behaves identically: a usage message on stderr and exit code 2
+    (the same treatment argparse gives malformed values).
+    """
     if arguments.target_ci_width is None:
         if arguments.max_replicates is not None:
-            raise SystemExit("--max-replicates requires --target-ci-width")
+            parser.error("--max-replicates requires --target-ci-width")
         return None
     if not 0.0 < arguments.target_ci_width < 1.0:
-        raise SystemExit(
+        parser.error(
             f"--target-ci-width must be in (0, 1), got {arguments.target_ci_width}"
         )
     if arguments.max_replicates is None:
         return PrecisionTarget(ci_half_width=arguments.target_ci_width)
     if arguments.max_replicates < 1:
-        raise SystemExit(
+        parser.error(
             f"--max-replicates must be at least 1, got {arguments.max_replicates}"
         )
     default = PrecisionTarget()
@@ -177,34 +251,42 @@ def _precision_from_arguments(arguments: argparse.Namespace) -> "PrecisionTarget
     )
 
 
-def _command_list(_arguments: argparse.Namespace) -> int:
+def _command_list(
+    _parser: argparse.ArgumentParser, _arguments: argparse.Namespace
+) -> int:
     for spec in list_experiments():
         print(f"{spec.identifier:>10}  {spec.title}")
         print(f"{'':>12}{spec.paper_claim}")
     return 0
 
 
-def _validate_tau_epsilon(arguments: argparse.Namespace) -> None:
-    if arguments.tau_epsilon is not None and not 0.0 < arguments.tau_epsilon < 1.0:
-        raise SystemExit(
-            f"--tau-epsilon must be in (0, 1), got {arguments.tau_epsilon}"
-        )
-
-
-def _command_run(arguments: argparse.Namespace) -> int:
+def _validate_scheduler_arguments(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> None:
+    """Uniform ``parser.error`` treatment for every numeric scheduler flag."""
     if arguments.jobs < 1:
-        print(f"--jobs must be at least 1, got {arguments.jobs}")
-        return 2
+        parser.error(f"--jobs must be at least 1, got {arguments.jobs}")
     if arguments.sweep_batch is not None and arguments.sweep_batch < 1:
-        print(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
-        return 2
-    _validate_tau_epsilon(arguments)
+        parser.error(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
+    if arguments.tau_epsilon is not None and not 0.0 < arguments.tau_epsilon < 1.0:
+        parser.error(f"--tau-epsilon must be in (0, 1), got {arguments.tau_epsilon}")
+
+
+def _command_run(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> int:
+    _validate_scheduler_arguments(parser, arguments)
+    precision = _precision_from_arguments(parser, arguments)
+    # Validate every flag before the store exists: a parser.error after
+    # acquiring the writer lock would leak it for the rest of the process.
+    store = _store_from_arguments(parser, arguments)
     configure_default_scheduler(
         jobs=arguments.jobs,
         sweep_batch=arguments.sweep_batch,
-        precision=_precision_from_arguments(arguments),
+        precision=precision,
         backend=arguments.backend,
         tau_epsilon=arguments.tau_epsilon,
+        store=store,
     )
     if arguments.all:
         identifiers = [spec.identifier for spec in list_experiments()]
@@ -215,10 +297,18 @@ def _command_run(arguments: argparse.Namespace) -> int:
         return 2
     results = []
     for identifier in identifiers:
-        result = run_experiment(identifier, scale=arguments.scale, seed=arguments.seed)
+        result = run_experiment(
+            identifier,
+            scale=arguments.scale,
+            seed=arguments.seed,
+            store=store,
+            resume=arguments.resume,
+        )
         results.append(result)
         print(result.render_text())
         print()
+    if store is not None:
+        print(f"cache: {store.stats.summary()} ({store.describe()})")
     if arguments.json is not None:
         save_results(results, arguments.json)
         print(f"wrote {arguments.json}")
@@ -234,21 +324,19 @@ def _command_run(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _command_estimate(arguments: argparse.Namespace) -> int:
-    if arguments.jobs < 1:
-        print(f"--jobs must be at least 1, got {arguments.jobs}")
-        return 2
-    if arguments.sweep_batch is not None and arguments.sweep_batch < 1:
-        print(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
-        return 2
-    _validate_tau_epsilon(arguments)
-    precision = _precision_from_arguments(arguments)
+def _command_estimate(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> int:
+    _validate_scheduler_arguments(parser, arguments)
+    precision = _precision_from_arguments(parser, arguments)
+    store = _store_from_arguments(parser, arguments)
     scheduler = configure_default_scheduler(
         jobs=arguments.jobs,
         sweep_batch=arguments.sweep_batch,
         precision=precision,
         backend=arguments.backend,
         tau_epsilon=arguments.tau_epsilon,
+        store=store,
     )
     constructor = (
         LVParams.self_destructive if arguments.mechanism == "sd" else LVParams.non_self_destructive
@@ -289,6 +377,8 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
             f"(achieved half-width {report.half_widths[0]:.4f}, "
             f"target {precision.ci_half_width})"
         )
+    if store is not None:
+        print(f"cache: {store.stats.summary()}")
     return 0
 
 
@@ -301,7 +391,22 @@ def main(argv: list[str] | None = None) -> int:
         "run": _command_run,
         "estimate": _command_estimate,
     }
-    return handlers[arguments.command](arguments)
+    try:
+        return handlers[arguments.command](parser, arguments)
+    finally:
+        # Aborted runs (KeyboardInterrupt, mid-run errors) must not strand
+        # worker processes: stop the default scheduler's pool on every exit
+        # path.  The pool restarts lazily, so repeated main() calls in one
+        # process (tests, notebooks) only pay a restart on the next sweep.
+        scheduler = get_default_scheduler()
+        scheduler.shutdown()
+        # The cache flags scope a store to this invocation: detach it from
+        # the process-wide scheduler and release its journal handle and
+        # writer lock, so later library work in the same process never
+        # journals to a stale directory.
+        if scheduler.store is not None:
+            scheduler.store.close()
+            configure_default_scheduler(store=None)
 
 
 if __name__ == "__main__":

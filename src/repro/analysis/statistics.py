@@ -100,11 +100,31 @@ def wilson_interval(
     which is exactly the regime of interest for "with high probability"
     statements (ρ close to 1).
 
+    Degenerate inputs — negative counts, ``successes > trials``, or
+    non-positive ``trials`` — raise :class:`~repro.exceptions.EstimationError`
+    (a :class:`ValueError`) instead of silently producing out-of-range
+    bounds.  The boundary cases 0 and ``trials`` successes are valid and
+    stay inside ``[0, 1]`` with the point estimate contained:
+
     Examples
     --------
     >>> low, high = wilson_interval(90, 100)
     >>> 0.8 < low < 0.9 < high < 0.96
     True
+    >>> low, high = wilson_interval(0, 50)
+    >>> low == 0.0 and 0.0 < high < 0.1
+    True
+    >>> low, high = wilson_interval(50, 50)
+    >>> 0.9 < low < 1.0 and high == 1.0
+    True
+    >>> wilson_interval(7, 5)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.EstimationError: successes must lie in [0, trials]; got 7/5
+    >>> wilson_interval(-1, 5)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.EstimationError: successes must lie in [0, trials]; got -1/5
     """
     if trials <= 0:
         raise EstimationError(f"trials must be positive, got {trials}")
@@ -177,10 +197,23 @@ def wilson_half_width(
 ) -> float:
     """Half-width of the Wilson interval — the sequential-stopping yardstick.
 
+    Shares :func:`wilson_interval`'s input validation: degenerate counts
+    raise :class:`~repro.exceptions.EstimationError` (a :class:`ValueError`)
+    rather than returning a nonsense width, and the 0 / ``trials`` boundary
+    cases are finite and positive:
+
     Examples
     --------
     >>> wilson_half_width(50, 100) > wilson_half_width(500, 1000)
     True
+    >>> 0.0 < wilson_half_width(0, 100) < wilson_half_width(50, 100)
+    True
+    >>> 0.0 < wilson_half_width(100, 100) < wilson_half_width(50, 100)
+    True
+    >>> wilson_half_width(3, 2)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.EstimationError: successes must lie in [0, trials]; got 3/2
     """
     lower, upper = wilson_interval(successes, trials, confidence=confidence)
     return (upper - lower) / 2.0

@@ -19,6 +19,7 @@ __all__ = [
     "EstimationError",
     "ThresholdSearchError",
     "ExperimentError",
+    "StoreError",
 ]
 
 
@@ -62,8 +63,15 @@ class AbsorptionError(ReproError):
     """
 
 
-class EstimationError(ReproError):
-    """A Monte-Carlo estimate could not be produced (e.g. zero samples)."""
+class EstimationError(ReproError, ValueError):
+    """A Monte-Carlo estimate could not be produced or its inputs are invalid.
+
+    Also a :class:`ValueError`: degenerate statistical inputs (negative
+    counts, ``successes > trials``, out-of-range confidence levels) are plain
+    value errors, so callers outside the library can catch them with the
+    built-in hierarchy while library code keeps the single
+    :class:`ReproError` umbrella.
+    """
 
 
 class ThresholdSearchError(ReproError):
@@ -72,3 +80,7 @@ class ThresholdSearchError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or run is invalid (unknown id, bad config)."""
+
+
+class StoreError(ReproError):
+    """The experiment result store hit a corrupt or incompatible entry."""

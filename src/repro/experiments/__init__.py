@@ -39,6 +39,7 @@ from repro.experiments.config import (
     SCALES,
 )
 from repro.experiments.registry import (
+    experiment_run_key,
     get_experiment,
     list_experiments,
     run_experiment,
@@ -65,6 +66,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "SCALES",
+    "experiment_run_key",
     "get_experiment",
     "list_experiments",
     "run_experiment",

@@ -26,6 +26,12 @@ The per-experiment ``num_runs`` are fixed budgets; configuring the
 scheduler with a :class:`~repro.analysis.statistics.PrecisionTarget` (the
 CLI's ``--target-ci-width``) switches every grid call in this module to
 adaptive replicate waves at uniform confidence-interval width instead.
+Configuring it with an :class:`~repro.store.ExperimentStore` (the CLI's
+``--cache-dir``) makes the same grid calls cache-first and resumable: the
+stable per-configuration seeds below key the store's content-addressed
+chunks, so a killed ``FIG-THRESH-XL`` sweep re-run with ``--resume``
+replays its journaled prefix and reproduces the uninterrupted run
+bit-for-bit.
 """
 
 from __future__ import annotations

@@ -1,12 +1,31 @@
-"""Registry mapping experiment identifiers to runnable specs."""
+"""Registry mapping experiment identifiers to runnable specs.
+
+:func:`run_experiment` is also the store-aware entry point: given an
+:class:`~repro.store.ExperimentStore` it keys the run by ``(experiment id,
+canonical config hash, seed root, schema version)`` — the config hash covers
+the scale and every default-scheduler knob that can change results — and
+with ``resume=True`` serves finished runs straight from the run tier,
+persisting fresh results on completion either way.
+"""
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentResult, ExperimentSpec
 from repro.experiments import figures, table1
 
-__all__ = ["list_experiments", "get_experiment", "run_experiment", "EXPERIMENTS"]
+if TYPE_CHECKING:
+    from repro.store.store import ExperimentStore
+
+__all__ = [
+    "list_experiments",
+    "get_experiment",
+    "run_experiment",
+    "experiment_run_key",
+    "EXPERIMENTS",
+]
 
 
 def _build_registry() -> dict[str, ExperimentSpec]:
@@ -126,6 +145,51 @@ def get_experiment(identifier: str) -> ExperimentSpec:
         ) from None
 
 
-def run_experiment(identifier: str, *, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run one experiment by identifier."""
-    return get_experiment(identifier).run(scale=scale, seed=seed)
+def experiment_run_key(identifier: str, *, scale: str, seed: int) -> str:
+    """Run-tier store key of one experiment invocation.
+
+    The canonical config hash folds in the process-wide scheduler's
+    result-affecting knobs (backend, precision target, ``batch_size``,
+    ``wave_quantum``, ``tau_epsilon``) so a run cached under one
+    configuration is never served for another; execution-only knobs
+    (``jobs``, ``sweep_batch``) deliberately do not key.
+    """
+    from repro.experiments.scheduler import get_default_scheduler
+    from repro.store.keys import config_hash, run_key, scheduler_fingerprint
+
+    fingerprint = scheduler_fingerprint(get_default_scheduler())
+    return run_key(
+        experiment_id=identifier,
+        config=config_hash(scale, fingerprint),
+        seed_root=seed,
+    )
+
+
+def run_experiment(
+    identifier: str,
+    *,
+    scale: str = "quick",
+    seed: int = 0,
+    store: "ExperimentStore | None" = None,
+    resume: bool = False,
+) -> ExperimentResult:
+    """Run one experiment by identifier (cache-first when *store* is given).
+
+    With a *store*, a ``resume=True`` invocation first consults the run
+    tier and returns the persisted result without simulating anything when
+    the exact ``(experiment, config, seed)`` run already completed; fresh
+    results are persisted on completion either way.  Chunk-level caching is
+    independent of this and happens inside the scheduler (attach the store
+    via :func:`~repro.experiments.scheduler.configure_default_scheduler`).
+    """
+    spec = get_experiment(identifier)
+    if store is None:
+        return spec.run(scale=scale, seed=seed)
+    key = experiment_run_key(identifier, scale=scale, seed=seed)
+    if resume:
+        cached = store.get_run(key)
+        if cached is not None:
+            return cached
+    result = spec.run(scale=scale, seed=seed)
+    store.put_run(key, result)
+    return result

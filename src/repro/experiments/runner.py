@@ -3,7 +3,11 @@
 Replicate execution is delegated to the process-wide
 :class:`~repro.experiments.scheduler.ReplicaScheduler`; :func:`run_all`
 forwards its *jobs* argument to the scheduler so sweeps can fan replicate
-batches out to worker processes.
+batches out to worker processes, and its *store*/*resume* arguments to the
+scheduler and registry so whole experiment batches run cache-first against
+a persistent :class:`~repro.store.ExperimentStore` (journaled chunks replay
+instead of recomputing; completed runs are served from the run tier under
+``resume=True``).
 """
 
 from __future__ import annotations
@@ -11,16 +15,19 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.analysis.statistics import PrecisionTarget
 from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentResult
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
 from repro.experiments.scheduler import (
     configure_default_scheduler,
     get_default_scheduler,
 )
+
+if TYPE_CHECKING:
+    from repro.store.store import ExperimentStore
 
 __all__ = ["run_all", "save_results", "load_results"]
 
@@ -33,6 +40,8 @@ def run_all(
     progress: bool = False,
     jobs: int | None = None,
     precision: PrecisionTarget | None = None,
+    store: "ExperimentStore | None" = None,
+    resume: bool = False,
 ) -> list[ExperimentResult]:
     """Run all (or the selected) experiments sequentially.
 
@@ -56,16 +65,35 @@ def run_all(
         :class:`~repro.analysis.statistics.PrecisionTarget` instead of the
         experiments' fixed replicate budgets.  Scoped to this call like
         *jobs*.
+    store:
+        When given, attach this :class:`~repro.store.ExperimentStore` to
+        the scheduler for the duration of the call: executed chunks are
+        journaled as they finish, journaled chunks are replayed instead of
+        recomputed, and completed experiments are persisted to the run
+        tier.  Scoped to this call like *jobs*.
+    resume:
+        With a *store*, serve experiments whose exact ``(id, config,
+        seed)`` run already completed straight from the run tier instead
+        of re-running them.
     """
     previous = get_default_scheduler()
-    override = jobs is not None or precision is not None
+    override = jobs is not None or precision is not None or store is not None
+    effective_store = store if store is not None else previous.store
     if override:
         configure_default_scheduler(
             jobs=jobs,
             precision=precision if precision is not None else previous.precision,
+            store=effective_store,
         )
     try:
-        return _run_all(identifiers, scale=scale, seed=seed, progress=progress)
+        return _run_all(
+            identifiers,
+            scale=scale,
+            seed=seed,
+            progress=progress,
+            store=effective_store,
+            resume=resume,
+        )
     finally:
         if override:
             configure_default_scheduler(
@@ -73,6 +101,7 @@ def run_all(
                 batch_size=previous.batch_size,
                 sweep_batch=previous.sweep_batch,
                 precision=previous.precision,
+                store=previous.store,
             )
 
 
@@ -82,6 +111,8 @@ def _run_all(
     scale: str,
     seed: int,
     progress: bool,
+    store: "ExperimentStore | None" = None,
+    resume: bool = False,
 ) -> list[ExperimentResult]:
     if identifiers is None:
         specs = list_experiments()
@@ -90,7 +121,10 @@ def _run_all(
     results = []
     for spec in specs:
         started = time.perf_counter()
-        result = spec.run(scale=scale, seed=seed)
+        run_hits_before = store.stats.run_hits if store is not None else 0
+        result = run_experiment(
+            spec.identifier, scale=scale, seed=seed, store=store, resume=resume
+        )
         elapsed = time.perf_counter() - started
         if progress:
             verdict = (
@@ -98,7 +132,9 @@ def _run_all(
                 if result.shape_matches_paper is None
                 else ("match" if result.shape_matches_paper else "MISMATCH")
             )
-            print(f"[{spec.identifier:>10}] {elapsed:7.1f}s  shape: {verdict}")
+            cached = store is not None and store.stats.run_hits > run_hits_before
+            suffix = "  (run served from cache)" if cached else ""
+            print(f"[{spec.identifier:>10}] {elapsed:7.1f}s  shape: {verdict}{suffix}")
         results.append(result)
     return results
 

@@ -41,11 +41,12 @@ it through :func:`configure_default_scheduler`.
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.analysis.statistics import PrecisionTarget
 from repro.consensus.estimator import (
@@ -71,7 +72,7 @@ from repro.experiments.sweep import (
     demux_mega_results,
     execute_mega_batch,
     pack_members,
-    plan_mega_batches,
+    plan_members,
 )
 from repro.experiments.workloads import replica_batches
 from repro.lv.ensemble import (
@@ -89,6 +90,10 @@ from repro.lv.tau import (
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_seeds
+from repro.store.keys import chunk_key
+
+if TYPE_CHECKING:
+    from repro.store.store import ExperimentStore
 
 __all__ = [
     "ReplicaScheduler",
@@ -137,11 +142,19 @@ class WorkerPool:
         with WorkerPool() as pool:
             scheduler = SweepScheduler(jobs=4, pool=pool)
             ...
+
+    Aborted runs never strand workers: the first ``acquire`` registers an
+    ``atexit`` safety net that force-stops any still-running executor at
+    interpreter shutdown (covering code paths that create the pool lazily
+    and then die before reaching ``shutdown``), and the schedulers
+    additionally tear the pool down when an exception — including
+    ``KeyboardInterrupt`` — escapes a sweep mid-flight.
     """
 
     def __init__(self) -> None:
         self._executor: ProcessPoolExecutor | None = None
         self._workers = 0
+        self._atexit_registered = False
 
     @property
     def workers(self) -> int:
@@ -156,14 +169,32 @@ class WorkerPool:
             self.shutdown()
             self._executor = ProcessPoolExecutor(max_workers=workers)
             self._workers = workers
+            if not self._atexit_registered:
+                # Safety net for aborted CLI runs: whatever happens between
+                # this lazy start and an explicit shutdown, the interpreter
+                # never exits with live worker processes stranded.
+                atexit.register(self._shutdown_at_exit)
+                self._atexit_registered = True
         return self._executor
 
-    def shutdown(self) -> None:
-        """Stop the workers (no-op when none are running)."""
+    def shutdown(self, *, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Stop the workers (no-op when none are running).
+
+        *wait*/*cancel_futures* are forwarded to
+        :meth:`~concurrent.futures.Executor.shutdown`; abort paths pass
+        ``wait=False, cancel_futures=True`` so queued work is dropped
+        instead of detaining the interpreter.
+        """
         if self._executor is not None:
-            self._executor.shutdown()
+            self._executor.shutdown(wait=wait, cancel_futures=cancel_futures)
             self._executor = None
             self._workers = 0
+
+    def _shutdown_at_exit(self) -> None:
+        try:
+            self.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # interpreter teardown: never turn cleanup into a crash
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -261,6 +292,16 @@ class ReplicaScheduler:
         scheduler) reuse one warm set of workers.  Workers are started
         lazily on the first parallel sweep and live until
         :meth:`shutdown` (or the pool's own context exit).
+    store:
+        Optional :class:`~repro.store.ExperimentStore`.  When set, every
+        executed simulation chunk is journaled under its content-address
+        as it finishes, and chunks whose keys are already journaled are
+        **replayed from the store instead of simulated** — making every
+        entry point cache-first and every interrupted run resumable
+        bitwise-identically (the chunk keys deliberately exclude ``jobs``,
+        ``sweep_batch``, and ``compaction_fraction``, which the engine
+        contract guarantees never change results).  ``None`` (the default)
+        keeps the recompute-always behaviour with zero overhead.
 
     The scheduler is also a context manager: entering pre-warms the pool
     (when ``jobs > 1``) and exiting stops it.  The ``events_executed``
@@ -285,8 +326,12 @@ class ReplicaScheduler:
     backend: str = "exact"
     tau_epsilon: float = DEFAULT_TAU_EPSILON
     pool: WorkerPool = field(default_factory=WorkerPool, repr=False, compare=False)
+    store: "ExperimentStore | None" = field(default=None, repr=False, compare=False)
     events_executed: int = field(default=0, init=False, repr=False, compare=False)
     leap_events_executed: int = field(default=0, init=False, repr=False, compare=False)
+    #: Simulated events served from the result store instead of recomputed
+    #: (cache hits); ``events_executed`` counts only genuinely executed work.
+    events_replayed: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -337,12 +382,18 @@ class ReplicaScheduler:
         The shared :class:`WorkerPool` starts its workers on the first
         parallel sweep and keeps them warm across calls — never once per
         batch, and no longer once per top-level call or per ``jobs``
-        reconfiguration.
+        reconfiguration.  If an exception (including ``KeyboardInterrupt``)
+        escapes the sweep, the pool is force-stopped before the exception
+        propagates, so aborted runs do not strand worker processes.
         """
         if self.jobs == 1 or num_units <= 1:
             yield None
-        else:
+            return
+        try:
             yield self.pool.acquire(self.jobs)
+        except BaseException:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
     # ------------------------------------------------------------------
     # Planning and execution
@@ -364,32 +415,65 @@ class ReplicaScheduler:
 
         Replicate ordering is deterministic (batch order times in-batch
         order); the same root seed always yields the same results regardless
-        of ``jobs``.
+        of ``jobs``.  With a configured *store*, batches whose chunk keys
+        are already journaled are replayed from disk and only the missing
+        batches are simulated (and journaled as they finish).
         """
         state = LVJumpChainSimulator._coerce_state(initial_state)
         sizes = self.plan(num_runs)
         seeds = spawn_seeds(rng, len(sizes))
+        batches: list[LVEnsembleResult | None] = [None] * len(sizes)
+        keys: list[str | None] = [None] * len(sizes)
+        pending = list(range(len(sizes)))
+        if self.store is not None:
+            resolved = resolve_backend(self.backend, state.x0 + state.x1)
+            pending = []
+            for index, (size, seed) in enumerate(zip(sizes, seeds)):
+                keys[index] = chunk_key(
+                    params=params,
+                    counts=(state.x0, state.x1),
+                    num_replicates=size,
+                    seed=seed,
+                    max_events=max_events,
+                    backend=resolved,
+                    tau_epsilon=self.tau_epsilon,
+                )
+                cached = self.store.get_chunk(keys[index])
+                if cached is None:
+                    pending.append(index)
+                else:
+                    batches[index] = cached
+                    self.events_replayed += int(cached.total_events.sum())
         tasks = [
             (
                 params,
                 (state.x0, state.x1),
-                size,
-                seed,
+                sizes[index],
+                seeds[index],
                 max_events,
                 self.compaction_fraction,
                 self.backend,
                 self.tau_epsilon,
             )
-            for size, seed in zip(sizes, seeds)
+            for index in pending
         ]
-        with self._pool_scope(len(tasks)) as pool:
-            if pool is None:
-                batches = [_execute_batch(*task) for task in tasks]
-            else:
-                batches = list(pool.map(_execute_batch, *zip(*tasks)))
-        merged = LVEnsembleResult.concatenate(batches)
-        self._meter(merged)
-        return merged
+        if tasks:
+            with self._pool_scope(len(tasks)) as pool:
+                if pool is None:
+                    executed = (_execute_batch(*task) for task in tasks)
+                else:
+                    executed = pool.map(_execute_batch, *zip(*tasks))
+                # Consume lazily so each batch is journaled (durably) the
+                # moment it completes — a kill mid-run loses at most the
+                # batches still in flight, never finished work.
+                for index, result in zip(pending, executed):
+                    batches[index] = result
+                    self._meter(result)
+                    if self.store is not None:
+                        self.store.put_chunk(
+                            keys[index], result, label=f"batch(R={sizes[index]})"
+                        )
+        return LVEnsembleResult.concatenate(batches)
 
     def _meter(self, result: LVEnsembleResult) -> None:
         """Fold one ensemble's event counts into the scheduler's meters.
@@ -570,34 +654,102 @@ class SweepScheduler(ReplicaScheduler):
         in the task seeds and independent of ``jobs``.  *collect* selects the
         engine's statistics level (``"win"`` skips the event accounting that
         win-probability summaries never read; trajectories are identical).
+        With a configured *store*, journaled members are replayed from disk
+        and only the cache misses are packed and simulated.
         """
-        plans = plan_mega_batches(
-            tasks, batch_size=self.batch_size, sweep_batch=self.sweep_batch
+        members = plan_members(tasks, batch_size=self.batch_size)
+        member_results = self._execute_members(members, collect)
+        return demux_mega_results(len(tasks), [members], [member_results])
+
+    def _member_key(self, spec: MemberSpec, collect: str) -> str:
+        """Content address of one planned member (see :mod:`repro.store.keys`)."""
+        backend = resolve_backend(
+            spec.backend or self.backend, spec.counts[0] + spec.counts[1]
         )
-        results = self._execute_plans(plans, collect)
-        merged = demux_mega_results(len(tasks), plans, results)
-        for result in merged:
-            self._meter(result)
-        return merged
+        return chunk_key(
+            params=spec.params,
+            counts=spec.counts,
+            num_replicates=spec.num_replicates,
+            seed=spec.seed,
+            max_events=spec.max_events,
+            backend=backend,
+            tau_epsilon=self.tau_epsilon,
+            collect=collect,
+        )
+
+    def _execute_members(
+        self, specs: Sequence[MemberSpec], collect: str
+    ) -> list[LVEnsembleResult]:
+        """Per-spec results in spec order, cache-first when a store is set.
+
+        Cache misses are repacked into fresh mega-batches — safe because the
+        engine's per-member streams make every member's result independent
+        of the packing — executed inline or on the pool, journaled as they
+        finish, and merged back into spec order.
+        """
+        if self.store is None:
+            plans = pack_members(specs, self.sweep_batch)
+            results = [result for plan in self._execute_plans(plans, collect) for result in plan]
+            for result in results:
+                self._meter(result)
+            return results
+        results: list[LVEnsembleResult | None] = [None] * len(specs)
+        keys = [self._member_key(spec, collect) for spec in specs]
+        misses = []
+        for index, key in enumerate(keys):
+            cached = self.store.get_chunk(key)
+            if cached is None:
+                misses.append(index)
+            else:
+                results[index] = cached
+                self.events_replayed += int(cached.total_events.sum())
+        if misses:
+            plans = pack_members([specs[index] for index in misses], self.sweep_batch)
+            position = 0
+            # Journal plan by plan as mega-batches complete, not after the
+            # whole sweep: a kill mid-sweep keeps every finished chunk.
+            for plan_results in self._iter_plan_results(plans, collect):
+                for result in plan_results:
+                    index = misses[position]
+                    position += 1
+                    results[index] = result
+                    self._meter(result)
+                    self.store.put_chunk(
+                        keys[index],
+                        result,
+                        label=f"member(task={specs[index].task_index}, "
+                        f"R={specs[index].num_replicates})",
+                    )
+        return results
 
     def _execute_plans(
         self, plans: Sequence[Sequence[MemberSpec]], collect: str
     ) -> list[list[LVEnsembleResult]]:
         """Execute planned mega-batches inline or on the shared worker pool."""
+        return list(self._iter_plan_results(plans, collect))
+
+    def _iter_plan_results(
+        self, plans: Sequence[Sequence[MemberSpec]], collect: str
+    ) -> Iterator[list[LVEnsembleResult]]:
+        """Yield each mega-batch's member results as the batch completes.
+
+        Streaming (rather than collecting the whole sweep first) is what
+        lets the store journal finished chunks while later mega-batches are
+        still simulating; on the pool path, ``Executor.map`` keeps all
+        batches in flight concurrently and yields them in plan order.
+        """
         with self._pool_scope(len(plans)) as pool:
             if pool is None:
-                return [
-                    execute_mega_batch(
+                for plan in plans:
+                    yield execute_mega_batch(
                         plan,
                         self.compaction_fraction,
                         collect,
                         self.backend,
                         self.tau_epsilon,
                     )
-                    for plan in plans
-                ]
-            return list(
-                pool.map(
+            else:
+                yield from pool.map(
                     execute_mega_batch,
                     plans,
                     [self.compaction_fraction] * len(plans),
@@ -605,7 +757,6 @@ class SweepScheduler(ReplicaScheduler):
                     [self.backend] * len(plans),
                     [self.tau_epsilon] * len(plans),
                 )
-            )
 
     # ------------------------------------------------------------------
     # Adaptive-precision waves
@@ -635,6 +786,13 @@ class SweepScheduler(ReplicaScheduler):
         bitwise-reproducible from the task seeds and the target alone —
         independent of ``sweep_batch``, ``batch_size``, ``jobs``, and wave
         boundaries (see :mod:`repro.experiments.sweep`).
+
+        With a configured *store*, every completed ladder rung is journaled
+        as it finishes and already-journaled rungs are replayed instead of
+        simulated: a run killed mid-ladder resumes on the next invocation
+        from the journaled prefix, reproducing the uninterrupted run
+        bit-for-bit (the prefix-stable rung seeds make the replayed chunks
+        identical regardless of where the interruption fell).
         """
         if not tasks:
             raise ExperimentError("a sweep needs at least one task")
@@ -649,13 +807,10 @@ class SweepScheduler(ReplicaScheduler):
             if not wave_specs:
                 break
             waves += 1
-            plans = pack_members(wave_specs, self.sweep_batch)
-            wave_results = self._execute_plans(plans, collect)
+            wave_results = self._execute_members(wave_specs, collect)
             per_task: dict[int, list[LVEnsembleResult]] = {}
-            for plan, plan_results in zip(plans, wave_results):
-                for spec, chunk in zip(plan, plan_results):
-                    per_task.setdefault(spec.task_index, []).append(chunk)
-                    self._meter(chunk)
+            for spec, chunk in zip(wave_specs, wave_results):
+                per_task.setdefault(spec.task_index, []).append(chunk)
             for index, chunks in per_task.items():
                 states[index].absorb(chunks)
                 states[index].evaluate()
@@ -843,6 +998,7 @@ def configure_default_scheduler(
     precision: "PrecisionTarget | None | object" = _KEEP,
     backend: str | None = None,
     tau_epsilon: float | None = None,
+    store: "ExperimentStore | None | object" = _KEEP,
 ) -> SweepScheduler:
     """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``).
 
@@ -851,9 +1007,11 @@ def configure_default_scheduler(
     override) reuses the warm worker processes instead of rebuilding the
     pool; pass ``precision`` to switch the experiment drivers between
     adaptive waves (a :class:`~repro.analysis.statistics.PrecisionTarget`)
-    and fixed budgets (``None``), and ``backend`` / ``tau_epsilon`` to
-    select the simulation backend (the CLI's ``--backend`` and
-    ``--tau-epsilon``).
+    and fixed budgets (``None``), ``backend`` / ``tau_epsilon`` to select
+    the simulation backend (the CLI's ``--backend`` and ``--tau-epsilon``),
+    and ``store`` to attach (an :class:`~repro.store.ExperimentStore`, the
+    CLI's ``--cache-dir``) or detach (``None``, ``--no-cache``) the
+    persistent result store.
     """
     global _default_scheduler
     previous = _default_scheduler
@@ -866,5 +1024,6 @@ def configure_default_scheduler(
         tau_epsilon=previous.tau_epsilon if tau_epsilon is None else tau_epsilon,
         wave_quantum=previous.wave_quantum,
         pool=previous.pool,
+        store=previous.store if store is _KEEP else store,
     )
     return _default_scheduler

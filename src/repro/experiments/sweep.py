@@ -72,6 +72,7 @@ __all__ = [
     "MemberSpec",
     "AdaptiveTaskState",
     "AdaptiveSweepReport",
+    "plan_members",
     "plan_mega_batches",
     "pack_members",
     "execute_mega_batch",
@@ -150,29 +151,19 @@ class MemberSpec:
         )
 
 
-def plan_mega_batches(
-    tasks: Sequence[SweepTask],
-    *,
-    batch_size: int,
-    sweep_batch: int = DEFAULT_SWEEP_BATCH,
-) -> list[list[MemberSpec]]:
-    """Flatten *tasks* into an ordered list of mega-batch member plans.
+def plan_members(
+    tasks: Sequence[SweepTask], *, batch_size: int
+) -> list[MemberSpec]:
+    """Decompose *tasks* into seeded member specs, in task order.
 
     Every task is split into lock-step batches of at most *batch_size*
     replicas; each ``(task, batch)`` pair receives its own seed spawned from
-    the task's root seed.  Batches are then packed greedily, in task order,
-    into mega-batches of at most *sweep_batch* total replicas (a batch wider
-    than *sweep_batch* gets a mega-batch of its own rather than being split
-    further).
-
-    The plan is a pure function of ``(tasks, batch_size, sweep_batch)``, so
-    the same sweep always executes identically regardless of how many worker
-    processes run the mega-batches.
+    the task's root seed.  The decomposition is a pure function of
+    ``(tasks, batch_size)`` — packing into mega-batches
+    (:func:`pack_members`) is a separate, purely-executional step.
     """
     if not tasks:
         raise ExperimentError("a sweep needs at least one task")
-    if sweep_batch < 1:
-        raise ExperimentError(f"sweep_batch must be at least 1, got {sweep_batch}")
     members: list[MemberSpec] = []
     for index, task in enumerate(tasks):
         sizes = replica_batches(task.num_runs, batch_size)
@@ -189,8 +180,29 @@ def plan_mega_batches(
             )
             for size, seed in zip(sizes, seeds)
         )
+    return members
 
-    return pack_members(members, sweep_batch)
+
+def plan_mega_batches(
+    tasks: Sequence[SweepTask],
+    *,
+    batch_size: int,
+    sweep_batch: int = DEFAULT_SWEEP_BATCH,
+) -> list[list[MemberSpec]]:
+    """Flatten *tasks* into an ordered list of mega-batch member plans.
+
+    :func:`plan_members` decomposition followed by greedy
+    :func:`pack_members` packing into mega-batches of at most *sweep_batch*
+    total replicas (a batch wider than *sweep_batch* gets a mega-batch of
+    its own rather than being split further).
+
+    The plan is a pure function of ``(tasks, batch_size, sweep_batch)``, so
+    the same sweep always executes identically regardless of how many worker
+    processes run the mega-batches.
+    """
+    if sweep_batch < 1:
+        raise ExperimentError(f"sweep_batch must be at least 1, got {sweep_batch}")
+    return pack_members(plan_members(tasks, batch_size=batch_size), sweep_batch)
 
 
 def pack_members(

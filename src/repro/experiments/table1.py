@@ -20,6 +20,14 @@ exact-reproducibility mode.  When the scheduler carries a
 waves: configurations stop as soon as their ρ estimates reach the target
 width, so the fixed budgets become irrelevant and the quoted numbers may
 rest on fewer (or more) replicates at uniform precision.
+
+When the scheduler carries an :class:`~repro.store.ExperimentStore` (the
+CLI's ``--cache-dir``), every grid call additionally journals its executed
+chunks as they finish and replays journaled chunks from the store, so an
+interrupted Table-1 row resumes bitwise-identically and repeated runs are
+served cache-first.  Nothing in this module changes: the stable per-task
+seeds derived with :func:`repro.rng.stable_seed` are exactly what makes the
+content-addressed chunk keys reproducible across invocations.
 """
 
 from __future__ import annotations

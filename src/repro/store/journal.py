@@ -1,0 +1,137 @@
+"""Append-only JSONL chunk journal: the store's durability layer.
+
+Completed simulation chunks are journaled *as they finish*: one JSON line
+per chunk, carrying the chunk's content-address key, a little provenance
+metadata, and the full serialised payload.  The file is append-only and
+flushed after every record, so a run killed mid-sweep (SIGTERM, Ctrl-C,
+OOM) loses at most the chunk it was simulating — everything journaled
+before the kill replays from disk on the next run.
+
+Crash tolerance is structural rather than transactional:
+
+* a record becomes visible only once its trailing newline is on disk, so a
+  reader never sees a half-record as valid;
+* on open, the journal scans forward and indexes ``key -> (offset, length)``
+  per intact line, stopping at the first corrupt or truncated record;
+* before the first append of a new session, any truncated tail left by a
+  kill is cut off, so new records never concatenate onto a partial line.
+
+Replaying is lazy: the open-time scan keeps only offsets, and payloads are
+re-parsed on lookup, so a large journal costs one sequential read to index
+and one seek per cache hit.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import StoreError
+
+__all__ = ["ChunkJournal"]
+
+
+class ChunkJournal:
+    """Offset-indexed append-only JSONL file of completed chunk records."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._index: dict[str, tuple[int, int]] = {}
+        self._valid_end = 0
+        self._appender: io.BufferedWriter | None = None
+        self._scan()
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        """Index every intact record; remember where the intact prefix ends."""
+        self._index.clear()
+        self._valid_end = 0
+        if not self.path.exists():
+            return
+        with self.path.open("rb") as handle:
+            offset = 0
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # truncated tail: a record killed mid-write
+                try:
+                    record = json.loads(raw)
+                    key = record["key"]
+                except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+                    break  # corrupt line: everything after it is suspect
+                self._index[str(key)] = (offset, len(raw))
+                offset += len(raw)
+                self._valid_end = offset
+
+    def _open_appender(self) -> io.BufferedWriter:
+        if self._appender is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self.path.exists() and self.path.stat().st_size != self._valid_end:
+                # The file changed since our scan (another store instance
+                # appended, or a kill left a torn tail): re-index from disk
+                # so we never truncate intact records on stale knowledge.
+                self._scan()
+            if self.path.exists() and self.path.stat().st_size > self._valid_end:
+                # Only a genuinely torn tail remains past the intact prefix;
+                # cut it off so the next record starts on a line boundary.
+                with self.path.open("r+b") as handle:
+                    handle.truncate(self._valid_end)
+            self._appender = self.path.open("ab")
+        return self._appender
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The journaled record for *key*, or ``None``."""
+        location = self._index.get(key)
+        if location is None:
+            return None
+        offset, length = location
+        with self.path.open("rb") as handle:
+            handle.seek(offset)
+            raw = handle.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"journal record for {key} at offset {offset} is corrupt: {error}"
+            ) from error
+
+    def append(self, key: str, payload: dict[str, Any], **metadata: Any) -> None:
+        """Durably journal one completed chunk (last write wins per key)."""
+        record = {"key": key, **metadata, "payload": payload}
+        encoded = (
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        handle = self._open_appender()
+        offset = self._valid_end
+        handle.write(encoded)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._index[key] = (offset, len(encoded))
+        self._valid_end = offset + len(encoded)
+
+    def close(self) -> None:
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
+
+    def __enter__(self) -> "ChunkJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

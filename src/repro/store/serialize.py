@@ -1,0 +1,98 @@
+"""Bitwise-faithful JSON serialisation of ensemble results.
+
+The store persists :class:`~repro.lv.ensemble.LVEnsembleResult` chunks as
+plain JSON so journal lines stay greppable and diffable.  Round-tripping is
+*bitwise*: integer and boolean arrays serialise losslessly by construction,
+and float64 values survive because Python's ``repr`` (which ``json`` uses)
+emits the shortest string that parses back to the identical IEEE-754 double.
+Every array records its dtype explicitly, so reloaded chunks concatenate and
+compare equal to freshly computed ones down to the last bit — the property
+the resume-determinism tests enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import StoreError
+from repro.lv.ensemble import LVEnsembleResult
+from repro.lv.params import CompetitionMechanism, LVParams
+from repro.lv.state import LVState
+from repro.store.keys import RESULT_SCHEMA_VERSION, params_payload
+
+__all__ = ["ensemble_to_payload", "ensemble_from_payload"]
+
+#: Array attributes of :class:`LVEnsembleResult`, in declaration order.
+_ARRAY_FIELDS = (
+    "final_x0",
+    "final_x1",
+    "total_events",
+    "termination_codes",
+    "births",
+    "deaths",
+    "interspecific_events",
+    "intraspecific_events",
+    "bad_noncompetitive_events",
+    "good_events",
+    "noise_individual",
+    "noise_competitive",
+    "max_total_population",
+    "min_gap_seen",
+    "hit_tie",
+)
+
+
+def _array_payload(array: np.ndarray) -> dict[str, Any]:
+    return {"dtype": str(array.dtype), "data": array.tolist()}
+
+
+def _array_from_payload(payload: dict[str, Any]) -> np.ndarray:
+    return np.array(payload["data"], dtype=np.dtype(payload["dtype"]))
+
+
+def ensemble_to_payload(result: LVEnsembleResult) -> dict[str, Any]:
+    """JSON-serialisable payload of one ensemble result."""
+    payload: dict[str, Any] = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "params": params_payload(result.params),
+        "initial_state": [result.initial_state.x0, result.initial_state.x1],
+        "arrays": {
+            name: _array_payload(getattr(result, name)) for name in _ARRAY_FIELDS
+        },
+    }
+    if result.leap_events is not None:
+        payload["arrays"]["leap_events"] = _array_payload(result.leap_events)
+    return payload
+
+
+def ensemble_from_payload(payload: dict[str, Any]) -> LVEnsembleResult:
+    """Inverse of :func:`ensemble_to_payload`."""
+    try:
+        schema = payload["schema"]
+        if schema != RESULT_SCHEMA_VERSION:
+            raise StoreError(
+                f"stored chunk has schema {schema}, expected {RESULT_SCHEMA_VERSION}"
+            )
+        rates = payload["params"]
+        params = LVParams(
+            beta=rates["beta"],
+            delta=rates["delta"],
+            alpha0=rates["alpha0"],
+            alpha1=rates["alpha1"],
+            gamma0=rates["gamma0"],
+            gamma1=rates["gamma1"],
+            mechanism=CompetitionMechanism(rates["mechanism"]),
+        )
+        arrays = payload["arrays"]
+        fields = {name: _array_from_payload(arrays[name]) for name in _ARRAY_FIELDS}
+        leap = arrays.get("leap_events")
+        return LVEnsembleResult(
+            params=params,
+            initial_state=LVState(*payload["initial_state"]),
+            leap_events=None if leap is None else _array_from_payload(leap),
+            **fields,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreError(f"malformed stored chunk payload: {error}") from error

@@ -24,6 +24,7 @@ from repro.analysis.statistics import (
     binomial_estimate,
     bootstrap_mean_interval,
     required_samples,
+    wilson_half_width,
     wilson_interval,
 )
 from repro.analysis.tables import format_csv, format_markdown_table, format_table
@@ -68,6 +69,38 @@ class TestWilsonInterval:
             return
         low, high = wilson_interval(successes, trials)
         assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+    def test_degenerate_inputs_raise_value_error(self):
+        """The validation errors double as ValueError for non-library callers."""
+        with pytest.raises(ValueError):
+            wilson_interval(7, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 5)
+        with pytest.raises(ValueError):
+            wilson_half_width(-2, 10)
+        with pytest.raises(ValueError):
+            wilson_half_width(11, 10)
+        with pytest.raises(ValueError):
+            wilson_half_width(5, 0)
+
+    def test_boundary_success_counts_are_valid(self):
+        """0 and `trials` successes yield finite in-range intervals, not errors."""
+        low, high = wilson_interval(0, 80)
+        assert low == 0.0 and 0.0 < high < 0.1
+        low, high = wilson_interval(80, 80)
+        assert 0.9 < low < 1.0 and high == 1.0
+        assert 0.0 < wilson_half_width(0, 80) < wilson_half_width(40, 80)
+        assert 0.0 < wilson_half_width(80, 80) < wilson_half_width(40, 80)
+
+    def test_statistics_doctests_pass(self):
+        """The documented degenerate/boundary examples actually run."""
+        import doctest
+
+        from repro.analysis import statistics
+
+        outcome = doctest.testmod(statistics)
+        assert outcome.attempted > 0
+        assert outcome.failed == 0
 
     def test_binomial_estimate_bundle(self):
         estimate = binomial_estimate(90, 100)

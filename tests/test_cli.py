@@ -168,3 +168,130 @@ class TestCommands:
                     "2.0",
                 ]
             )
+
+
+ESTIMATE_PREFIX = ["estimate", "--population", "64", "--gap", "8", "--runs", "20"]
+
+
+class TestFlagValidationSymmetry:
+    """Every numeric flag misuse exits with argparse's usage-error code 2."""
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--target-ci-width", "0"],
+            ["--target-ci-width", "-0.1"],
+            ["--target-ci-width", "1.5"],
+            ["--target-ci-width", "0.1", "--max-replicates", "0"],
+            ["--target-ci-width", "0.1", "--max-replicates", "-5"],
+            ["--max-replicates", "100"],  # requires --target-ci-width
+            ["--tau-epsilon", "0"],
+            ["--tau-epsilon", "-0.5"],
+            ["--tau-epsilon", "2.0"],
+            ["--jobs", "0"],
+            ["--jobs", "-1"],
+            ["--sweep-batch", "0"],
+        ],
+    )
+    def test_nonsensical_values_exit_with_code_2(self, extra):
+        for argv in (["run", "T1R3", *extra], ESTIMATE_PREFIX + extra):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+
+
+class TestCacheFlags:
+    def test_cache_flags_parse(self, tmp_path):
+        arguments = build_parser().parse_args(
+            ["run", "T1R3", "--cache-dir", str(tmp_path), "--resume"]
+        )
+        assert arguments.cache_dir == tmp_path
+        assert arguments.resume
+        assert not arguments.no_cache
+
+    @pytest.mark.parametrize(
+        "extra", [["--resume"], ["--cache-dir", "somewhere"]]
+    )
+    def test_no_cache_conflicts_exit_with_code_2(self, extra):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "T1R3", "--no-cache", *extra])
+        assert excinfo.value.code == 2
+
+    def test_run_with_cache_dir_journals_and_resumes(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["run", "FIG-ODE", "--seed", "2", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "journaled" in first
+        assert (cache / "journal.jsonl").exists()
+        # Chunk-level replay without --resume: same results, zero simulation.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 miss(es)" in second
+        # Run-level cache with --resume: the whole experiment is served.
+        assert main(argv + ["--resume"]) == 0
+        third = capsys.readouterr().out
+        assert "1 run(s) from cache" in third
+
+        def table(output):
+            return [
+                line for line in output.splitlines() if line.startswith("  ")
+            ]
+
+        assert table(first) == table(second) == table(third)
+
+    def test_usage_error_never_acquires_the_store_lock(self, tmp_path):
+        """Flag validation runs before the store opens, so no lock can leak."""
+        from repro.store import ExperimentStore
+
+        cache = tmp_path / "cache"
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "run",
+                    "T1R3",
+                    "--cache-dir",
+                    str(cache),
+                    "--target-ci-width",
+                    "2.0",
+                ]
+            )
+        assert excinfo.value.code == 2
+        ExperimentStore(cache).close()  # lock free: nothing leaked
+
+    def test_store_detached_and_closed_after_main(self, tmp_path, capsys):
+        from repro.experiments.scheduler import get_default_scheduler
+        from repro.store import ExperimentStore
+
+        cache = tmp_path / "cache"
+        assert main(ESTIMATE_PREFIX + ["--seed", "9", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert get_default_scheduler().store is None
+        # The writer lock was released, so a fresh store can open the dir.
+        ExperimentStore(cache).close()
+
+    def test_estimate_with_cache_dir_replays_chunks(self, capsys, tmp_path):
+        argv = ESTIMATE_PREFIX + ["--seed", "4", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "1 journaled" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 chunk hit(s)" in second
+        assert first.splitlines()[:5] == second.splitlines()[:5]
+
+    def test_environment_variable_names_default_cache(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert main(ESTIMATE_PREFIX + ["--seed", "6"]) == 0
+        assert (tmp_path / "env-cache" / "journal.jsonl").exists()
+        capsys.readouterr()
+
+    def test_no_cache_disables_environment_cache(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert main(ESTIMATE_PREFIX + ["--seed", "6", "--no-cache"]) == 0
+        assert not (tmp_path / "env-cache").exists()
+        assert "cache:" not in capsys.readouterr().out

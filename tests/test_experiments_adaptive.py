@@ -311,6 +311,49 @@ class TestWorkerPool:
             )
             get_default_scheduler().shutdown()
 
+    def test_exception_escaping_pool_scope_stops_workers(self):
+        """KeyboardInterrupt between lazy start and exit must not leak workers."""
+        scheduler = SweepScheduler(jobs=2)
+        with pytest.raises(KeyboardInterrupt):
+            with scheduler._pool_scope(4) as executor:
+                assert executor is not None
+                assert scheduler.pool.workers == 2
+                raise KeyboardInterrupt
+        assert scheduler.pool.workers == 0
+
+    def test_store_failure_mid_sweep_stops_workers(self, sd_params, tmp_path):
+        """An exception thrown between mega-batches tears the pool down too."""
+        from repro.store import ExperimentStore
+
+        class FailingStore(ExperimentStore):
+            def put_chunk(self, key, result, **metadata):
+                raise KeyboardInterrupt
+
+        scheduler = SweepScheduler(
+            jobs=2, batch_size=64, sweep_batch=64, store=FailingStore(tmp_path)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run_sweep([_easy_task(sd_params), _hard_task(sd_params)])
+        assert scheduler.pool.workers == 0
+
+    def test_atexit_net_registered_on_lazy_start(self):
+        """The atexit safety net arms on first acquire and is idempotent."""
+        pool = WorkerPool()
+        assert not pool._atexit_registered
+        pool.acquire(1)
+        assert pool._atexit_registered
+        pool._shutdown_at_exit()
+        assert pool.workers == 0
+        pool._shutdown_at_exit()  # safe to run again (and at interpreter exit)
+        assert pool.workers == 0
+
+    def test_shutdown_accepts_abort_arguments(self):
+        pool = WorkerPool()
+        pool.acquire(2)
+        pool.shutdown(wait=False, cancel_futures=True)
+        assert pool.workers == 0
+        pool.shutdown()  # idempotent
+
     def test_configure_default_scheduler_precision_roundtrip(self):
         baseline = get_default_scheduler()
         target = PrecisionTarget(ci_half_width=0.07)
