@@ -13,6 +13,12 @@ Three subcommands cover the common entry points without writing any Python:
     One-off Monte-Carlo estimate of the majority-consensus probability for a
     given configuration.
 
+``python -m repro info``
+    Print the capability report: package and dependency versions, numba
+    availability, kernel cache status, and the resolved default engine —
+    so CI logs and bug reports show which inner-loop path actually ran
+    (``--version`` prints a one-line summary of the same).
+
 ``run`` and ``estimate`` accept ``--jobs N`` to fan replicate batches out to
 ``N`` worker processes through the
 :class:`~repro.experiments.scheduler.ReplicaScheduler`; the results are
@@ -32,6 +38,13 @@ approximate vectorized tau-leaping engine for very large populations), or
 ``auto`` (tau above a population threshold, exact below).  ``--tau-epsilon``
 tunes the leap accuracy.  Tau results are seed-deterministic but not
 bitwise-comparable to exact results; see DESIGN.md for the contract.
+
+``--engine {numpy,numba,auto}`` selects the exact engine's inner-loop
+implementation: ``auto`` (default — the numba-JIT native kernel when numba
+is importable, pure numpy otherwise), ``numpy``, or ``numba`` (errors out
+when numba is not installed).  The implementations are bitwise-identical,
+so the flag only changes throughput — cached results transfer freely
+between engines.
 
 ``--cache-dir DIR`` attaches the persistent result store
 (:mod:`repro.store`): every executed simulation chunk is journaled as it
@@ -65,8 +78,10 @@ from repro.experiments.scheduler import (
 )
 from repro.experiments.sweep import SweepTask
 from repro.experiments.workloads import state_with_gap
+from repro.lv.native import NativeEngineUnavailableError, capability_report, resolve_engine
 from repro.lv.params import LVParams
 from repro.store import ExperimentStore
+from repro._version import __version__
 
 __all__ = ["main", "build_parser", "DEFAULT_CACHE_DIR"]
 
@@ -82,9 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction toolkit for 'Majority consensus thresholds in "
         "competitive Lotka-Volterra populations' (PODC 2024).",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=_version_line(),
+        help="print the version and a one-line capability summary",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the registered experiments")
+
+    subparsers.add_parser(
+        "info",
+        help="print the capability report (numba availability, kernel cache, "
+        "resolved default engine)",
+    )
 
     run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
     run_parser.add_argument("identifiers", nargs="*", help="experiment ids (see 'list')")
@@ -135,6 +162,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_precision_arguments(estimate_parser)
     _add_cache_arguments(estimate_parser)
     return parser
+
+
+def _version_line() -> str:
+    """One-line version + capability summary (the ``--version`` output)."""
+    report = capability_report()
+    numba = f"numba {report['numba']}" if report["native_available"] else "no numba"
+    return (
+        f"repro {__version__} (numpy {report['numpy']}, {numba}, "
+        f"default engine: {report['default_engine']})"
+    )
+
+
+def _command_info(
+    _parser: argparse.ArgumentParser, _arguments: argparse.Namespace
+) -> int:
+    report = capability_report()
+    print(f"repro version:   {__version__}")
+    print(f"numpy version:   {report['numpy']}")
+    print(f"numba version:   {report['numba'] or 'not installed'}")
+    print(f"native kernels:  {'available' if report['native_available'] else 'unavailable'}")
+    print(f"kernel cache:    {report['kernel_cache']} ({report['kernel_cache_dir']})")
+    print(f"default engine:  {report['default_engine']}")
+    return 0
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -198,6 +248,15 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="EPS",
         help="tau-leaping accuracy: bounded relative propensity change per "
         "leap (default 0.03; smaller is more accurate and slower)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("numpy", "numba", "auto"),
+        default=None,
+        help="exact-engine inner loop: 'auto' (default; the numba-JIT native "
+        "kernel when numba is importable, numpy otherwise), 'numpy', or "
+        "'numba' (errors when numba is missing); results are "
+        "bitwise-identical either way",
     )
 
 
@@ -270,6 +329,11 @@ def _validate_scheduler_arguments(
         parser.error(f"--sweep-batch must be at least 1, got {arguments.sweep_batch}")
     if arguments.tau_epsilon is not None and not 0.0 < arguments.tau_epsilon < 1.0:
         parser.error(f"--tau-epsilon must be in (0, 1), got {arguments.tau_epsilon}")
+    if arguments.engine is not None:
+        try:
+            resolve_engine(arguments.engine, strict=True)
+        except NativeEngineUnavailableError as error:
+            parser.error(str(error))
 
 
 def _command_run(
@@ -286,6 +350,7 @@ def _command_run(
         precision=precision,
         backend=arguments.backend,
         tau_epsilon=arguments.tau_epsilon,
+        engine=arguments.engine,
         store=store,
     )
     if arguments.all:
@@ -336,6 +401,7 @@ def _command_estimate(
         precision=precision,
         backend=arguments.backend,
         tau_epsilon=arguments.tau_epsilon,
+        engine=arguments.engine,
         store=store,
     )
     constructor = (
@@ -388,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
     handlers = {
         "list": _command_list,
+        "info": _command_info,
         "run": _command_run,
         "estimate": _command_estimate,
     }

@@ -80,6 +80,7 @@ from repro.lv.ensemble import (
     LVEnsembleResult,
     LVEnsembleSimulator,
 )
+from repro.lv.native import ENGINES, resolve_engine
 from repro.lv.params import LVParams
 from repro.lv.tau import (
     BACKENDS,
@@ -212,20 +213,26 @@ def _execute_batch(
     compaction_fraction: float | None,
     backend: str = "exact",
     tau_epsilon: float = DEFAULT_TAU_EPSILON,
+    engine: str = "auto",
 ) -> LVEnsembleResult:
     """Run one lock-step batch (module-level so process pools can pickle it).
 
     Returning the :class:`LVEnsembleResult` arrays keeps both the in-process
     path and the pool IPC free of per-replicate Python objects.  *backend*
     (``"auto"`` resolved by the configuration's total population) selects
-    between the exact lock-step engine and the tau-leaping fast path.
+    between the exact lock-step engine and the tau-leaping fast path;
+    *engine* selects the exact engine's inner-loop implementation (each
+    worker process resolves it independently — the JIT kernel is loaded
+    from numba's on-disk cache, not recompiled per worker).
     """
     if resolve_backend(backend, counts[0] + counts[1]) == "tau":
-        tau_simulator = LVTauEnsembleSimulator(params, epsilon=tau_epsilon)
+        tau_simulator = LVTauEnsembleSimulator(params, epsilon=tau_epsilon, engine=engine)
         return tau_simulator.run_ensemble(
             LVState(counts[0], counts[1]), num_runs, rng=seed, max_events=max_events
         )
-    simulator = LVEnsembleSimulator(params, compaction_fraction=compaction_fraction)
+    simulator = LVEnsembleSimulator(
+        params, compaction_fraction=compaction_fraction, engine=engine
+    )
     return simulator.run_ensemble(
         LVState(counts[0], counts[1]), num_runs, rng=seed, max_events=max_events
     )
@@ -285,6 +292,17 @@ class ReplicaScheduler:
     tau_epsilon:
         Accuracy parameter of the tau-leaping backend (bounded relative
         propensity change per leap); ignored by the exact engine.
+    engine:
+        Inner-loop implementation of the exact engine: ``"auto"`` (the
+        default — the numba-JIT native kernel when numba is importable,
+        pure numpy otherwise), ``"numpy"``, or ``"numba"``.  Requesting
+        ``"numba"`` without numba installed fails at construction with
+        :class:`~repro.lv.native.NativeEngineUnavailableError`.  The two
+        implementations are bitwise-identical by contract, so the selector
+        is purely a throughput knob — store chunk keys exclude it, exactly
+        like ``jobs`` and ``compaction_fraction``.  Individual
+        :class:`~repro.experiments.sweep.SweepTask` entries may override it
+        per task.
     pool:
         The :class:`WorkerPool` that owns the worker processes.  Each
         scheduler gets its own by default; pass a shared instance to let
@@ -299,9 +317,9 @@ class ReplicaScheduler:
         **replayed from the store instead of simulated** — making every
         entry point cache-first and every interrupted run resumable
         bitwise-identically (the chunk keys deliberately exclude ``jobs``,
-        ``sweep_batch``, and ``compaction_fraction``, which the engine
-        contract guarantees never change results).  ``None`` (the default)
-        keeps the recompute-always behaviour with zero overhead.
+        ``sweep_batch``, ``compaction_fraction``, and ``engine``, which the
+        engine contract guarantees never change results).  ``None`` (the
+        default) keeps the recompute-always behaviour with zero overhead.
 
     The scheduler is also a context manager: entering pre-warms the pool
     (when ``jobs > 1``) and exiting stops it.  The ``events_executed``
@@ -325,6 +343,7 @@ class ReplicaScheduler:
     compaction_fraction: float | None = DEFAULT_COMPACTION_FRACTION
     backend: str = "exact"
     tau_epsilon: float = DEFAULT_TAU_EPSILON
+    engine: str = "auto"
     pool: WorkerPool = field(default_factory=WorkerPool, repr=False, compare=False)
     store: "ExperimentStore | None" = field(default=None, repr=False, compare=False)
     events_executed: int = field(default=0, init=False, repr=False, compare=False)
@@ -359,6 +378,13 @@ class ReplicaScheduler:
             raise ExperimentError(
                 f"tau_epsilon must be in (0, 1), got {self.tau_epsilon}"
             )
+        if self.engine not in ENGINES:
+            raise ExperimentError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        # Fail fast at construction when "numba" is requested but absent,
+        # not deep inside a sweep (raises NativeEngineUnavailableError).
+        resolve_engine(self.engine, strict=True)
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
@@ -454,6 +480,7 @@ class ReplicaScheduler:
                 self.compaction_fraction,
                 self.backend,
                 self.tau_epsilon,
+                self.engine,
             )
             for index in pending
         ]
@@ -747,6 +774,7 @@ class SweepScheduler(ReplicaScheduler):
                         collect,
                         self.backend,
                         self.tau_epsilon,
+                        self.engine,
                     )
             else:
                 yield from pool.map(
@@ -756,6 +784,7 @@ class SweepScheduler(ReplicaScheduler):
                     [collect] * len(plans),
                     [self.backend] * len(plans),
                     [self.tau_epsilon] * len(plans),
+                    [self.engine] * len(plans),
                 )
 
     # ------------------------------------------------------------------
@@ -998,6 +1027,7 @@ def configure_default_scheduler(
     precision: "PrecisionTarget | None | object" = _KEEP,
     backend: str | None = None,
     tau_epsilon: float | None = None,
+    engine: str | None = None,
     store: "ExperimentStore | None | object" = _KEEP,
 ) -> SweepScheduler:
     """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``).
@@ -1009,9 +1039,10 @@ def configure_default_scheduler(
     adaptive waves (a :class:`~repro.analysis.statistics.PrecisionTarget`)
     and fixed budgets (``None``), ``backend`` / ``tau_epsilon`` to select
     the simulation backend (the CLI's ``--backend`` and ``--tau-epsilon``),
-    and ``store`` to attach (an :class:`~repro.store.ExperimentStore`, the
-    CLI's ``--cache-dir``) or detach (``None``, ``--no-cache``) the
-    persistent result store.
+    ``engine`` to select the exact engine's inner loop (the CLI's
+    ``--engine``), and ``store`` to attach (an
+    :class:`~repro.store.ExperimentStore`, the CLI's ``--cache-dir``) or
+    detach (``None``, ``--no-cache``) the persistent result store.
     """
     global _default_scheduler
     previous = _default_scheduler
@@ -1022,6 +1053,7 @@ def configure_default_scheduler(
         precision=previous.precision if precision is _KEEP else precision,
         backend=previous.backend if backend is None else backend,
         tau_epsilon=previous.tau_epsilon if tau_epsilon is None else tau_epsilon,
+        engine=previous.engine if engine is None else engine,
         wave_quantum=previous.wave_quantum,
         pool=previous.pool,
         store=previous.store if store is _KEEP else store,

@@ -54,6 +54,7 @@ from repro.lv.ensemble import (
     SweepMember,
     run_sweep_ensemble,
 )
+from repro.lv.native import ENGINES, resolve_engine
 from repro.lv.params import LVParams
 from repro.lv.tau import (
     BACKENDS,
@@ -106,6 +107,12 @@ class SweepTask:
     #: pin ``"auto"`` so their 10^6-population configurations leap even when
     #: the process default is the exact engine).
     backend: str | None = None
+    #: Per-task engine override: ``None`` defers to the executing
+    #: scheduler's engine; ``"numpy"``, ``"numba"``, or ``"auto"`` pin this
+    #: task's inner-loop implementation.  Results are bitwise-identical
+    #: either way — the engine is purely an execution knob, which is why
+    #: store chunk keys exclude it.
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.initial_state, LVState):
@@ -127,6 +134,11 @@ class SweepTask:
                 f"backend must be None or one of {BACKENDS}, got {self.backend!r} "
                 f"(task {self.label!r})"
             )
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ExperimentError(
+                f"engine must be None or one of {ENGINES}, got {self.engine!r} "
+                f"(task {self.label!r})"
+            )
 
 
 @dataclass(frozen=True)
@@ -141,6 +153,8 @@ class MemberSpec:
     max_events: int
     #: The owning task's backend override (``None`` = scheduler default).
     backend: str | None = None
+    #: The owning task's engine override (``None`` = scheduler default).
+    engine: str | None = None
 
     def to_member(self) -> SweepMember:
         return SweepMember(
@@ -177,6 +191,7 @@ def plan_members(
                 seed=seed,
                 max_events=task.max_events,
                 backend=task.backend,
+                engine=task.engine,
             )
             for size, seed in zip(sizes, seeds)
         )
@@ -237,6 +252,7 @@ def execute_mega_batch(
     collect: str = "full",
     backend: str = "exact",
     tau_epsilon: float = DEFAULT_TAU_EPSILON,
+    engine: str = "auto",
 ) -> list[LVEnsembleResult]:
     """Run one planned mega-batch and return its per-member results.
 
@@ -255,6 +271,12 @@ def execute_mega_batch(
     with the same per-member seed derivation.  Either way every member's
     result depends only on its own seed and configuration, never on the
     batch composition.
+
+    *engine* selects the exact engine's inner-loop implementation
+    (:data:`repro.lv.native.ENGINES`); a spec's own ``engine`` field
+    overrides it.  Since the engines are bitwise-identical by contract,
+    the selection affects throughput only — members resolving to different
+    engines are simply fused into separate lock-step batches.
     """
     if not specs:
         raise ExperimentError("cannot execute an empty mega-batch")
@@ -262,26 +284,32 @@ def execute_mega_batch(
         resolve_backend(spec.backend or backend, spec.counts[0] + spec.counts[1])
         for spec in specs
     ]
-    exact_positions = [i for i, kind in enumerate(resolved) if kind == "exact"]
-    tau_positions = [i for i, kind in enumerate(resolved) if kind == "tau"]
+    engines = [resolve_engine(spec.engine or engine) for spec in specs]
     results: list[LVEnsembleResult | None] = [None] * len(specs)
-    if exact_positions:
-        exact_results = run_sweep_ensemble(
-            [specs[i].to_member() for i in exact_positions],
-            member_seeds=[specs[i].seed for i in exact_positions],
-            compaction_fraction=compaction_fraction,
-            collect=collect,
-        )
-        for i, result in zip(exact_positions, exact_results):
-            results[i] = result
-    if tau_positions:
-        tau_results = run_tau_sweep_ensemble(
-            [specs[i].to_member() for i in tau_positions],
-            member_seeds=[specs[i].seed for i in tau_positions],
-            epsilon=tau_epsilon,
-            collect=collect,
-        )
-        for i, result in zip(tau_positions, tau_results):
+    # Partition by (backend, resolved engine) while preserving spec order
+    # within each group; per-member streams make the grouping invisible in
+    # the results.
+    groups: dict[tuple[str, str], list[int]] = {}
+    for i, (kind, spec_engine) in enumerate(zip(resolved, engines)):
+        groups.setdefault((kind, spec_engine), []).append(i)
+    for (kind, spec_engine), positions in groups.items():
+        if kind == "exact":
+            group_results = run_sweep_ensemble(
+                [specs[i].to_member() for i in positions],
+                member_seeds=[specs[i].seed for i in positions],
+                compaction_fraction=compaction_fraction,
+                collect=collect,
+                engine=spec_engine,
+            )
+        else:
+            group_results = run_tau_sweep_ensemble(
+                [specs[i].to_member() for i in positions],
+                member_seeds=[specs[i].seed for i in positions],
+                epsilon=tau_epsilon,
+                collect=collect,
+                engine=spec_engine,
+            )
+        for i, result in zip(positions, group_results):
             results[i] = result
     return results
 
@@ -412,6 +440,7 @@ class AdaptiveTaskState:
                 seed=self._chunk_seed(rung),
                 max_events=task.max_events,
                 backend=task.backend,
+                engine=task.engine,
             )
             for rung in range(self.chunks_done, goal)
         ]

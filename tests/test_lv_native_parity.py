@@ -1,0 +1,350 @@
+"""Bitwise parity of the native inner-loop kernels against the numpy engines.
+
+The contract under test — the tentpole acceptance criterion of the native
+kernel — is that ``engine="numba"`` produces **bit-for-bit** the results of
+``engine="numpy"`` on every code path: both collect modes, compaction
+settings, event budgets, the absorbable intraspecific-only regime, the thin
+scalar tail, the tau backend's exact endgame, scheduler-level ``sweep_batch``
+/ ``jobs`` execution, adaptive wave boundaries, and store journals (whose
+chunk keys deliberately exclude the engine).
+
+These tests run **without numba installed**: the kernels are plain-Python
+functions in the numba nopython subset, so forcing ``engine="numba"``
+executes them interpreted — slower, but running the exact native algorithm
+and arithmetic, which is precisely what the parity contract covers.  The
+CI leg with numba installed runs the same assertions against the compiled
+kernels (plus the registry-wide check in ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import PrecisionTarget
+from repro.exceptions import ExperimentError, InvalidConfigurationError
+from repro.experiments.scheduler import SweepScheduler
+from repro.experiments.sweep import SweepTask, execute_mega_batch, plan_members
+from repro.lv import native
+from repro.lv.ensemble import (
+    SCALAR_FINISH_WIDTH,
+    LVEnsembleSimulator,
+    SweepMember,
+    run_sweep_ensemble,
+)
+from repro.lv.native import (
+    ENGINES,
+    NATIVE_AVAILABLE,
+    NativeEngineUnavailableError,
+    capability_report,
+    native_scalar_run,
+    resolve_engine,
+)
+from repro.lv.params import LVParams
+from repro.lv.simulator import LVJumpChainSimulator
+from repro.lv.state import LVState
+from repro.lv.tau import LVTauEnsembleSimulator, run_tau_sweep_ensemble
+from repro.store import ExperimentStore
+
+from test_store import assert_bitwise_equal
+
+
+def assert_ensembles_identical(expected, actual) -> None:
+    """Field-for-field bitwise equality of two ``LVEnsembleResult``s."""
+    for field in dataclasses.fields(expected):
+        left = getattr(expected, field.name)
+        right = getattr(actual, field.name)
+        if isinstance(left, np.ndarray):
+            assert left.dtype == right.dtype, field.name
+            assert np.array_equal(left, right), field.name
+        else:
+            assert left == right, field.name
+
+
+def _members(sd_params, nsd_params):
+    """A heterogeneous batch covering every retirement path.
+
+    Mixed mechanisms and populations, a budget-limited member (max-events
+    retirement plus mid-run scalar handoff), and an intraspecific-only
+    member whose replicas can absorb at (1, 1).
+    """
+    gamma_only = LVParams.non_self_destructive(beta=0.0, delta=0.0, alpha=0.0, gamma=1.0)
+    return [
+        SweepMember(sd_params, LVState(40, 24), 90),
+        SweepMember(nsd_params, LVState(33, 31), 70),
+        SweepMember(sd_params, LVState(36, 28), 50, 40),
+        SweepMember(gamma_only, LVState(5, 3), 40),
+    ]
+
+
+class TestResolveEngine:
+    def test_rejects_unknown_selector(self):
+        with pytest.raises(InvalidConfigurationError):
+            resolve_engine("fortran")
+
+    def test_auto_matches_availability(self):
+        assert resolve_engine("auto") == ("numba" if NATIVE_AVAILABLE else "numpy")
+        assert capability_report()["default_engine"] == resolve_engine("auto")
+
+    def test_explicit_selectors_resolve_to_themselves(self):
+        assert resolve_engine("numpy") == "numpy"
+        assert resolve_engine("numba") == "numba"
+
+    def test_strict_numba_requires_numba(self):
+        if NATIVE_AVAILABLE:
+            assert resolve_engine("numba", strict=True) == "numba"
+        else:
+            with pytest.raises(NativeEngineUnavailableError):
+                resolve_engine("numba", strict=True)
+
+    def test_scheduler_validates_engine_strictly(self):
+        with pytest.raises(ExperimentError):
+            SweepScheduler(engine="fortran")
+        if not NATIVE_AVAILABLE:
+            with pytest.raises(NativeEngineUnavailableError):
+                SweepScheduler(engine="numba")
+
+    def test_thin_tail_constants_agree(self):
+        # native.py duplicates the handoff width to avoid a circular import;
+        # the two copies must never drift apart.
+        assert native._SCALAR_FINISH_WIDTH == SCALAR_FINISH_WIDTH
+
+
+class TestEnsembleParity:
+    @pytest.mark.parametrize("collect", ["full", "win"])
+    def test_sweep_ensemble_parity(self, sd_params, nsd_params, collect):
+        members = _members(sd_params, nsd_params)
+        reference = run_sweep_ensemble(members, rng=7, collect=collect, engine="numpy")
+        native_run = run_sweep_ensemble(members, rng=7, collect=collect, engine="numba")
+        for expected, actual in zip(reference, native_run):
+            assert_ensembles_identical(expected, actual)
+
+    @pytest.mark.parametrize("compaction", [None, 0.25, 1.0])
+    def test_parity_independent_of_compaction(self, sd_params, nsd_params, compaction):
+        # The native kernel compacts in-pass and ignores compaction_fraction;
+        # the numpy path must agree for every setting of the knob.
+        members = _members(sd_params, nsd_params)
+        reference = run_sweep_ensemble(
+            members, rng=3, compaction_fraction=compaction, engine="numpy"
+        )
+        native_run = run_sweep_ensemble(
+            members, rng=3, compaction_fraction=compaction, engine="numba"
+        )
+        for expected, actual in zip(reference, native_run):
+            assert_ensembles_identical(expected, actual)
+
+    def test_member_seeds_parity(self, sd_params, nsd_params):
+        members = _members(sd_params, nsd_params)
+        seeds = [11, 22, 33, 44]
+        reference = run_sweep_ensemble(members, member_seeds=seeds, engine="numpy")
+        native_run = run_sweep_ensemble(members, member_seeds=seeds, engine="numba")
+        for expected, actual in zip(reference, native_run):
+            assert_ensembles_identical(expected, actual)
+
+    def test_ensemble_simulator_parity(self, sd_balanced_params):
+        reference = LVEnsembleSimulator(sd_balanced_params, engine="numpy").run_ensemble(
+            LVState(30, 18), 64, rng=9
+        )
+        native_run = LVEnsembleSimulator(sd_balanced_params, engine="numba").run_ensemble(
+            LVState(30, 18), 64, rng=9
+        )
+        assert_ensembles_identical(reference, native_run)
+
+    def test_ensemble_simulator_rejects_unknown_engine(self, sd_params):
+        with pytest.raises(InvalidConfigurationError):
+            LVEnsembleSimulator(sd_params, engine="fortran")
+
+
+class TestScalarRunParity:
+    def test_run_results_match_field_for_field(self, sd_params, nsd_balanced_params):
+        for params in (sd_params, nsd_balanced_params):
+            for seed in range(5):
+                reference = LVJumpChainSimulator(params).run(
+                    LVState(50, 30), rng=np.random.default_rng(seed)
+                )
+                native_result = native_scalar_run(
+                    params, LVState(50, 30), np.random.default_rng(seed)
+                )
+                for field in dataclasses.fields(reference):
+                    if field.name == "path":
+                        continue  # the native runner records no path
+                    assert getattr(reference, field.name) == getattr(
+                        native_result, field.name
+                    ), field.name
+
+    def test_max_events_termination_matches(self, nsd_params):
+        reference = LVJumpChainSimulator(nsd_params).run(
+            LVState(60, 40), rng=np.random.default_rng(1), max_events=25
+        )
+        native_result = native_scalar_run(
+            nsd_params, LVState(60, 40), np.random.default_rng(1), max_events=25
+        )
+        assert reference.termination == native_result.termination == "max-events"
+        assert reference.total_events == native_result.total_events == 25
+        assert reference.final_state == native_result.final_state
+
+    def test_absorbed_termination_matches(self):
+        gamma_only = LVParams.non_self_destructive(
+            beta=0.0, delta=0.0, alpha=0.0, gamma=1.0
+        )
+        for seed in range(8):
+            reference = LVJumpChainSimulator(gamma_only).run(
+                LVState(4, 4), rng=np.random.default_rng(seed)
+            )
+            native_result = native_scalar_run(
+                gamma_only, LVState(4, 4), np.random.default_rng(seed)
+            )
+            assert reference.termination == native_result.termination
+            assert reference.final_state == native_result.final_state
+
+    def test_generator_stream_position_matches(self, sd_params):
+        # Both runners must consume identical amounts of the underlying
+        # stream, or sequential sub-runs (the tau endgame) would diverge.
+        reference_rng = np.random.default_rng(42)
+        native_rng = np.random.default_rng(42)
+        LVJumpChainSimulator(sd_params).run(LVState(30, 20), rng=reference_rng)
+        native_scalar_run(sd_params, LVState(30, 20), native_rng)
+        assert reference_rng.random() == native_rng.random()
+
+
+class TestTauEndgameParity:
+    def test_exact_tail_parity(self, sd_params, nsd_params):
+        members = [
+            SweepMember(sd_params, LVState(900, 700), 6),
+            SweepMember(nsd_params, LVState(800, 780), 4),
+        ]
+        reference = run_tau_sweep_ensemble(members, rng=11, engine="numpy")
+        native_run = run_tau_sweep_ensemble(members, rng=11, engine="numba")
+        for expected, actual in zip(reference, native_run):
+            assert_ensembles_identical(expected, actual)
+
+    def test_tau_simulator_parity(self, sd_params):
+        reference = LVTauEnsembleSimulator(sd_params, engine="numpy").run_ensemble(
+            LVState(800, 600), 4, rng=13
+        )
+        native_run = LVTauEnsembleSimulator(sd_params, engine="numba").run_ensemble(
+            LVState(800, 600), 4, rng=13
+        )
+        assert_ensembles_identical(reference, native_run)
+
+
+def _tasks(sd_params, nsd_params, engine=None):
+    return [
+        SweepTask(sd_params, LVState(40, 24), 300, seed=1, label="easy", engine=engine),
+        SweepTask(nsd_params, LVState(33, 31), 300, seed=2, label="hard", engine=engine),
+        SweepTask(sd_params, LVState(36, 28), 300, seed=3, label="medium", engine=engine),
+    ]
+
+
+TARGET = PrecisionTarget(ci_half_width=0.05, min_replicates=64, max_replicates=512)
+
+
+class TestSchedulerParity:
+    def test_task_engine_validation(self, sd_params):
+        with pytest.raises(ExperimentError):
+            SweepTask(sd_params, LVState(4, 2), 10, engine="fortran")
+
+    @pytest.mark.parametrize("sweep_batch", [96, 2048])
+    def test_fixed_sweep_parity_across_sweep_batch(
+        self, sd_params, nsd_params, sweep_batch
+    ):
+        reference = SweepScheduler(batch_size=128).run_sweep(_tasks(sd_params, nsd_params))
+        native_run = SweepScheduler(batch_size=128, sweep_batch=sweep_batch).run_sweep(
+            _tasks(sd_params, nsd_params, engine="numba")
+        )
+        for expected, actual in zip(reference, native_run):
+            assert_ensembles_identical(expected, actual)
+
+    def test_fixed_sweep_parity_across_jobs(self, sd_params, nsd_params):
+        reference = SweepScheduler(batch_size=128).run_sweep(_tasks(sd_params, nsd_params))
+        with SweepScheduler(batch_size=128, jobs=2) as scheduler:
+            native_run = scheduler.run_sweep(_tasks(sd_params, nsd_params, engine="numba"))
+        for expected, actual in zip(reference, native_run):
+            assert_ensembles_identical(expected, actual)
+
+    def test_adaptive_waves_parity(self, sd_params, nsd_params):
+        reference_scheduler = SweepScheduler(wave_quantum=64)
+        reference = reference_scheduler.run_sweep_adaptive(
+            _tasks(sd_params, nsd_params), target=TARGET
+        )
+        native_scheduler = SweepScheduler(wave_quantum=64)
+        native_run = native_scheduler.run_sweep_adaptive(
+            _tasks(sd_params, nsd_params, engine="numba"), target=TARGET
+        )
+        # Identical interim estimates force identical stopping decisions:
+        # same waves, same retired set, same final replicate counts.
+        assert native_scheduler.last_adaptive_report == reference_scheduler.last_adaptive_report
+        for expected, actual in zip(reference, native_run):
+            assert_ensembles_identical(expected, actual)
+
+    def test_mixed_engines_in_one_mega_batch(self, sd_params, nsd_params):
+        # Partitioning a plan by resolved engine must not disturb results
+        # or their order.
+        tasks = [
+            SweepTask(sd_params, LVState(40, 24), 100, seed=5, engine="numpy"),
+            SweepTask(nsd_params, LVState(33, 31), 100, seed=6, engine="numba"),
+            SweepTask(sd_params, LVState(36, 28), 100, seed=7),
+        ]
+        specs = plan_members(tasks, batch_size=512)
+        mixed = execute_mega_batch(specs, engine="numpy")
+        uniform = execute_mega_batch(
+            [dataclasses.replace(spec, engine="numpy") for spec in specs],
+            engine="numpy",
+        )
+        for expected, actual in zip(uniform, mixed):
+            assert_ensembles_identical(expected, actual)
+
+
+class TestStoreParity:
+    def test_chunk_keys_exclude_engine(self, tmp_path, sd_params, nsd_params):
+        """A journal written by one engine is replayed bit-for-bit by the other."""
+        store = ExperimentStore(tmp_path)
+        reference = SweepScheduler(store=store).run_sweep(_tasks(sd_params, nsd_params))
+        written = store.stats.chunk_writes
+        assert written > 0
+        store.close()
+
+        replay_store = ExperimentStore(tmp_path)
+        replayed = SweepScheduler(store=replay_store).run_sweep(
+            _tasks(sd_params, nsd_params, engine="numba")
+        )
+        # Every chunk is served from the journal: the engine selector is not
+        # part of the key, so nothing is recomputed.
+        assert replay_store.stats.chunk_hits == written
+        assert replay_store.stats.chunk_misses == 0
+        for expected, actual in zip(reference, replayed):
+            assert_bitwise_equal(expected, actual)
+
+    def test_native_journal_replays_on_numpy_scheduler(
+        self, tmp_path, sd_params, nsd_params
+    ):
+        store = ExperimentStore(tmp_path)
+        reference = SweepScheduler(store=store).run_sweep(
+            _tasks(sd_params, nsd_params, engine="numba")
+        )
+        written = store.stats.chunk_writes
+        store.close()
+
+        replay_store = ExperimentStore(tmp_path)
+        replayed = SweepScheduler(store=replay_store, engine="numpy").run_sweep(
+            _tasks(sd_params, nsd_params)
+        )
+        assert replay_store.stats.chunk_hits == written
+        for expected, actual in zip(reference, replayed):
+            assert_bitwise_equal(expected, actual)
+
+
+@pytest.mark.skipif(not NATIVE_AVAILABLE, reason="numba not installed")
+class TestCompiledKernels:
+    """Checks that only make sense against the real JIT artifacts."""
+
+    def test_warm_kernels_populates_cache(self):
+        native.warm_kernels()
+        info = native.kernel_cache_info()
+        assert info["cached"], info
+
+    def test_engines_enumerate_numba(self):
+        assert "numba" in ENGINES
+        assert capability_report()["native_available"]
