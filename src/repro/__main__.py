@@ -73,6 +73,7 @@ from repro.experiments import (
     save_results,
 )
 from repro.experiments.scheduler import (
+    FaultTolerance,
     configure_default_scheduler,
     get_default_scheduler,
 )
@@ -80,7 +81,7 @@ from repro.experiments.sweep import SweepTask
 from repro.experiments.workloads import state_with_gap
 from repro.lv.native import NativeEngineUnavailableError, capability_report, resolve_engine
 from repro.lv.params import LVParams
-from repro.store import ExperimentStore
+from repro.store import ExperimentStore, verify_journal
 from repro._version import __version__
 
 __all__ = ["main", "build_parser", "DEFAULT_CACHE_DIR"]
@@ -131,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arguments(run_parser)
     _add_precision_arguments(run_parser)
     _add_cache_arguments(run_parser)
+    _add_fault_arguments(run_parser)
     run_parser.add_argument("--json", type=Path, default=None, help="save raw results to this path")
     run_parser.add_argument(
         "--report", type=Path, default=None, help="write the markdown report to this path"
@@ -161,6 +163,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arguments(estimate_parser)
     _add_precision_arguments(estimate_parser)
     _add_cache_arguments(estimate_parser)
+    _add_fault_arguments(estimate_parser)
+
+    verify_parser = subparsers.add_parser(
+        "verify-cache",
+        help="check the chunk journal's per-record checksums offline and "
+        "report quarantined records (read-only; exits 1 on corruption)",
+    )
+    verify_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="cache directory to verify (defaults to $REPRO_CACHE_DIR, then "
+        f"{DEFAULT_CACHE_DIR!r})",
+    )
     return parser
 
 
@@ -207,6 +224,62 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the result store even when REPRO_CACHE_DIR is set",
+    )
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per simulation chunk after a worker crash or timeout "
+        f"before the chunk is quarantined (default {FaultTolerance().max_retries})",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog per dispatched chunk: a chunk running "
+        "longer is declared hung, the workers are rebuilt, and the chunk "
+        "retries (default: no timeout; only applies with --jobs > 1)",
+    )
+    parser.add_argument(
+        "--on-fault",
+        choices=("retry", "fail"),
+        default=None,
+        help="what to do when a chunk fails: 'retry' (default) applies the "
+        "retry/quarantine policy, 'fail' raises on the first failure",
+    )
+
+
+def _fault_tolerance_from_arguments(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> FaultTolerance:
+    """Translate the fault flags into the scheduler's retry/timeout policy.
+
+    Always returns a concrete policy (defaults when no flag is given) so
+    repeated CLI invocations in one process never inherit a previous
+    invocation's flags through the shared default scheduler.
+    """
+    defaults = FaultTolerance()
+    if arguments.max_retries is not None and arguments.max_retries < 0:
+        parser.error(
+            f"--max-retries must be non-negative, got {arguments.max_retries}"
+        )
+    if arguments.task_timeout is not None and arguments.task_timeout <= 0:
+        parser.error(
+            f"--task-timeout must be positive, got {arguments.task_timeout}"
+        )
+    return FaultTolerance(
+        max_retries=(
+            defaults.max_retries
+            if arguments.max_retries is None
+            else arguments.max_retries
+        ),
+        task_timeout=arguments.task_timeout,
+        on_fault=defaults.on_fault if arguments.on_fault is None else arguments.on_fault,
     )
 
 
@@ -341,10 +414,11 @@ def _command_run(
 ) -> int:
     _validate_scheduler_arguments(parser, arguments)
     precision = _precision_from_arguments(parser, arguments)
+    fault_tolerance = _fault_tolerance_from_arguments(parser, arguments)
     # Validate every flag before the store exists: a parser.error after
     # acquiring the writer lock would leak it for the rest of the process.
     store = _store_from_arguments(parser, arguments)
-    configure_default_scheduler(
+    scheduler = configure_default_scheduler(
         jobs=arguments.jobs,
         sweep_batch=arguments.sweep_batch,
         precision=precision,
@@ -352,6 +426,7 @@ def _command_run(
         tau_epsilon=arguments.tau_epsilon,
         engine=arguments.engine,
         store=store,
+        fault_tolerance=fault_tolerance,
     )
     if arguments.all:
         identifiers = [spec.identifier for spec in list_experiments()]
@@ -374,6 +449,8 @@ def _command_run(
         print()
     if store is not None:
         print(f"cache: {store.stats.summary()} ({store.describe()})")
+    if scheduler.health.faults_handled:
+        print(f"health: {scheduler.health.summary()}")
     if arguments.json is not None:
         save_results(results, arguments.json)
         print(f"wrote {arguments.json}")
@@ -394,6 +471,7 @@ def _command_estimate(
 ) -> int:
     _validate_scheduler_arguments(parser, arguments)
     precision = _precision_from_arguments(parser, arguments)
+    fault_tolerance = _fault_tolerance_from_arguments(parser, arguments)
     store = _store_from_arguments(parser, arguments)
     scheduler = configure_default_scheduler(
         jobs=arguments.jobs,
@@ -403,6 +481,7 @@ def _command_estimate(
         tau_epsilon=arguments.tau_epsilon,
         engine=arguments.engine,
         store=store,
+        fault_tolerance=fault_tolerance,
     )
     constructor = (
         LVParams.self_destructive if arguments.mechanism == "sd" else LVParams.non_self_destructive
@@ -445,6 +524,35 @@ def _command_estimate(
         )
     if store is not None:
         print(f"cache: {store.stats.summary()}")
+    if scheduler.health.faults_handled:
+        print(f"health: {scheduler.health.summary()}")
+    return 0
+
+
+def _command_verify_cache(
+    _parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> int:
+    """Offline checksum audit of the chunk journal (read-only)."""
+    cache_dir = arguments.cache_dir
+    if cache_dir is None:
+        environment = os.environ.get("REPRO_CACHE_DIR")
+        cache_dir = Path(environment) if environment else Path(DEFAULT_CACHE_DIR)
+    journal = Path(cache_dir) / "journal.jsonl"
+    if not journal.exists():
+        print(f"no journal at {journal}; nothing to verify")
+        return 0
+    report = verify_journal(journal)
+    print(f"journal: {journal}")
+    print(report.summary())
+    for issue in report.issues:
+        key = issue.key or "<unknown key>"
+        print(f"  corrupt record at byte {issue.offset}: {issue.reason} ({key})")
+    if not report.ok:
+        print(
+            "corrupt records will be quarantined and recomputed on the next "
+            "run against this cache directory"
+        )
+        return 1
     return 0
 
 
@@ -457,6 +565,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _command_info,
         "run": _command_run,
         "estimate": _command_estimate,
+        "verify-cache": _command_verify_cache,
     }
     try:
         return handlers[arguments.command](parser, arguments)

@@ -19,6 +19,9 @@ __all__ = [
     "EstimationError",
     "ThresholdSearchError",
     "ExperimentError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
+    "PoisonChunkError",
     "StoreError",
 ]
 
@@ -80,6 +83,34 @@ class ThresholdSearchError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or run is invalid (unknown id, bad config)."""
+
+
+class WorkerCrashError(ExperimentError):
+    """A worker process died while executing a chunk.
+
+    Raised in place of the opaque ``concurrent.futures.process
+    .BrokenProcessPool`` so the message can name the work being executed and
+    suggest a recovery path (``--jobs 1`` to run inline, ``--max-retries`` /
+    ``--task-timeout`` to ride out transient crashes).
+    """
+
+
+class TaskTimeoutError(ExperimentError):
+    """A chunk exceeded the configured per-task wall-clock timeout."""
+
+
+class PoisonChunkError(ExperimentError):
+    """One or more chunks kept failing after exhausting their retry budget.
+
+    Raised *after* every healthy chunk has completed and been journaled, so
+    a poison chunk costs only its own work.  The offending chunks' content
+    keys (or positional labels when no store is attached) are available as
+    the ``chunk_keys`` attribute.
+    """
+
+    def __init__(self, message: str, chunk_keys=()):
+        super().__init__(message)
+        self.chunk_keys = tuple(chunk_keys)
 
 
 class StoreError(ReproError):

@@ -47,7 +47,9 @@ from repro.experiments.registry import (
 from repro.experiments.report import render_report
 from repro.experiments.runner import run_all, save_results, load_results
 from repro.experiments.scheduler import (
+    FaultTolerance,
     ReplicaScheduler,
+    RunHealth,
     SweepScheduler,
     ThresholdRequest,
     WorkerPool,
@@ -75,7 +77,9 @@ __all__ = [
     "save_results",
     "load_results",
     "AdaptiveSweepReport",
+    "FaultTolerance",
     "ReplicaScheduler",
+    "RunHealth",
     "SweepScheduler",
     "SweepTask",
     "ThresholdRequest",

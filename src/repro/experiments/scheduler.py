@@ -42,11 +42,17 @@ it through :func:`configure_default_scheduler`.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.analysis.statistics import PrecisionTarget
 from repro.consensus.estimator import (
@@ -61,7 +67,12 @@ from repro.consensus.threshold import (
     drive_threshold_searches,
     find_threshold,
 )
-from repro.exceptions import ExperimentError
+from repro.exceptions import (
+    ExperimentError,
+    PoisonChunkError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 from repro.experiments.sweep import (
     DEFAULT_SWEEP_BATCH,
     DEFAULT_WAVE_QUANTUM,
@@ -75,12 +86,13 @@ from repro.experiments.sweep import (
     plan_members,
 )
 from repro.experiments.workloads import replica_batches
+from repro.faults import inject_execution_faults
 from repro.lv.ensemble import (
     DEFAULT_COMPACTION_FRACTION,
     LVEnsembleResult,
     LVEnsembleSimulator,
 )
-from repro.lv.native import ENGINES, resolve_engine
+from repro.lv.native import ENGINES, NativeEngineUnavailableError, resolve_engine
 from repro.lv.params import LVParams
 from repro.lv.tau import (
     BACKENDS,
@@ -97,7 +109,9 @@ if TYPE_CHECKING:
     from repro.store.store import ExperimentStore
 
 __all__ = [
+    "FaultTolerance",
     "ReplicaScheduler",
+    "RunHealth",
     "SweepScheduler",
     "ThresholdRequest",
     "WorkerPool",
@@ -122,6 +136,128 @@ DEFAULT_THRESHOLD_FANOUT = 1
 def _jobs_sanity_limit() -> int:
     """The largest worker count that is plausibly intentional on this host."""
     return max(64, 8 * (os.cpu_count() or 1))
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """Retry/timeout policy for chunk execution (the CLI's fault flags).
+
+    Parameters
+    ----------
+    max_retries:
+        Retries per work unit after its first failure.  ``0`` disables
+        retrying; the unit is still quarantined rather than aborting the
+        sweep, so completed chunks survive (set ``on_fault="fail"`` for the
+        old fail-fast behaviour).
+    task_timeout:
+        Wall-clock seconds a pool-dispatched unit may run before the
+        watchdog declares it hung, kills the workers, and requeues it as a
+        failed attempt.  ``None`` (the default) disables the watchdog.
+        Inline execution (``jobs=1``) cannot be interrupted and ignores it.
+    on_fault:
+        ``"retry"`` (the default) applies the retry/requeue/quarantine
+        machinery; ``"fail"`` raises on the first failure — after
+        journaling whatever already completed — with the opaque executor
+        errors mapped to actionable ones
+        (:class:`~repro.exceptions.WorkerCrashError`,
+        :class:`~repro.exceptions.TaskTimeoutError`).
+    backoff_base / backoff_cap:
+        Exponential-backoff schedule between retries of one unit: attempt
+        ``k`` sleeps ``min(backoff_cap, backoff_base * 2**(k-1))`` seconds,
+        scaled by a deterministic jitter in ``[0.5, 1.0)`` derived from the
+        unit token and attempt number — desynchronising retry storms
+        without introducing nondeterminism (results never depend on timing;
+        the jitter only has to be reproducible, not random).
+    """
+
+    max_retries: int = 2
+    task_timeout: float | None = None
+    on_fault: str = "retry"
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ExperimentError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ExperimentError(
+                f"task_timeout must be positive or None, got {self.task_timeout}"
+            )
+        if self.on_fault not in ("retry", "fail"):
+            raise ExperimentError(
+                f"on_fault must be 'retry' or 'fail', got {self.on_fault!r}"
+            )
+        if self.backoff_base < 0:
+            raise ExperimentError(
+                f"backoff_base must be non-negative, got {self.backoff_base}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise ExperimentError(
+                f"backoff_cap ({self.backoff_cap}) must be at least "
+                f"backoff_base ({self.backoff_base})"
+            )
+
+    def backoff_delay(self, token: Any, attempt: int) -> float:
+        """Deterministically jittered backoff before retry *attempt* (>= 1)."""
+        if self.backoff_base == 0.0:
+            return 0.0
+        raw = min(self.backoff_cap, self.backoff_base * 2.0 ** max(0, attempt - 1))
+        digest = hashlib.sha256(f"backoff:{token}:{attempt}".encode("utf-8")).digest()
+        jitter = 0.5 + 0.5 * (int.from_bytes(digest[:8], "big") / 2.0**64)
+        return raw * jitter
+
+
+@dataclass
+class RunHealth:
+    """Fault-handling meters of one scheduler (surfaced next to ``cache:``).
+
+    Counts accumulate across calls, like ``events_executed``; none of them
+    affect results — every recovery path reproduces the bytes of a
+    fault-free run.
+    """
+
+    #: Failed unit executions that were retried (crashes, injected faults).
+    retries: int = 0
+    #: Innocent in-flight units resubmitted after a pool kill/break.
+    requeues: int = 0
+    #: Units the wall-clock watchdog declared hung.
+    timeouts: int = 0
+    #: Worker pools killed and rebuilt (broken pool or hung task).
+    pool_rebuilds: int = 0
+    #: Mid-run numba→numpy engine degradations (at most 1 per scheduler).
+    degradations: int = 0
+    #: Chunk keys/labels that exhausted their retry budget.
+    quarantined: list[str] = field(default_factory=list)
+
+    @property
+    def faults_handled(self) -> int:
+        """Total fault events absorbed (0 on a clean run)."""
+        return (
+            self.retries
+            + self.requeues
+            + self.timeouts
+            + self.pool_rebuilds
+            + self.degradations
+            + len(self.quarantined)
+        )
+
+    def summary(self) -> str:
+        parts = []
+        if self.retries:
+            parts.append(f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}")
+        if self.requeues:
+            parts.append(f"{self.requeues} requeue(s)")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeout(s)")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuild(s)")
+        if self.degradations:
+            parts.append(f"{self.degradations} engine degradation(s)")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} chunk(s) quarantined")
+        return ", ".join(parts) if parts else "no faults"
 
 
 class WorkerPool:
@@ -191,6 +327,27 @@ class WorkerPool:
             self._executor = None
             self._workers = 0
 
+    def kill_workers(self) -> None:
+        """Terminate the worker processes immediately (no-op when idle).
+
+        Unlike :meth:`shutdown`, this does not wait for running work:
+        hung or poisoned workers are ``terminate()``d outright.  It is the
+        only way to cancel an already-running task on a
+        :class:`ProcessPoolExecutor`, so the fault-tolerant executor uses
+        it for both hung-task recovery and broken-pool rebuilds; the next
+        :meth:`acquire` starts a fresh pool.
+        """
+        if self._executor is None:
+            return
+        executor, self._executor = self._executor, None
+        self._workers = 0
+        processes = list(getattr(executor, "_processes", {}).values())
+        for process in processes:
+            process.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.join(timeout=5.0)
+
     def _shutdown_at_exit(self) -> None:
         try:
             self.shutdown(wait=False, cancel_futures=True)
@@ -214,6 +371,7 @@ def _execute_batch(
     backend: str = "exact",
     tau_epsilon: float = DEFAULT_TAU_EPSILON,
     engine: str = "auto",
+    attempt: int = 0,
 ) -> LVEnsembleResult:
     """Run one lock-step batch (module-level so process pools can pickle it).
 
@@ -223,8 +381,12 @@ def _execute_batch(
     between the exact lock-step engine and the tau-leaping fast path;
     *engine* selects the exact engine's inner-loop implementation (each
     worker process resolves it independently — the JIT kernel is loaded
-    from numba's on-disk cache, not recompiled per worker).
+    from numba's on-disk cache, not recompiled per worker).  *attempt* is
+    the retry counter forwarded to the deterministic fault-injection layer
+    (:mod:`repro.faults`, keyed on the batch seed); it never influences
+    results.
     """
+    inject_execution_faults(seed, attempt, resolve_engine(engine))
     if resolve_backend(backend, counts[0] + counts[1]) == "tau":
         tau_simulator = LVTauEnsembleSimulator(params, epsilon=tau_epsilon, engine=engine)
         return tau_simulator.run_ensemble(
@@ -351,6 +513,23 @@ class ReplicaScheduler:
     #: Simulated events served from the result store instead of recomputed
     #: (cache hits); ``events_executed`` counts only genuinely executed work.
     events_replayed: int = field(default=0, init=False, repr=False, compare=False)
+    #: Retry/timeout policy applied to every executed chunk (see
+    #: :class:`FaultTolerance`); the defaults absorb transient worker
+    #: crashes with two retries and no timeout watchdog.
+    fault_tolerance: FaultTolerance = field(
+        default_factory=FaultTolerance, repr=False, compare=False
+    )
+    #: Fault-handling meters of this scheduler's lifetime (see
+    #: :class:`RunHealth`); ``health.faults_handled == 0`` on a clean run.
+    health: RunHealth = field(
+        default_factory=RunHealth, init=False, repr=False, compare=False
+    )
+    #: Set when a mid-run numba failure degraded the exact engine's inner
+    #: loop to numpy for the rest of this scheduler's lifetime (results are
+    #: bitwise-identical by the engine contract, so degradation is safe).
+    _engine_degraded: bool = field(
+        default=False, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -381,6 +560,11 @@ class ReplicaScheduler:
         if self.engine not in ENGINES:
             raise ExperimentError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if not isinstance(self.fault_tolerance, FaultTolerance):
+            raise ExperimentError(
+                "fault_tolerance must be a FaultTolerance instance, "
+                f"got {self.fault_tolerance!r}"
             )
         # Fail fast at construction when "numba" is requested but absent,
         # not deep inside a sweep (raises NativeEngineUnavailableError).
@@ -420,6 +604,386 @@ class ReplicaScheduler:
         except BaseException:
             self.pool.shutdown(wait=False, cancel_futures=True)
             raise
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant execution core
+    # ------------------------------------------------------------------
+    def _effective_engine(self) -> str:
+        """The engine selector actually dispatched (numpy once degraded)."""
+        return "numpy" if self._engine_degraded else self.engine
+
+    def _degrade_engine(self, error: BaseException) -> bool:
+        """Fall back to the numpy inner loop after a mid-run numba failure.
+
+        Construction-time ``resolve_engine(strict=True)`` catches numba
+        being absent up front; this handles numba breaking *mid-run* (an
+        injected outage, a worker host without the JIT cache, an import
+        that stops working).  The numpy path is bitwise-identical by the
+        engine contract, so degradation changes throughput, never results.
+        Returns ``True`` when the failed unit should simply re-execute at
+        the same attempt number with the degraded engine; ``False`` when
+        degradation already happened (or cannot help), in which case the
+        error is an ordinary failure for the retry machinery.
+        """
+        if self._engine_degraded or self._effective_engine() == "numpy":
+            return False
+        self._engine_degraded = True
+        self.health.degradations += 1
+        warnings.warn(
+            f"native engine became unavailable mid-run ({error}); falling "
+            "back to the bitwise-identical numpy engine for the remainder "
+            "of this scheduler's lifetime",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return True
+
+    def _fail_fast(
+        self, error: BaseException, labels: tuple[str, ...], kind: str
+    ) -> BaseException:
+        """The exception raised for one failure under ``on_fault="fail"``."""
+        description = ", ".join(labels)
+        advice = (
+            "retry with --jobs 1 to execute inline, or raise --max-retries / "
+            "set --task-timeout to ride out transient faults"
+        )
+        if kind == "timeout":
+            return TaskTimeoutError(
+                f"chunk {description} exceeded the task timeout of "
+                f"{self.fault_tolerance.task_timeout}s; {advice}"
+            )
+        if kind == "crash" or isinstance(error, BrokenProcessPool):
+            return WorkerCrashError(
+                f"a worker process died while executing chunk {description} "
+                f"({error or 'BrokenProcessPool'}); {advice}"
+            )
+        return error
+
+    def _execute_faulted(
+        self,
+        units: Sequence[tuple],
+        fn: Callable[..., Any],
+        describe: Callable[[int], tuple[str, ...]],
+        on_result: Callable[[int, Any], None],
+    ) -> None:
+        """Execute *units* with retry, timeout, and pool-rebuild tolerance.
+
+        The single execution engine behind :meth:`run_ensembles` and the
+        sweep paths.  Each unit is a picklable argument tuple for the
+        module-level *fn*, **without** the trailing ``(engine, attempt)``
+        pair — both are appended at dispatch time, so an engine degradation
+        mid-run switches the remaining (and retried) units to the numpy
+        inner loop, and the fault-injection layer sees the true attempt
+        number.  *describe(index)* returns the unit's chunk keys/labels for
+        error reporting; *on_result(index, result)* is invoked exactly once
+        per successful unit, **the moment the unit completes** — metering
+        and journaling happen there, so an interrupt or a later poison
+        chunk never costs finished work, and abandoned attempts are never
+        metered (event meters equal a fault-free run's by construction).
+
+        Fault policy (see :class:`FaultTolerance`): failures are retried
+        with deterministic-jitter backoff up to ``max_retries`` times; a
+        broken pool is killed, rebuilt, and its in-flight units requeued; a
+        unit exceeding ``task_timeout`` is declared hung, the pool is
+        rebuilt (the only way to stop a running task), the overdue unit
+        loses an attempt, and innocent in-flight units requeue free of
+        charge.  Units that exhaust their budget are quarantined —
+        execution continues, and a :class:`~repro.exceptions
+        .PoisonChunkError` naming the quarantined chunks is raised only
+        after every healthy unit has completed.  With ``on_fault="fail"``
+        the first failure raises immediately (as an actionable
+        :class:`~repro.exceptions.WorkerCrashError` /
+        :class:`~repro.exceptions.TaskTimeoutError` where applicable).
+        """
+        if not units:
+            return
+        with self._pool_scope(len(units)) as pool:
+            if pool is None:
+                self._execute_faulted_inline(units, fn, describe, on_result)
+            else:
+                self._execute_faulted_pool(pool, units, fn, describe, on_result)
+
+    def _handle_failure(
+        self,
+        error: BaseException,
+        index: int,
+        attempt: int,
+        describe: Callable[[int], tuple[str, ...]],
+        failed: dict[int, BaseException],
+        kind: str = "crash",
+    ) -> bool:
+        """Shared retry/fail/quarantine decision for one failed attempt.
+
+        Returns ``True`` when the unit should be retried (at
+        ``attempt + 1``); records it as quarantined and returns ``False``
+        when its budget is exhausted; raises when ``on_fault="fail"``.
+        """
+        policy = self.fault_tolerance
+        if policy.on_fault == "fail":
+            raise self._fail_fast(error, describe(index), kind) from (
+                error if isinstance(error, Exception) else None
+            )
+        if attempt < policy.max_retries:
+            self.health.retries += 1
+            return True
+        labels = describe(index)
+        self.health.quarantined.extend(labels)
+        failed[index] = error
+        return False
+
+    def _raise_quarantined(
+        self,
+        failed: dict[int, BaseException],
+        describe: Callable[[int], tuple[str, ...]],
+    ) -> None:
+        if not failed:
+            return
+        keys = [label for index in sorted(failed) for label in describe(index)]
+        causes = "; ".join(
+            f"{', '.join(describe(index))}: {failed[index]!r}"
+            for index in sorted(failed)
+        )
+        raise PoisonChunkError(
+            f"{len(failed)} chunk(s) kept failing after "
+            f"{self.fault_tolerance.max_retries} retr"
+            f"{'y' if self.fault_tolerance.max_retries == 1 else 'ies'} and "
+            f"were quarantined ({causes}); every other chunk completed and "
+            "was journaled — rerun to retry only the quarantined chunks, or "
+            "use --jobs 1 / --on-fault fail to debug them inline",
+            chunk_keys=keys,
+        ) from next(iter(failed.values()))
+
+    def _execute_faulted_inline(
+        self,
+        units: Sequence[tuple],
+        fn: Callable[..., Any],
+        describe: Callable[[int], tuple[str, ...]],
+        on_result: Callable[[int, Any], None],
+    ) -> None:
+        """Inline (jobs=1) arm of :meth:`_execute_faulted`.
+
+        No watchdog applies — a single process cannot interrupt its own
+        execution — but retries, engine degradation, quarantine, and the
+        journal-on-completion ordering are identical to the pool arm.
+        """
+        failed: dict[int, BaseException] = {}
+        for index, unit in enumerate(units):
+            attempt = 0
+            while True:
+                try:
+                    result = fn(*unit, self._effective_engine(), attempt)
+                except NativeEngineUnavailableError as error:
+                    if self._degrade_engine(error):
+                        continue  # same attempt, degraded engine
+                    if not self._handle_failure(
+                        error, index, attempt, describe, failed
+                    ):
+                        break
+                    attempt += 1
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as error:
+                    if not self._handle_failure(
+                        error, index, attempt, describe, failed
+                    ):
+                        break
+                    attempt += 1
+                    time.sleep(
+                        self.fault_tolerance.backoff_delay(describe(index)[0], attempt)
+                    )
+                else:
+                    on_result(index, result)
+                    break
+        self._raise_quarantined(failed, describe)
+
+    def _execute_faulted_pool(
+        self,
+        executor: ProcessPoolExecutor,
+        units: Sequence[tuple],
+        fn: Callable[..., Any],
+        describe: Callable[[int], tuple[str, ...]],
+        on_result: Callable[[int, Any], None],
+    ) -> None:
+        """Pool arm of :meth:`_execute_faulted`: the submit/harvest loop.
+
+        All units stay in flight concurrently (like the ``Executor.map``
+        it replaces) but through explicit futures, which is what makes the
+        watchdog, selective requeueing, and harvest-before-raise possible.
+        ``done`` futures are processed in two passes — successes first,
+        failures second — so one bad chunk can never suppress the
+        journaling of good chunks that finished alongside it.
+        """
+        policy = self.fault_tolerance
+        #: (index, attempt, earliest submit time) — backoff is enforced by
+        #: the not-before timestamp instead of sleeping, so other units
+        #: keep executing while one waits out its backoff.
+        queue: deque[tuple[int, int, float]] = deque(
+            (index, 0, 0.0) for index in range(len(units))
+        )
+        pending: dict[Future, tuple[int, int]] = {}
+        deadlines: dict[Future, float] = {}
+        failed: dict[int, BaseException] = {}
+
+        def submit_ready() -> float | None:
+            """Submit every ready queue entry; return the next not-before."""
+            nonlocal executor
+            next_ready: float | None = None
+            for _ in range(len(queue)):
+                index, attempt, not_before = queue.popleft()
+                now = time.monotonic()
+                if not_before > now:
+                    queue.append((index, attempt, not_before))
+                    wait = not_before - now
+                    next_ready = wait if next_ready is None else min(next_ready, wait)
+                    continue
+                future = executor.submit(
+                    fn, *units[index], self._effective_engine(), attempt
+                )
+                pending[future] = (index, attempt)
+                if policy.task_timeout is not None:
+                    deadlines[future] = time.monotonic() + policy.task_timeout
+            return next_ready
+
+        def rebuild_pool() -> None:
+            nonlocal executor
+            self.pool.kill_workers()
+            self.health.pool_rebuilds += 1
+            executor = self.pool.acquire(self.jobs)
+
+        def requeue(index: int, attempt: int, *, backoff: bool) -> None:
+            not_before = 0.0
+            if backoff:
+                not_before = time.monotonic() + policy.backoff_delay(
+                    describe(index)[0], attempt
+                )
+            queue.append((index, attempt, not_before))
+
+        try:
+            while queue or pending:
+                next_ready = submit_ready()
+                if not pending:
+                    if next_ready is not None:
+                        time.sleep(next_ready)
+                        continue
+                    break  # every queued unit was submitted or resolved
+                wait_timeout = next_ready
+                if deadlines:
+                    until_deadline = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    )
+                    wait_timeout = (
+                        until_deadline
+                        if wait_timeout is None
+                        else min(wait_timeout, until_deadline)
+                    )
+                done, _ = futures_wait(
+                    set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                # Pass 1: accept every success immediately (journal-on-
+                # completion), deferring failures so they cannot mask work
+                # that finished in the same wait round.
+                failures: list[tuple[Future, BaseException]] = []
+                pool_broken = False
+                for future in done:
+                    error = future.exception()
+                    if error is None:
+                        index, _ = pending.pop(future)
+                        deadlines.pop(future, None)
+                        on_result(index, future.result())
+                    else:
+                        failures.append((future, error))
+                        pool_broken = pool_broken or isinstance(
+                            error, BrokenProcessPool
+                        )
+                # Pass 2: route the failures through the retry policy.
+                for future, error in failures:
+                    index, attempt = pending.pop(future)
+                    deadlines.pop(future, None)
+                    if isinstance(error, BrokenProcessPool):
+                        # Which unit killed the worker is unknowable from
+                        # here — every in-flight future reports the same
+                        # broken pool — so each affected unit loses an
+                        # attempt; the injected-fault contract (faults
+                        # don't refire on retries) and real transient
+                        # crashes both converge under this accounting.
+                        if self._handle_failure(
+                            error, index, attempt, describe, failed, kind="crash"
+                        ):
+                            requeue(index, attempt + 1, backoff=True)
+                        continue
+                    if isinstance(error, NativeEngineUnavailableError):
+                        if self._degrade_engine(error):
+                            requeue(index, attempt, backoff=False)
+                            continue
+                    if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                        raise error
+                    if self._handle_failure(error, index, attempt, describe, failed):
+                        requeue(index, attempt + 1, backoff=True)
+                if pool_broken:
+                    # The executor is dead: drain the remaining in-flight
+                    # futures (their results are unrecoverable), requeue
+                    # them as crash-failed attempts, and rebuild.
+                    for future, (index, attempt) in list(pending.items()):
+                        if self._handle_failure(
+                            BrokenProcessPool("worker pool broke mid-flight"),
+                            index,
+                            attempt,
+                            describe,
+                            failed,
+                            kind="crash",
+                        ):
+                            requeue(index, attempt + 1, backoff=True)
+                    pending.clear()
+                    deadlines.clear()
+                    rebuild_pool()
+                    continue
+                # Watchdog: any still-pending future past its deadline is
+                # hung.  A running task cannot be cancelled, so the pool is
+                # killed and rebuilt; overdue units lose an attempt,
+                # innocent in-flight units requeue at the same attempt.
+                now = time.monotonic()
+                overdue = [
+                    future
+                    for future, deadline in deadlines.items()
+                    if deadline <= now and future in pending and not future.done()
+                ]
+                if overdue:
+                    hung = set(overdue)
+                    self.health.timeouts += len(hung)
+                    for future in overdue:
+                        index, attempt = pending.pop(future)
+                        deadlines.pop(future, None)
+                        if self._handle_failure(
+                            TimeoutError(
+                                f"exceeded task timeout of {policy.task_timeout}s"
+                            ),
+                            index,
+                            attempt,
+                            describe,
+                            failed,
+                            kind="timeout",
+                        ):
+                            requeue(index, attempt + 1, backoff=True)
+                    for future, (index, attempt) in list(pending.items()):
+                        if future.done() and future.exception() is None:
+                            on_result(index, future.result())
+                        else:
+                            self.health.requeues += 1
+                            requeue(index, attempt, backoff=False)
+                    pending.clear()
+                    deadlines.clear()
+                    rebuild_pool()
+        except BaseException:
+            # Harvest whatever finished successfully before propagating
+            # (Ctrl-C included): journaled work survives the interrupt.
+            for future, (index, _) in list(pending.items()):
+                try:
+                    if future.done() and future.exception() is None:
+                        on_result(index, future.result())
+                except Exception:
+                    pass  # harvesting is best-effort on the way out
+            raise
+        self._raise_quarantined(failed, describe)
 
     # ------------------------------------------------------------------
     # Planning and execution
@@ -470,7 +1034,7 @@ class ReplicaScheduler:
                 else:
                     batches[index] = cached
                     self.events_replayed += int(cached.total_events.sum())
-        tasks = [
+        units = [
             (
                 params,
                 (state.x0, state.x1),
@@ -480,26 +1044,29 @@ class ReplicaScheduler:
                 self.compaction_fraction,
                 self.backend,
                 self.tau_epsilon,
-                self.engine,
             )
             for index in pending
         ]
-        if tasks:
-            with self._pool_scope(len(tasks)) as pool:
-                if pool is None:
-                    executed = (_execute_batch(*task) for task in tasks)
-                else:
-                    executed = pool.map(_execute_batch, *zip(*tasks))
-                # Consume lazily so each batch is journaled (durably) the
-                # moment it completes — a kill mid-run loses at most the
-                # batches still in flight, never finished work.
-                for index, result in zip(pending, executed):
-                    batches[index] = result
-                    self._meter(result)
-                    if self.store is not None:
-                        self.store.put_chunk(
-                            keys[index], result, label=f"batch(R={sizes[index]})"
-                        )
+
+        def describe(position: int) -> tuple[str, ...]:
+            index = pending[position]
+            if keys[index] is not None:
+                return (keys[index],)
+            return (f"batch(R={sizes[index]}, seed={seeds[index]})",)
+
+        def on_result(position: int, result: LVEnsembleResult) -> None:
+            # Journal (durably) the moment each batch completes — a kill
+            # mid-run loses at most the batches still in flight, never
+            # finished work.
+            index = pending[position]
+            batches[index] = result
+            self._meter(result)
+            if self.store is not None:
+                self.store.put_chunk(
+                    keys[index], result, label=f"batch(R={sizes[index]})"
+                )
+
+        self._execute_faulted(units, _execute_batch, describe, on_result)
         return LVEnsembleResult.concatenate(batches)
 
     def _meter(self, result: LVEnsembleResult) -> None:
@@ -711,81 +1278,68 @@ class SweepScheduler(ReplicaScheduler):
 
         Cache misses are repacked into fresh mega-batches — safe because the
         engine's per-member streams make every member's result independent
-        of the packing — executed inline or on the pool, journaled as they
-        finish, and merged back into spec order.
+        of the packing — executed through the fault-tolerant core
+        (:meth:`ReplicaScheduler._execute_faulted`), journaled the moment
+        each mega-batch finishes, and merged back into spec order.
         """
-        if self.store is None:
-            plans = pack_members(specs, self.sweep_batch)
-            results = [result for plan in self._execute_plans(plans, collect) for result in plan]
-            for result in results:
-                self._meter(result)
-            return results
         results: list[LVEnsembleResult | None] = [None] * len(specs)
-        keys = [self._member_key(spec, collect) for spec in specs]
-        misses = []
-        for index, key in enumerate(keys):
-            cached = self.store.get_chunk(key)
-            if cached is None:
-                misses.append(index)
-            else:
-                results[index] = cached
-                self.events_replayed += int(cached.total_events.sum())
-        if misses:
-            plans = pack_members([specs[index] for index in misses], self.sweep_batch)
-            position = 0
+        keys: list[str | None] = [None] * len(specs)
+        misses = list(range(len(specs)))
+        if self.store is not None:
+            misses = []
+            for index, spec in enumerate(specs):
+                keys[index] = self._member_key(spec, collect)
+                cached = self.store.get_chunk(keys[index])
+                if cached is None:
+                    misses.append(index)
+                else:
+                    results[index] = cached
+                    self.events_replayed += int(cached.total_events.sum())
+        if not misses:
+            return results
+        plans = pack_members([specs[index] for index in misses], self.sweep_batch)
+        # Spec positions served by each plan, in plan order (packing
+        # preserves member order, so the spans are consecutive slices).
+        plan_spans: list[list[int]] = []
+        cursor = 0
+        for plan in plans:
+            plan_spans.append(misses[cursor : cursor + len(plan)])
+            cursor += len(plan)
+        units = [
+            (plan, self.compaction_fraction, collect, self.backend, self.tau_epsilon)
+            for plan in plans
+        ]
+
+        def describe(plan_position: int) -> tuple[str, ...]:
+            labels = []
+            for index in plan_spans[plan_position]:
+                spec = specs[index]
+                labels.append(
+                    keys[index]
+                    if keys[index] is not None
+                    else f"member(task={spec.task_index}, R={spec.num_replicates}, "
+                    f"seed={spec.seed})"
+                )
+            return tuple(labels)
+
+        def on_result(
+            plan_position: int, plan_results: Sequence[LVEnsembleResult]
+        ) -> None:
             # Journal plan by plan as mega-batches complete, not after the
             # whole sweep: a kill mid-sweep keeps every finished chunk.
-            for plan_results in self._iter_plan_results(plans, collect):
-                for result in plan_results:
-                    index = misses[position]
-                    position += 1
-                    results[index] = result
-                    self._meter(result)
+            for index, result in zip(plan_spans[plan_position], plan_results):
+                results[index] = result
+                self._meter(result)
+                if self.store is not None:
                     self.store.put_chunk(
                         keys[index],
                         result,
                         label=f"member(task={specs[index].task_index}, "
                         f"R={specs[index].num_replicates})",
                     )
+
+        self._execute_faulted(units, execute_mega_batch, describe, on_result)
         return results
-
-    def _execute_plans(
-        self, plans: Sequence[Sequence[MemberSpec]], collect: str
-    ) -> list[list[LVEnsembleResult]]:
-        """Execute planned mega-batches inline or on the shared worker pool."""
-        return list(self._iter_plan_results(plans, collect))
-
-    def _iter_plan_results(
-        self, plans: Sequence[Sequence[MemberSpec]], collect: str
-    ) -> Iterator[list[LVEnsembleResult]]:
-        """Yield each mega-batch's member results as the batch completes.
-
-        Streaming (rather than collecting the whole sweep first) is what
-        lets the store journal finished chunks while later mega-batches are
-        still simulating; on the pool path, ``Executor.map`` keeps all
-        batches in flight concurrently and yields them in plan order.
-        """
-        with self._pool_scope(len(plans)) as pool:
-            if pool is None:
-                for plan in plans:
-                    yield execute_mega_batch(
-                        plan,
-                        self.compaction_fraction,
-                        collect,
-                        self.backend,
-                        self.tau_epsilon,
-                        self.engine,
-                    )
-            else:
-                yield from pool.map(
-                    execute_mega_batch,
-                    plans,
-                    [self.compaction_fraction] * len(plans),
-                    [collect] * len(plans),
-                    [self.backend] * len(plans),
-                    [self.tau_epsilon] * len(plans),
-                    [self.engine] * len(plans),
-                )
 
     # ------------------------------------------------------------------
     # Adaptive-precision waves
@@ -1029,6 +1583,7 @@ def configure_default_scheduler(
     tau_epsilon: float | None = None,
     engine: str | None = None,
     store: "ExperimentStore | None | object" = _KEEP,
+    fault_tolerance: FaultTolerance | None = None,
 ) -> SweepScheduler:
     """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``).
 
@@ -1043,6 +1598,9 @@ def configure_default_scheduler(
     ``--engine``), and ``store`` to attach (an
     :class:`~repro.store.ExperimentStore`, the CLI's ``--cache-dir``) or
     detach (``None``, ``--no-cache``) the persistent result store.
+    ``fault_tolerance`` replaces the retry/timeout policy (the CLI's
+    ``--max-retries`` / ``--task-timeout`` / ``--on-fault``); ``None``
+    keeps the previous scheduler's policy.
     """
     global _default_scheduler
     previous = _default_scheduler
@@ -1057,5 +1615,8 @@ def configure_default_scheduler(
         wave_quantum=previous.wave_quantum,
         pool=previous.pool,
         store=previous.store if store is _KEEP else store,
+        fault_tolerance=previous.fault_tolerance
+        if fault_tolerance is None
+        else fault_tolerance,
     )
     return _default_scheduler

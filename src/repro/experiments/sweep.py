@@ -48,6 +48,7 @@ from repro.consensus.estimator import (
 )
 from repro.exceptions import ExperimentError
 from repro.experiments.workloads import replica_batches
+from repro.faults import inject_execution_faults
 from repro.lv.ensemble import (
     DEFAULT_COMPACTION_FRACTION,
     LVEnsembleResult,
@@ -253,6 +254,7 @@ def execute_mega_batch(
     backend: str = "exact",
     tau_epsilon: float = DEFAULT_TAU_EPSILON,
     engine: str = "auto",
+    attempt: int = 0,
 ) -> list[LVEnsembleResult]:
     """Run one planned mega-batch and return its per-member results.
 
@@ -277,6 +279,13 @@ def execute_mega_batch(
     overrides it.  Since the engines are bitwise-identical by contract,
     the selection affects throughput only — members resolving to different
     engines are simply fused into separate lock-step batches.
+
+    *attempt* is the fault-tolerant scheduler's retry counter for this
+    mega-batch (0 on first execution).  It does not influence any result —
+    it is forwarded to the deterministic fault-injection layer
+    (:mod:`repro.faults`) so injected faults, keyed on the batch's lead
+    seed and the attempt number, fire on first execution and stay silent on
+    the retry meant to recover from them.
     """
     if not specs:
         raise ExperimentError("cannot execute an empty mega-batch")
@@ -285,6 +294,9 @@ def execute_mega_batch(
         for spec in specs
     ]
     engines = [resolve_engine(spec.engine or engine) for spec in specs]
+    inject_execution_faults(
+        specs[0].seed, attempt, "numba" if "numba" in engines else "numpy"
+    )
     results: list[LVEnsembleResult | None] = [None] * len(specs)
     # Partition by (backend, resolved engine) while preserving spec order
     # within each group; per-member streams make the grouping invisible in

@@ -20,7 +20,13 @@ The CLI surface is ``--cache-dir`` / ``--resume`` / ``--no-cache`` on
 and invalidation rules.
 """
 
-from repro.store.journal import ChunkJournal
+from repro.store.journal import (
+    ChunkJournal,
+    JournalIssue,
+    JournalVerifyReport,
+    quarantine_path,
+    verify_journal,
+)
 from repro.store.keys import (
     RESULT_SCHEMA_VERSION,
     chunk_key,
@@ -36,10 +42,14 @@ __all__ = [
     "CacheStats",
     "ChunkJournal",
     "ExperimentStore",
+    "JournalIssue",
+    "JournalVerifyReport",
     "chunk_key",
     "config_hash",
     "ensemble_from_payload",
     "ensemble_to_payload",
+    "quarantine_path",
     "run_key",
     "scheduler_fingerprint",
+    "verify_journal",
 ]

@@ -59,13 +59,22 @@ class CacheStats:
     run_writes: int = 0
     #: Simulated events served from the journal instead of recomputed.
     events_replayed: int = 0
+    #: Failed journal appends recovered by truncate-and-retry.
+    journal_repairs: int = 0
+    #: Corrupt journal records detected and moved to the quarantine sidecar.
+    chunks_quarantined: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.chunk_hits} chunk hit(s), {self.chunk_misses} miss(es), "
             f"{self.chunk_writes} journaled, {self.run_hits} run(s) from cache, "
             f"{self.events_replayed} event(s) replayed"
         )
+        if self.journal_repairs:
+            text += f", {self.journal_repairs} journal repair(s)"
+        if self.chunks_quarantined:
+            text += f", {self.chunks_quarantined} chunk(s) quarantined"
+        return text
 
 
 @dataclass
@@ -149,9 +158,13 @@ class ExperimentStore:
     def journal_path(self) -> Path:
         return self._journal.path
 
+    def _note_journal_health(self) -> None:
+        self.stats.chunks_quarantined = self._journal.healed_count
+
     def get_chunk(self, key: str) -> LVEnsembleResult | None:
         """The journaled ensemble chunk for *key*, or ``None`` on a miss."""
         record = self._journal.get(key)
+        self._note_journal_health()
         if record is None:
             self.stats.chunk_misses += 1
             return None
@@ -161,14 +174,26 @@ class ExperimentStore:
         return result
 
     def put_chunk(self, key: str, result: LVEnsembleResult, *, label: str = "") -> None:
-        """Journal one completed chunk (durable before this returns)."""
-        self._journal.append(
-            key,
-            ensemble_to_payload(result),
-            label=label,
-            num_replicates=result.num_replicates,
-        )
+        """Journal one completed chunk (durable before this returns).
+
+        A failed append (torn write, full disk blip) is retried once after
+        :meth:`ChunkJournal.repair` re-indexes the file and truncates any
+        half-written bytes — simulation results are too expensive to drop
+        over one bad write, and a repeat failure still propagates.
+        """
+        payload = ensemble_to_payload(result)
+        try:
+            self._journal.append(
+                key, payload, label=label, num_replicates=result.num_replicates
+            )
+        except StoreError:
+            self._journal.repair()
+            self.stats.journal_repairs += 1
+            self._journal.append(
+                key, payload, label=label, num_replicates=result.num_replicates
+            )
         self.stats.chunk_writes += 1
+        self._note_journal_health()
 
     def __contains__(self, key: str) -> bool:
         return key in self._journal

@@ -44,6 +44,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "T1R3", "--backend", "fast"])
 
+    def test_fault_flags_parse(self):
+        arguments = build_parser().parse_args(
+            [
+                "run",
+                "T1R3",
+                "--max-retries",
+                "5",
+                "--task-timeout",
+                "30",
+                "--on-fault",
+                "fail",
+            ]
+        )
+        assert arguments.max_retries == 5
+        assert arguments.task_timeout == 30.0
+        assert arguments.on_fault == "fail"
+
+    def test_fault_flags_default_to_none(self):
+        arguments = build_parser().parse_args(["run", "T1R3"])
+        assert arguments.max_retries is None
+        assert arguments.task_timeout is None
+        assert arguments.on_fault is None
+
+    def test_unknown_on_fault_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "T1R3", "--on-fault", "explode"])
+        assert excinfo.value.code == 2
+
 
 class TestCommands:
     def test_list_prints_every_experiment(self, capsys):
@@ -191,6 +219,9 @@ class TestFlagValidationSymmetry:
             ["--jobs", "0"],
             ["--jobs", "-1"],
             ["--sweep-batch", "0"],
+            ["--max-retries", "-1"],
+            ["--task-timeout", "0"],
+            ["--task-timeout", "-2.5"],
         ],
     )
     def test_nonsensical_values_exit_with_code_2(self, extra):
@@ -295,3 +326,106 @@ class TestCacheFlags:
         assert main(ESTIMATE_PREFIX + ["--seed", "6", "--no-cache"]) == 0
         assert not (tmp_path / "env-cache").exists()
         assert "cache:" not in capsys.readouterr().out
+
+
+class TestFaultFlags:
+    def test_fault_flags_configure_the_scheduler(self, capsys):
+        from repro.experiments.scheduler import FaultTolerance, get_default_scheduler
+
+        argv = ESTIMATE_PREFIX + [
+            "--seed",
+            "3",
+            "--max-retries",
+            "4",
+            "--task-timeout",
+            "45",
+            "--on-fault",
+            "fail",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        policy = get_default_scheduler().fault_tolerance
+        assert policy.max_retries == 4
+        assert policy.task_timeout == 45.0
+        assert policy.on_fault == "fail"
+        # The next flag-less invocation resets to the defaults: one run's
+        # fault flags never leak into the next.
+        assert main(ESTIMATE_PREFIX + ["--seed", "3"]) == 0
+        capsys.readouterr()
+        assert get_default_scheduler().fault_tolerance == FaultTolerance()
+
+    def test_clean_run_prints_no_health_line(self, capsys):
+        assert main(ESTIMATE_PREFIX + ["--seed", "3"]) == 0
+        assert "health:" not in capsys.readouterr().out
+
+    def test_chaos_run_prints_the_health_line(self, capsys, monkeypatch, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(seed=5, crash=FaultSpec(rate=1.0))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        argv = ESTIMATE_PREFIX + ["--seed", "3", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "health:" in output
+        assert "retr" in output
+
+    def test_chaos_run_matches_clean_output(self, capsys, monkeypatch):
+        from repro.faults import FaultPlan, FaultSpec
+
+        argv = ESTIMATE_PREFIX + ["--seed", "3"]
+        assert main(argv) == 0
+        clean = capsys.readouterr().out
+        plan = FaultPlan(seed=5, crash=FaultSpec(rate=1.0))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        assert main(argv) == 0
+        chaos = capsys.readouterr().out
+        assert [line for line in chaos.splitlines() if not line.startswith("health:")] == (
+            clean.splitlines()
+        )
+
+
+class TestVerifyCache:
+    def _seed_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(ESTIMATE_PREFIX + ["--seed", "4", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        return cache
+
+    def test_missing_journal_is_ok(self, tmp_path, capsys):
+        assert main(["verify-cache", "--cache-dir", str(tmp_path / "nowhere")]) == 0
+        assert "nothing to verify" in capsys.readouterr().out
+
+    def test_clean_journal_exits_zero(self, tmp_path, capsys):
+        cache = self._seed_cache(tmp_path, capsys)
+        assert main(["verify-cache", "--cache-dir", str(cache)]) == 0
+        output = capsys.readouterr().out
+        assert "intact record(s)" in output
+        assert "corrupt" not in output
+
+    def test_corrupted_journal_exits_one_and_names_the_record(
+        self, tmp_path, capsys
+    ):
+        from test_store import TestChunkJournal
+
+        cache = self._seed_cache(tmp_path, capsys)
+        journal = cache / "journal.jsonl"
+        key = json.loads(journal.read_text().splitlines()[0])["key"]
+        TestChunkJournal._corrupt_record(None, journal, key)
+        assert main(["verify-cache", "--cache-dir", str(cache)]) == 1
+        output = capsys.readouterr().out
+        assert "checksum mismatch" in output
+        assert key in output
+        assert "recomputed on the next run" in output
+
+    def test_environment_variable_names_the_cache(self, tmp_path, capsys, monkeypatch):
+        cache = self._seed_cache(tmp_path, capsys)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        assert main(["verify-cache"]) == 0
+        assert "intact record(s)" in capsys.readouterr().out
+
+    def test_verification_is_read_only(self, tmp_path, capsys):
+        cache = self._seed_cache(tmp_path, capsys)
+        journal = cache / "journal.jsonl"
+        before = journal.read_bytes()
+        assert main(["verify-cache", "--cache-dir", str(cache)]) == 0
+        assert journal.read_bytes() == before

@@ -179,6 +179,86 @@ class TestThresholdResume:
                 assert actual.probes[gap].num_runs == probe.num_runs
 
 
+class TestKeyboardInterruptDurability:
+    """Ctrl-C propagates, but chunks journaled before it survive (satellite).
+
+    ``on_result`` journals each mega-batch the moment it completes, so a
+    ``KeyboardInterrupt`` raised by a later batch — the inline executor
+    re-raises it immediately — can only cost in-flight work, never finished
+    work.  The resumed run then replays the journaled prefix bit-for-bit,
+    exactly like the SIGTERM/kill scenarios above.
+    """
+
+    @pytest.mark.parametrize("interrupt_at", [2, 4])
+    def test_interrupt_mid_sweep_keeps_journaled_chunks(
+        self, tmp_path, monkeypatch, sd_params, nsd_params, interrupt_at
+    ):
+        import repro.experiments.scheduler as scheduler_module
+        from repro.experiments.sweep import execute_mega_batch
+
+        tasks = _tasks(sd_params, nsd_params)
+        reference = SweepScheduler(batch_size=128, sweep_batch=128).run_sweep(tasks)
+
+        calls = dict(count=0)
+
+        def interrupting(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == interrupt_at:
+                raise KeyboardInterrupt
+            return execute_mega_batch(*args, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "execute_mega_batch", interrupting)
+        store = ExperimentStore(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            SweepScheduler(batch_size=128, sweep_batch=128, store=store).run_sweep(tasks)
+        store.close()
+        monkeypatch.undo()
+
+        journaled = interrupt_at - 1
+        resume_store = ExperimentStore(tmp_path)
+        resumed = SweepScheduler(
+            batch_size=128, sweep_batch=128, store=resume_store
+        ).run_sweep(tasks)
+        assert resume_store.stats.chunk_hits == journaled
+        for expected, actual in zip(reference, resumed):
+            assert_bitwise_equal(expected, actual)
+
+    def test_interrupt_mid_adaptive_sweep_keeps_journaled_chunks(
+        self, tmp_path, monkeypatch, sd_params, nsd_params
+    ):
+        import repro.experiments.scheduler as scheduler_module
+        from repro.experiments.sweep import execute_mega_batch
+
+        tasks = _tasks(sd_params, nsd_params)
+        reference_scheduler = SweepScheduler(wave_quantum=64)
+        reference = reference_scheduler.run_sweep_adaptive(tasks, target=TARGET)
+
+        calls = dict(count=0)
+
+        def interrupting(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise KeyboardInterrupt
+            return execute_mega_batch(*args, **kwargs)
+
+        monkeypatch.setattr(scheduler_module, "execute_mega_batch", interrupting)
+        store = ExperimentStore(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            SweepScheduler(wave_quantum=64, store=store).run_sweep_adaptive(
+                tasks, target=TARGET
+            )
+        store.close()
+        monkeypatch.undo()
+
+        resume_store = ExperimentStore(tmp_path)
+        scheduler = SweepScheduler(wave_quantum=64, store=resume_store)
+        resumed = scheduler.run_sweep_adaptive(tasks, target=TARGET)
+        assert resume_store.stats.chunk_hits >= 1
+        assert scheduler.last_adaptive_report == reference_scheduler.last_adaptive_report
+        for expected, actual in zip(reference, resumed):
+            assert_bitwise_equal(expected, actual)
+
+
 class TestInterruptedJournalFile:
     def test_truncated_journal_resumes(self, tmp_path, sd_params, nsd_params):
         """A SIGKILL mid-append leaves a torn line; resume survives it."""

@@ -220,6 +220,105 @@ class TestChunkJournal:
         journal.append("a", {"value": 2})
         assert journal.get("a")["payload"] == {"value": 2}
 
+    def test_records_carry_verifiable_checksums(self, tmp_path):
+        from repro.store.journal import record_checksum
+
+        journal = ChunkJournal(tmp_path / "journal.jsonl")
+        journal.append("a", {"value": 1}, label="first")
+        record = journal.get("a")
+        assert record["checksum"] == record_checksum(record)
+
+    def test_legacy_records_without_checksum_are_accepted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        legacy = {"key": "old", "payload": {"value": 7}}
+        path.write_bytes((json.dumps(legacy) + "\n").encode())
+        journal = ChunkJournal(path)
+        assert journal.get("old")["payload"] == {"value": 7}
+
+    def _corrupt_record(self, path, key):
+        """Flip one payload character of *key*'s record without breaking framing."""
+        lines = path.read_bytes().splitlines(keepends=True)
+        for position, line in enumerate(lines):
+            record = json.loads(line)
+            if record["key"] == key:
+                marker = line.index(b'"payload"') + len(b'"payload"')
+                target = next(
+                    index
+                    for index in range(marker, len(line))
+                    if chr(line[index]).isalnum()
+                )
+                byte = line[target : target + 1]
+                replacement = b"1" if byte != b"1" else b"2"
+                if byte.isalpha():
+                    replacement = b"x" if byte != b"x" else b"y"
+                lines[position] = line[:target] + replacement + line[target + 1 :]
+                break
+        path.write_bytes(b"".join(lines))
+
+    def test_mid_file_corruption_keeps_later_records(self, tmp_path):
+        """One flipped bit never costs the intact records after it."""
+        path = tmp_path / "journal.jsonl"
+        journal = ChunkJournal(path)
+        for key in ("a", "b", "c"):
+            journal.append(key, {"value": key * 3})
+        journal.close()
+        self._corrupt_record(path, "b")
+        reopened = ChunkJournal(path)
+        assert reopened.get("b") is None  # detected, not replayed
+        assert reopened.get("a")["payload"] == {"value": "aaa"}
+        assert reopened.get("c")["payload"] == {"value": "ccc"}
+
+    def test_corruption_heals_to_the_quarantine_sidecar_on_append(self, tmp_path):
+        from repro.store import quarantine_path
+
+        path = tmp_path / "journal.jsonl"
+        journal = ChunkJournal(path)
+        for key in ("a", "b", "c"):
+            journal.append(key, {"value": key})
+        journal.close()
+        self._corrupt_record(path, "b")
+        healing = ChunkJournal(path)
+        healing.append("d", {"value": "d"})  # first append triggers the heal
+        assert healing.healed_count == 1
+        healing.close()
+        sidecar = quarantine_path(path)
+        assert sidecar.exists()
+        entry = json.loads(sidecar.read_text().splitlines()[0])
+        assert entry["key"] == "b"
+        assert entry["reason"] == "checksum mismatch"
+        # The healed journal holds only intact lines and stays fully valid.
+        from repro.store.journal import _classify_line
+
+        final = ChunkJournal(path)
+        assert set(final.keys()) == {"a", "c", "d"}
+        for raw in path.read_bytes().splitlines(keepends=True):
+            _, reason = _classify_line(raw)
+            assert reason is None
+
+    def test_read_only_lookups_never_mutate_the_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = ChunkJournal(path)
+        for key in ("a", "b"):
+            journal.append(key, {"value": key})
+        journal.close()
+        self._corrupt_record(path, "a")
+        damaged = path.read_bytes()
+        reader = ChunkJournal(path)
+        assert reader.get("a") is None
+        assert reader.get("b") is not None
+        assert path.read_bytes() == damaged  # heal only runs on the append path
+
+    def test_corruption_arriving_after_open_is_caught_on_lookup(self, tmp_path):
+        """Lookups re-verify checksums, so post-scan damage is never replayed."""
+        path = tmp_path / "journal.jsonl"
+        journal = ChunkJournal(path)
+        journal.append("a", {"value": 1})
+        journal.close()
+        reader = ChunkJournal(path)
+        assert reader.get("a") is not None
+        self._corrupt_record(path, "a")
+        assert reader.get("a") is None
+
     def test_stale_view_never_truncates_intact_records(self, tmp_path):
         """A journal indexed before the file grew re-scans instead of clobbering."""
         path = tmp_path / "journal.jsonl"
@@ -234,6 +333,60 @@ class TestChunkJournal:
         assert set(final.keys()) == {"a", "b", "c"}
         assert final.get("a")["payload"] == {"value": 1}
         assert final.get("c")["payload"] == {"value": 3}
+
+
+class TestVerifyJournal:
+    def _journal_with(self, tmp_path, keys):
+        path = tmp_path / "journal.jsonl"
+        journal = ChunkJournal(path)
+        for key in keys:
+            journal.append(key, {"value": key})
+        journal.close()
+        return path
+
+    def test_clean_journal_verifies_ok(self, tmp_path):
+        from repro.store import verify_journal
+
+        path = self._journal_with(tmp_path, ["a", "b"])
+        report = verify_journal(path)
+        assert report.ok
+        assert report.intact_records == 2
+        assert report.summary() == "2 intact record(s)"
+
+    def test_missing_journal_verifies_as_empty(self, tmp_path):
+        from repro.store import verify_journal
+
+        report = verify_journal(tmp_path / "journal.jsonl")
+        assert report.ok
+        assert report.intact_records == 0
+
+    def test_corruption_is_reported_with_key_and_offset(self, tmp_path):
+        from repro.store import verify_journal
+
+        path = self._journal_with(tmp_path, ["a", "b", "c"])
+        TestChunkJournal._corrupt_record(self, path, "b")
+        report = verify_journal(path)
+        assert not report.ok
+        (issue,) = report.issues
+        assert issue.key == "b"
+        assert issue.reason == "checksum mismatch"
+        first_line_length = len(path.read_bytes().splitlines(keepends=True)[0])
+        assert issue.offset == first_line_length
+        assert "1 corrupt record(s)" in report.summary()
+        # Verification is read-only: the bytes are untouched.
+        assert len(verify_journal(path).issues) == 1
+
+    def test_torn_tail_is_noted_but_not_a_failure(self, tmp_path):
+        from repro.store import verify_journal
+
+        path = self._journal_with(tmp_path, ["a", "b"])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        report = verify_journal(path)
+        assert report.ok
+        assert report.intact_records == 1
+        assert report.torn_tail_bytes > 0
+        assert "torn tail" in report.summary()
 
 
 class TestExperimentStore:
@@ -348,6 +501,40 @@ class TestExperimentStore:
             configure_default_scheduler(
                 backend=previous.backend, tau_epsilon=previous.tau_epsilon
             )
+
+    def test_hand_corrupted_chunk_recomputes_only_itself(self, tmp_path, sd_params):
+        """Acceptance gate: corrupt one record by hand, the next run heals it."""
+        tasks = [
+            SweepTask(sd_params, LVState(40, 24), 60, seed=1),
+            SweepTask(sd_params, LVState(33, 31), 60, seed=2),
+            SweepTask(sd_params, LVState(36, 28), 60, seed=3),
+        ]
+        store = ExperimentStore(tmp_path)
+        reference = SweepScheduler(store=store).run_sweep(tasks)
+        victim = list(store._journal.keys())[1]
+        store.close()
+        TestChunkJournal._corrupt_record(self, tmp_path / "journal.jsonl", victim)
+
+        store = ExperimentStore(tmp_path)
+        scheduler = SweepScheduler(store=store)
+        recovered = scheduler.run_sweep(tasks)
+        # Exactly the damaged chunk recomputed; the other two replayed.
+        assert store.stats.chunk_hits == 2
+        assert store.stats.chunk_misses == 1
+        assert store.stats.chunk_writes == 1
+        assert store.stats.chunks_quarantined == 1
+        assert "1 chunk(s) quarantined" in store.stats.summary()
+        store.close()
+        for expected, actual in zip(reference, recovered):
+            assert_bitwise_equal(expected, actual)
+        # The healed journal is fully intact again; the sidecar kept the key.
+        from repro.store import quarantine_path, verify_journal
+
+        assert verify_journal(tmp_path / "journal.jsonl").ok
+        entry = json.loads(
+            quarantine_path(tmp_path / "journal.jsonl").read_text().splitlines()[0]
+        )
+        assert entry["key"] == victim
 
     def test_adaptive_sweep_replays_rungs(self, tmp_path, sd_params):
         from repro.analysis.statistics import PrecisionTarget
