@@ -10,17 +10,22 @@ For every registered experiment the runner records wall-clock seconds, the
 number of two-species jump events executed by the process-wide sweep
 scheduler (its ``events_executed`` counter), and the resulting events/second
 — so the performance trajectory of the sweep engine stays comparable across
-PRs as a single JSON artefact instead of a nightly eye-check.  Four
+PRs as a single JSON artefact instead of a nightly eye-check.  Five
 acceptance measurements are re-run and recorded alongside: the sweep-fusion
 speedup (fused `FIG-THRESH`-style threshold sweep versus the per-config
 scheduler path, see ``test_bench_sweep_engine.py``), the
 adaptive-precision events saving at equal CI width (see
 ``test_bench_adaptive_precision.py``), the tau-backend event-throughput
 ratio over the exact ensemble at n = 10^5 (see
-``test_bench_tau_backend.py``), and the native-kernel speedup over the
+``test_bench_tau_backend.py``), the native-kernel speedup over the
 numpy lock-step engine (see ``test_bench_native_kernel.py``; recorded as a
 numpy-only measurement with ``available: false`` when numba is not
-installed).
+installed), and the shard planner's cost imbalance on a heavy-tailed
+T1R5-style grid versus naive round-robin (see
+``test_bench_shard_planner.py``).  The planner measurement also exports its
+measured per-configuration event rates as ``shard_planner.history``, the
+section ``repro run --shards K --shard-history BENCH_sweep.json`` feeds to
+the balance planner on machines that have not journaled anything yet.
 
 ``--compare BASELINE.json`` turns the run into a **regression gate**: after
 measuring, the fresh numbers are compared against the committed baseline
@@ -72,6 +77,7 @@ from test_bench_native_kernel import warm_up as _native_warm_up  # noqa: E402
 from test_bench_tau_backend import _run_exact, _run_tau  # noqa: E402
 from test_bench_tau_backend import _workload as _tau_workload  # noqa: E402
 from test_bench_tau_backend import warm_up as _tau_warm_up  # noqa: E402
+from test_bench_shard_planner import measure_shard_planner  # noqa: E402
 
 from repro.lv.native import NATIVE_AVAILABLE, NUMBA_VERSION  # noqa: E402
 
@@ -299,6 +305,14 @@ def compare_with_baseline(
                 f"tau backend throughput ratio: {fresh_ratio}x vs baseline "
                 f"{base_tau['throughput_ratio']}x"
             )
+    base_planner = baseline.get("shard_planner")
+    if base_planner:
+        fresh_imbalance = payload["shard_planner"]["planned_imbalance"]
+        if fresh_imbalance > base_planner["planned_imbalance"] * limit:
+            failures.append(
+                f"shard planner imbalance: {fresh_imbalance} vs baseline "
+                f"{base_planner['planned_imbalance']}"
+            )
     base_native = baseline.get("native_kernel")
     fresh_native = payload.get("native_kernel", {})
     # The speedup is only comparable when both runs actually compiled the
@@ -359,6 +373,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{tau['exact_events_per_sec']:,} events/s  ->  "
         f"{tau['throughput_ratio']}x throughput at n=10^5"
     )
+    planner = measure_shard_planner()
+    print(
+        f"[shard-planner] imbalance {planner['planned_imbalance']} vs "
+        f"round-robin {planner['round_robin_imbalance']} on "
+        f"{planner['grid_units']} heavy-tailed units over "
+        f"{planner['shards']} shards"
+    )
     native = measure_native_kernel()
     if native["available"]:
         print(
@@ -373,7 +394,7 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     payload = {
-        "schema": 4,
+        "schema": 5,
         "scale": arguments.scale,
         "seed": arguments.seed,
         "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
@@ -384,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
         "adaptive_vs_fixed": adaptive,
         "tau_vs_exact": tau,
         "native_kernel": native,
+        "shard_planner": planner,
     }
     arguments.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {arguments.output}")

@@ -56,6 +56,26 @@ whose exact ``(id, config, seed)`` run already completed straight from the
 run tier (and defaults the cache directory to ``.repro-cache`` when no
 ``--cache-dir`` is given); ``--no-cache`` disables the store even when the
 ``REPRO_CACHE_DIR`` environment variable is set.
+
+``--shards K`` executes the run's sweep grids as K balanced shards
+(:mod:`repro.shard`).  Alone, it is the **local driver**: the grid is
+over-decomposed into work slices, each slice runs as an independent
+subprocess with its own cache directory under ``<cache-dir>/shards/``, the
+slice journals are unioned into ``--cache-dir``, and the experiment replays
+from the merged store — bitwise-identical to a single-process run.  With
+``--shard-index i`` the invocation is **one shard of a distributed run**:
+it executes only shard *i*'s deterministic share of the grid into its own
+``--cache-dir`` (run the K shard commands on any machines, then union the
+caches with ``merge-cache``).  ``--shard-history`` feeds the balance
+planner measured per-configuration event rates (a previous run's cache
+directory or a ``BENCH_sweep.json``); without it, costs fall back to
+replicate budgets.
+
+``python -m repro merge-cache DST SRC [SRC ...]``
+    Union shard cache directories into one store: checksum-verified,
+    conflict-checked (same chunk key with different bytes is a hard
+    error), and idempotent — re-merging or overlapping sources skip
+    already-present identical chunks.
 """
 
 from __future__ import annotations
@@ -79,9 +99,17 @@ from repro.experiments.scheduler import (
 )
 from repro.experiments.sweep import SweepTask
 from repro.experiments.workloads import state_with_gap
+from repro.exceptions import StoreError
+from repro.faults import inject_shard_fault
 from repro.lv.native import NativeEngineUnavailableError, capability_report, resolve_engine
 from repro.lv.params import LVParams
-from repro.store import ExperimentStore, verify_journal
+from repro.shard import (
+    DEFAULT_SLICE_FACTOR,
+    EventRateHistory,
+    SHARD_ATTEMPT_ENV,
+    run_shard_processes,
+)
+from repro.store import ExperimentStore, merge_cache, verify_journal
 from repro._version import __version__
 
 __all__ = ["main", "build_parser", "DEFAULT_CACHE_DIR"]
@@ -133,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_precision_arguments(run_parser)
     _add_cache_arguments(run_parser)
     _add_fault_arguments(run_parser)
+    _add_shard_arguments(run_parser)
     run_parser.add_argument("--json", type=Path, default=None, help="save raw results to this path")
     run_parser.add_argument(
         "--report", type=Path, default=None, help="write the markdown report to this path"
@@ -164,6 +193,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_precision_arguments(estimate_parser)
     _add_cache_arguments(estimate_parser)
     _add_fault_arguments(estimate_parser)
+
+    merge_parser = subparsers.add_parser(
+        "merge-cache",
+        help="union shard cache directories into one store: checksum-verified, "
+        "conflict-checked (same chunk key, different bytes is a hard error), "
+        "and idempotent",
+    )
+    merge_parser.add_argument(
+        "destination",
+        type=Path,
+        help="cache directory to merge into (created if missing)",
+    )
+    merge_parser.add_argument(
+        "sources",
+        type=Path,
+        nargs="+",
+        metavar="source",
+        help="shard cache directories (or journal files) to union in",
+    )
 
     verify_parser = subparsers.add_parser(
         "verify-cache",
@@ -281,6 +329,199 @@ def _fault_tolerance_from_arguments(
         task_timeout=arguments.task_timeout,
         on_fault=defaults.on_fault if arguments.on_fault is None else arguments.on_fault,
     )
+
+
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="execute the sweep grids as K balanced shards; without "
+        "--shard-index this drives K concurrent shard subprocesses locally, "
+        "merges their journals into --cache-dir, and replays from the merged "
+        "store (bitwise-identical to a single-process run)",
+    )
+    parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="run only shard I of --shards K into this invocation's own "
+        "--cache-dir (for distributed runs; union the caches afterwards "
+        "with 'merge-cache')",
+    )
+    parser.add_argument(
+        "--shard-slices",
+        type=int,
+        default=None,
+        metavar="M",
+        help="work slices for the local shard driver; over-decomposing past "
+        f"K keeps workers busy past stragglers (default {DEFAULT_SLICE_FACTOR}*K)",
+    )
+    parser.add_argument(
+        "--shard-history",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="per-configuration event-rate history for the shard planner: a "
+        "previous run's cache directory/journal or a BENCH_sweep.json "
+        "baseline (default: cost by replicate budgets alone)",
+    )
+
+
+def _validate_shard_arguments(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> None:
+    """Uniform ``parser.error`` treatment for the sharding flags."""
+    if arguments.shards is None:
+        for flag, value in (
+            ("--shard-index", arguments.shard_index),
+            ("--shard-slices", arguments.shard_slices),
+            ("--shard-history", arguments.shard_history),
+        ):
+            if value is not None:
+                parser.error(f"{flag} requires --shards")
+        return
+    if arguments.shards < 1:
+        parser.error(f"--shards must be at least 1, got {arguments.shards}")
+    if arguments.shard_slices is not None and arguments.shard_slices < arguments.shards:
+        parser.error(
+            f"--shard-slices must be at least --shards ({arguments.shards}), "
+            f"got {arguments.shard_slices}"
+        )
+    if arguments.no_cache:
+        parser.error("--shards cannot be combined with --no-cache")
+    if arguments.shard_index is not None:
+        if not 0 <= arguments.shard_index < arguments.shards:
+            parser.error(
+                f"--shard-index must be in [0, {arguments.shards}), "
+                f"got {arguments.shard_index}"
+            )
+        if arguments.cache_dir is None:
+            parser.error(
+                "--shard-index requires --cache-dir: each shard journals its "
+                "share of the grid into its own cache directory"
+            )
+        if arguments.resume:
+            parser.error(
+                "--shard-index cannot be combined with --resume: a shard's "
+                "result contains placeholder rows and never touches the run tier"
+            )
+    if arguments.shard_history is not None and not arguments.shard_history.exists():
+        parser.error(f"--shard-history path does not exist: {arguments.shard_history}")
+
+
+def _shard_history_from_arguments(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> "EventRateHistory | None":
+    if arguments.shard_history is None:
+        return None
+    try:
+        return EventRateHistory.load(arguments.shard_history)
+    except StoreError as error:
+        parser.error(str(error))
+    raise AssertionError("parser.error returns NoReturn")  # pragma: no cover
+
+
+def _slice_command_builder(
+    arguments: argparse.Namespace, identifiers: list[str], slices: int
+):
+    """Build the argv factory for the local shard driver's subprocesses.
+
+    Every result-affecting flag of the parent invocation is forwarded so a
+    slice computes exactly what the single-process run would have computed
+    for its share of the grid; output-only flags (``--json``, ``--report``)
+    stay with the parent, which replays from the merged store.
+    """
+    forwarded: list[str] = ["--scale", arguments.scale, "--seed", str(arguments.seed)]
+    forwarded += ["--jobs", str(arguments.jobs)]
+    optional: tuple[tuple[str, object], ...] = (
+        ("--sweep-batch", arguments.sweep_batch),
+        ("--backend", arguments.backend),
+        ("--tau-epsilon", arguments.tau_epsilon),
+        ("--engine", arguments.engine),
+        ("--target-ci-width", arguments.target_ci_width),
+        ("--max-replicates", arguments.max_replicates),
+        ("--max-retries", arguments.max_retries),
+        ("--task-timeout", arguments.task_timeout),
+        ("--on-fault", arguments.on_fault),
+        ("--shard-history", arguments.shard_history),
+    )
+    for flag, value in optional:
+        if value is not None:
+            forwarded += [flag, str(value)]
+
+    def command_for_slice(slice_index: int, cache_dir: Path) -> list[str]:
+        return [
+            sys.executable,
+            "-m",
+            "repro",
+            "run",
+            *identifiers,
+            *forwarded,
+            "--shards",
+            str(slices),
+            "--shard-index",
+            str(slice_index),
+            "--cache-dir",
+            str(cache_dir),
+        ]
+
+    return command_for_slice
+
+
+def _drive_shard_fanout(
+    arguments: argparse.Namespace,
+    identifiers: list[str],
+    store: "ExperimentStore",
+    fault_tolerance: FaultTolerance,
+) -> None:
+    """Local shard driver: fan out work slices, then union their journals.
+
+    Slices that exhaust their retries are reported but not fatal — their
+    chunks are simply absent from the merged store, and the parent's replay
+    recomputes them in-process, so the final tables are always complete and
+    bitwise-identical to a single-process run.
+    """
+    slices = (
+        arguments.shard_slices
+        if arguments.shard_slices is not None
+        else DEFAULT_SLICE_FACTOR * arguments.shards
+    )
+    print(
+        f"sharding: {slices} work slice(s) on {arguments.shards} concurrent "
+        f"shard process(es)"
+    )
+    results = run_shard_processes(
+        _slice_command_builder(arguments, identifiers, slices),
+        slices=slices,
+        workers=arguments.shards,
+        cache_root=store.cache_dir,
+        max_retries=fault_tolerance.max_retries,
+    )
+    for result in results:
+        status = "ok" if result.ok else f"FAILED (exit {result.returncode})"
+        print(
+            f"  slice {result.slice_index}/{slices}: {status} "
+            f"in {result.duration:.1f}s, {result.attempts} attempt(s)"
+        )
+        if not result.ok and result.output_tail:
+            print("    " + "\n    ".join(result.output_tail.strip().splitlines()[-10:]))
+    sources = [
+        result.cache_dir
+        for result in results
+        if result.ok and (result.cache_dir / "journal.jsonl").exists()
+    ]
+    if sources:
+        report = merge_cache(store.cache_dir, sources, store=store)
+        print(f"merge: {report.summary()}")
+    failed = sum(1 for result in results if not result.ok)
+    if failed:
+        print(
+            f"WARNING: {failed} slice(s) failed permanently; their chunks "
+            "will be recomputed in-process during the replay"
+        )
 
 
 def _store_from_arguments(
@@ -413,11 +654,39 @@ def _command_run(
     parser: argparse.ArgumentParser, arguments: argparse.Namespace
 ) -> int:
     _validate_scheduler_arguments(parser, arguments)
+    _validate_shard_arguments(parser, arguments)
     precision = _precision_from_arguments(parser, arguments)
     fault_tolerance = _fault_tolerance_from_arguments(parser, arguments)
+    if arguments.all:
+        identifiers = [spec.identifier for spec in list_experiments()]
+    else:
+        identifiers = arguments.identifiers
+    if not identifiers:
+        print("no experiments selected; pass ids or --all (see 'python -m repro list')")
+        return 2
+    sharded = arguments.shard_index is not None
+    driving = arguments.shards is not None and arguments.shards > 1 and not sharded
+    shard_history = _shard_history_from_arguments(parser, arguments)
+    if sharded:
+        # Deterministic shard-level fault injection fires before the store
+        # opens, so an injected crash never strands the writer lock — like
+        # a process that died before doing any work.
+        inject_shard_fault(
+            f"shard:{arguments.shard_index}/{arguments.shards}",
+            int(os.environ.get(SHARD_ATTEMPT_ENV, "0")),
+        )
     # Validate every flag before the store exists: a parser.error after
     # acquiring the writer lock would leak it for the rest of the process.
     store = _store_from_arguments(parser, arguments)
+    if driving:
+        if store is None:
+            parser.error(
+                "--shards needs a cache directory to merge into "
+                "(--cache-dir or REPRO_CACHE_DIR)"
+            )
+        _drive_shard_fanout(arguments, identifiers, store, fault_tolerance)
+    # The driver replays unsharded against the merged store; only an
+    # explicit --shard-index invocation runs a sharded scheduler.
     scheduler = configure_default_scheduler(
         jobs=arguments.jobs,
         sweep_batch=arguments.sweep_batch,
@@ -427,14 +696,10 @@ def _command_run(
         engine=arguments.engine,
         store=store,
         fault_tolerance=fault_tolerance,
+        shards=arguments.shards if sharded else 1,
+        shard_index=arguments.shard_index if sharded else 0,
+        shard_history=shard_history if sharded else None,
     )
-    if arguments.all:
-        identifiers = [spec.identifier for spec in list_experiments()]
-    else:
-        identifiers = arguments.identifiers
-    if not identifiers:
-        print("no experiments selected; pass ids or --all (see 'python -m repro list')")
-        return 2
     results = []
     for identifier in identifiers:
         result = run_experiment(
@@ -457,6 +722,15 @@ def _command_run(
     if arguments.report is not None:
         arguments.report.write_text(render_report(results))
         print(f"wrote {arguments.report}")
+    if sharded:
+        # Rows outside this shard's share are placeholders, so the
+        # shape-vs-paper gate only applies to the merged replay.
+        print(
+            f"shard {arguments.shard_index}/{arguments.shards}: executed this "
+            "shard's grid share; union the caches with 'merge-cache' and "
+            "replay for full results"
+        )
+        return 0
     mismatched = [
         result.identifier for result in results if result.shape_matches_paper is False
     ]
@@ -482,6 +756,11 @@ def _command_estimate(
         engine=arguments.engine,
         store=store,
         fault_tolerance=fault_tolerance,
+        # 'estimate' has no shard flags; reset them so repeated main() calls
+        # in one process never inherit a previous run's shard configuration.
+        shards=1,
+        shard_index=0,
+        shard_history=None,
     )
     constructor = (
         LVParams.self_destructive if arguments.mechanism == "sd" else LVParams.non_self_destructive
@@ -529,6 +808,19 @@ def _command_estimate(
     return 0
 
 
+def _command_merge_cache(
+    _parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> int:
+    """Union shard caches into one store (the journal-union merge)."""
+    try:
+        report = merge_cache(arguments.destination, arguments.sources)
+    except StoreError as error:
+        print(f"merge failed: {error}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0
+
+
 def _command_verify_cache(
     _parser: argparse.ArgumentParser, arguments: argparse.Namespace
 ) -> int:
@@ -565,6 +857,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _command_info,
         "run": _command_run,
         "estimate": _command_estimate,
+        "merge-cache": _command_merge_cache,
         "verify-cache": _command_verify_cache,
     }
     try:
@@ -583,6 +876,10 @@ def main(argv: list[str] | None = None) -> int:
         if scheduler.store is not None:
             scheduler.store.close()
             configure_default_scheduler(store=None)
+        # Shard flags are likewise per-invocation: library work after a
+        # --shard-index run must see the whole grid again.
+        if get_default_scheduler().shards != 1:
+            configure_default_scheduler(shards=1, shard_index=0, shard_history=None)
 
 
 if __name__ == "__main__":

@@ -185,6 +185,16 @@ def run_experiment(
     spec = get_experiment(identifier)
     if store is None:
         return spec.run(scale=scale, seed=seed)
+    from repro.experiments.scheduler import get_default_scheduler
+
+    if getattr(get_default_scheduler(), "shards", 1) > 1:
+        # A shard-of-K run computes only its share of the grid — its
+        # ExperimentResult contains placeholder rows for the other shards'
+        # units, so it must never be served from or persisted to the run
+        # tier.  Chunk-tier journaling still happens inside the scheduler;
+        # the complete run tier is rebuilt by replaying the experiment
+        # against the merged store.
+        return spec.run(scale=scale, seed=seed)
     key = experiment_run_key(identifier, scale=scale, seed=seed)
     if resume:
         cached = store.get_run(key)

@@ -83,6 +83,7 @@ from repro.experiments.sweep import (
     demux_mega_results,
     execute_mega_batch,
     pack_members,
+    placeholder_ensemble,
     plan_members,
 )
 from repro.experiments.workloads import replica_batches
@@ -103,6 +104,14 @@ from repro.lv.tau import (
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator, LVRunResult
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_seeds
+from repro.shard.planner import (
+    EventRateHistory,
+    ShardPlan,
+    config_signature,
+    plan_shards,
+    threshold_probe_factor,
+    unit_costs,
+)
 from repro.store.keys import chunk_key
 
 if TYPE_CHECKING:
@@ -1217,6 +1226,26 @@ class SweepScheduler(ReplicaScheduler):
     sweep_batch: int = DEFAULT_SWEEP_BATCH
     precision: PrecisionTarget | None = None
     wave_quantum: int = DEFAULT_WAVE_QUANTUM
+    #: Shard-of-K execution: with ``shards=K``, the grid entry points
+    #: partition their grid units deterministically into K balanced shards
+    #: (:mod:`repro.shard.planner`) and execute **only** shard
+    #: ``shard_index``'s units; the other units return zero-work
+    #: placeholder results (:func:`repro.experiments.sweep
+    #: .placeholder_ensemble`).  Chunk keys exclude every execution knob,
+    #: so the union of the K shard journals is bitwise-identical to a
+    #: single-process run's journal — merge with ``repro merge-cache``.
+    shards: int = 1
+    shard_index: int = 0
+    #: Cost-model input of the shard planner: measured events-per-replicate
+    #: rates per configuration (:class:`repro.shard.planner
+    #: .EventRateHistory`).  Must be the *same* history object/content in
+    #: every shard process — each one recomputes the identical plan from it
+    #: — so feed it from a static input (a previous run's journal or the
+    #: committed benchmark baseline), never the shard's own live store.
+    #: ``None`` falls back to member-count costs.
+    shard_history: "EventRateHistory | None" = field(
+        default=None, repr=False, compare=False
+    )
     last_adaptive_report: AdaptiveSweepReport | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -1231,6 +1260,66 @@ class SweepScheduler(ReplicaScheduler):
             raise ExperimentError(
                 f"wave_quantum must be at least 1, got {self.wave_quantum}"
             )
+        if self.shards < 1:
+            raise ExperimentError(f"shards must be at least 1, got {self.shards}")
+        if not 0 <= self.shard_index < self.shards:
+            raise ExperimentError(
+                f"shard_index must be in [0, {self.shards}), got {self.shard_index}"
+            )
+        if self.shard_history is not None and not isinstance(
+            self.shard_history, EventRateHistory
+        ):
+            raise ExperimentError(
+                "shard_history must be an EventRateHistory instance, "
+                f"got {self.shard_history!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Shard planning
+    # ------------------------------------------------------------------
+    def plan_task_shards(self, tasks: Sequence[SweepTask]) -> ShardPlan:
+        """The deterministic K-way partition of *tasks* this scheduler uses.
+
+        Costs come from :func:`repro.shard.planner.unit_costs`: the task's
+        replicate budget scaled by the measured events-per-replicate rate of
+        its configuration when :attr:`shard_history` covers it, the
+        member-count fallback otherwise.  Pure function of the tasks and the
+        scheduler's ``(shards, shard_history)`` — every shard process
+        derives the identical plan, which is what makes "execute only my
+        share" a partition rather than a race.
+        """
+        signatures = [
+            config_signature(
+                task.params, task.initial_state.x0 + task.initial_state.x1
+            )
+            for task in tasks
+        ]
+        budgets = [task.num_runs for task in tasks]
+        return plan_shards(
+            unit_costs(signatures, budgets, self.shard_history), self.shards
+        )
+
+    def plan_threshold_shards(
+        self, requests: Sequence["ThresholdRequest"]
+    ) -> ShardPlan:
+        """K-way partition of threshold searches (whole searches, never probes).
+
+        A bisection generates its probes dynamically from measured
+        probabilities, so the shardable unit is the entire search; its cost
+        estimate is ``num_runs × ~log2(n)`` expected probes, rate-scaled
+        when history covers the configuration.
+        """
+        signatures = [
+            config_signature(request.params, request.population_size)
+            for request in requests
+        ]
+        budgets = [
+            request.num_runs * threshold_probe_factor(request.population_size)
+            for request in requests
+        ]
+        return plan_shards(
+            unit_costs(signatures, budgets, self.shard_history), self.shards
+        )
 
     # ------------------------------------------------------------------
     # Mega-batch execution
@@ -1250,7 +1339,34 @@ class SweepScheduler(ReplicaScheduler):
         win-probability summaries never read; trajectories are identical).
         With a configured *store*, journaled members are replayed from disk
         and only the cache misses are packed and simulated.
+
+        With ``shards > 1`` only the tasks the shard plan assigns to this
+        scheduler's :attr:`shard_index` are executed (their results are
+        exactly the single-process results — per-task seeding is independent
+        of which other tasks run alongside); every other task returns a
+        zero-work placeholder and journals nothing.
         """
+        if self.shards == 1:
+            return self._run_sweep_local(tasks, collect)
+        owned = self.plan_task_shards(tasks).members(self.shard_index)
+        results: list[LVEnsembleResult | None] = [None] * len(tasks)
+        if owned:
+            owned_results = self._run_sweep_local(
+                [tasks[index] for index in owned], collect
+            )
+            for index, result in zip(owned, owned_results):
+                results[index] = result
+        return [
+            result
+            if result is not None
+            else placeholder_ensemble(task.params, task.initial_state)
+            for task, result in zip(tasks, results)
+        ]
+
+    def _run_sweep_local(
+        self, tasks: Sequence[SweepTask], collect: str
+    ) -> list[LVEnsembleResult]:
+        """The unsharded fixed-budget sweep core (all of *tasks* execute here)."""
         members = plan_members(tasks, batch_size=self.batch_size)
         member_results = self._execute_members(members, collect)
         return demux_mega_results(len(tasks), [members], [member_results])
@@ -1380,6 +1496,47 @@ class SweepScheduler(ReplicaScheduler):
         if not tasks:
             raise ExperimentError("a sweep needs at least one task")
         targets = self._resolve_targets(len(tasks), target)
+        if self.shards == 1:
+            return self._run_sweep_adaptive_local(tasks, targets, collect)
+        owned = self.plan_task_shards(tasks).members(self.shard_index)
+        results: list[LVEnsembleResult | None] = [None] * len(tasks)
+        replicates = [0] * len(tasks)
+        converged = [True] * len(tasks)  # not ours to converge
+        half_widths = [0.0] * len(tasks)
+        waves = 0
+        if owned:
+            owned_results = self._run_sweep_adaptive_local(
+                [tasks[index] for index in owned],
+                [targets[index] for index in owned],
+                collect,
+            )
+            report = self.last_adaptive_report
+            waves = report.waves
+            for position, index in enumerate(owned):
+                results[index] = owned_results[position]
+                replicates[index] = report.replicates[position]
+                converged[index] = report.converged[position]
+                half_widths[index] = report.half_widths[position]
+        self.last_adaptive_report = AdaptiveSweepReport(
+            waves=waves,
+            replicates=tuple(replicates),
+            converged=tuple(converged),
+            half_widths=tuple(half_widths),
+        )
+        return [
+            result
+            if result is not None
+            else placeholder_ensemble(task.params, task.initial_state)
+            for task, result in zip(tasks, results)
+        ]
+
+    def _run_sweep_adaptive_local(
+        self,
+        tasks: Sequence[SweepTask],
+        targets: Sequence[PrecisionTarget],
+        collect: str,
+    ) -> list[LVEnsembleResult]:
+        """The unsharded adaptive core (one resolved target per task)."""
         states = [
             AdaptiveTaskState(index, task, task_target, self.wave_quantum)
             for index, (task, task_target) in enumerate(zip(tasks, targets))
@@ -1500,6 +1657,45 @@ class SweepScheduler(ReplicaScheduler):
         """
         if not requests:
             raise ExperimentError("a threshold sweep needs at least one request")
+        if self.shards == 1:
+            return self._find_thresholds_local(requests, target)
+        # Shard at whole-search granularity: a bisection mints its probes
+        # from measured probabilities, so probes cannot be partitioned up
+        # front — but each search's probe schedule depends only on its own
+        # request, so a search executed here is bitwise-identical to its
+        # single-process twin.  Non-owned searches return an empty estimate
+        # (threshold_gap=None, no probes) that downstream table/figure
+        # drivers already treat as "no threshold found".
+        owned = self.plan_threshold_shards(requests).members(self.shard_index)
+        estimates: list[ThresholdEstimate | None] = [None] * len(requests)
+        if owned:
+            owned_estimates = self._find_thresholds_local(
+                [requests[index] for index in owned], target
+            )
+            for index, estimate in zip(owned, owned_estimates):
+                estimates[index] = estimate
+        return [
+            estimate
+            if estimate is not None
+            else ThresholdEstimate(
+                population_size=request.population_size,
+                target_probability=(
+                    request.target_probability
+                    if request.target_probability is not None
+                    else 1.0 - 1.0 / request.population_size
+                ),
+                threshold_gap=None,
+                probes={},
+            )
+            for request, estimate in zip(requests, estimates)
+        ]
+
+    def _find_thresholds_local(
+        self,
+        requests: Sequence[ThresholdRequest],
+        target: PrecisionTarget | None,
+    ) -> list[ThresholdEstimate]:
+        """The unsharded threshold-sweep core (every request searches here)."""
         if target is None:
             target = self.precision
         searches = [
@@ -1542,14 +1738,19 @@ class SweepScheduler(ReplicaScheduler):
         fixed = [i for i, probe in enumerate(probes) if probe.precision is None]
         adaptive = [i for i, probe in enumerate(probes) if probe.precision is not None]
         ensembles: list[LVEnsembleResult | None] = [None] * len(probes)
+        # Always the *local* sweep cores: threshold sweeps shard at
+        # whole-search granularity (find_thresholds), so by the time probes
+        # exist they all belong to this shard and must never be re-sharded.
         if fixed:
-            for i, ensemble in zip(fixed, self.run_sweep([tasks[i] for i in fixed], collect="win")):
+            for i, ensemble in zip(
+                fixed, self._run_sweep_local([tasks[i] for i in fixed], "win")
+            ):
                 ensembles[i] = ensemble
         if adaptive:
-            adaptive_results = self.run_sweep_adaptive(
+            adaptive_results = self._run_sweep_adaptive_local(
                 [tasks[i] for i in adaptive],
-                target=[probes[i].precision for i in adaptive],
-                collect="win",
+                [probes[i].precision for i in adaptive],
+                "win",
             )
             for i, ensemble in zip(adaptive, adaptive_results):
                 ensembles[i] = ensemble
@@ -1584,6 +1785,9 @@ def configure_default_scheduler(
     engine: str | None = None,
     store: "ExperimentStore | None | object" = _KEEP,
     fault_tolerance: FaultTolerance | None = None,
+    shards: int | None = None,
+    shard_index: int | None = None,
+    shard_history: "EventRateHistory | None | object" = _KEEP,
 ) -> SweepScheduler:
     """Reconfigure the process-wide scheduler (e.g. from the CLI's ``--jobs``).
 
@@ -1600,7 +1804,11 @@ def configure_default_scheduler(
     detach (``None``, ``--no-cache``) the persistent result store.
     ``fault_tolerance`` replaces the retry/timeout policy (the CLI's
     ``--max-retries`` / ``--task-timeout`` / ``--on-fault``); ``None``
-    keeps the previous scheduler's policy.
+    keeps the previous scheduler's policy.  ``shards`` / ``shard_index`` /
+    ``shard_history`` select shard-of-K execution (the CLI's ``--shards``
+    and ``--shard-index``; see :class:`SweepScheduler`); ``None`` keeps
+    the previous values — pass ``shards=1, shard_index=0`` to return to
+    unsharded execution.
     """
     global _default_scheduler
     previous = _default_scheduler
@@ -1618,5 +1826,10 @@ def configure_default_scheduler(
         fault_tolerance=previous.fault_tolerance
         if fault_tolerance is None
         else fault_tolerance,
+        shards=previous.shards if shards is None else shards,
+        shard_index=previous.shard_index if shard_index is None else shard_index,
+        shard_history=previous.shard_history
+        if shard_history is _KEEP
+        else shard_history,
     )
     return _default_scheduler

@@ -79,6 +79,7 @@ __all__ = [
     "pack_members",
     "execute_mega_batch",
     "demux_mega_results",
+    "placeholder_ensemble",
 ]
 
 #: Default mega-batch width (replicas advanced per lock-step iteration).
@@ -353,6 +354,49 @@ def demux_mega_results(
             raise ExperimentError(f"task {index} received no mega-batch results")
         merged.append(LVEnsembleResult.concatenate(chunks))
     return merged
+
+
+def placeholder_ensemble(
+    params: LVParams, initial_state: LVState | tuple[int, int]
+) -> LVEnsembleResult:
+    """A zero-work stand-in for a task owned by a *different* shard.
+
+    Sharded execution (``SweepScheduler(shards=K, shard_index=i)``) runs
+    only shard *i*'s tasks; the other tasks still need a result object so
+    grid entry points keep their one-result-per-task shape.  The stand-in
+    is one replicate that "ran out of budget immediately": final counts
+    equal the initial counts (no consensus, no winner), zero events
+    everywhere, termination code 2 (``"max-events"``).  It is never
+    journaled — chunk keys are only minted for executed work — so a merged
+    store contains exclusively real results.
+    """
+    if not isinstance(initial_state, LVState):
+        initial_state = LVJumpChainSimulator._coerce_state(initial_state)
+    zeros = np.zeros(1, dtype=np.int64)
+    zeros_2 = np.zeros((1, 2), dtype=np.int64)
+    return LVEnsembleResult(
+        params=params,
+        initial_state=initial_state,
+        final_x0=np.array([initial_state.x0], dtype=np.int64),
+        final_x1=np.array([initial_state.x1], dtype=np.int64),
+        total_events=zeros,
+        termination_codes=np.full(1, 2, dtype=np.int64),
+        births=zeros_2,
+        deaths=zeros_2,
+        interspecific_events=zeros,
+        intraspecific_events=zeros_2,
+        bad_noncompetitive_events=zeros,
+        good_events=zeros,
+        noise_individual=zeros,
+        noise_competitive=zeros,
+        max_total_population=np.array(
+            [initial_state.x0 + initial_state.x1], dtype=np.int64
+        ),
+        min_gap_seen=np.array(
+            [abs(initial_state.x0 - initial_state.x1)], dtype=np.int64
+        ),
+        hit_tie=np.zeros(1, dtype=bool),
+    )
 
 
 # ----------------------------------------------------------------------

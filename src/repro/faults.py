@@ -65,15 +65,17 @@ __all__ = [
     "FaultPlan",
     "InjectedWorkerCrash",
     "InjectedTornWrite",
+    "InjectedShardCrash",
     "get_fault_plan",
     "install_fault_plan",
     "injected_faults",
     "inject_execution_faults",
+    "inject_shard_fault",
     "journal_fault_action",
 ]
 
 #: Injectable fault kinds, in the order execution-side faults are evaluated.
-FAULT_KINDS = ("degrade", "crash", "hang", "torn_append", "corrupt_chunk")
+FAULT_KINDS = ("degrade", "crash", "hang", "torn_append", "corrupt_chunk", "shard_crash")
 
 
 class InjectedWorkerCrash(Exception):
@@ -86,6 +88,19 @@ class InjectedWorkerCrash(Exception):
 
 class InjectedTornWrite(StoreError):
     """An injected torn journal append (record cut mid-write, as by a kill)."""
+
+
+class InjectedShardCrash(Exception):
+    """An injected whole-shard-process crash (the shard driver's fault unit).
+
+    Raised at a shard run's entry point *before* any grid work, modelling a
+    shard machine dying; the process exits non-zero, the shard driver
+    retries the slice with a bumped attempt number, and — faults being
+    keyed on the attempt — the retry runs clean.  Like
+    :class:`InjectedWorkerCrash`, deliberately not a
+    :class:`~repro.exceptions.ReproError`: it must look like the
+    unexpected death it simulates.
+    """
 
 
 @dataclass(frozen=True)
@@ -147,6 +162,7 @@ class FaultPlan:
     degrade: FaultSpec = field(default_factory=FaultSpec)
     torn_append: FaultSpec = field(default_factory=FaultSpec)
     corrupt_chunk: FaultSpec = field(default_factory=FaultSpec)
+    shard_crash: FaultSpec = field(default_factory=FaultSpec)
 
     # ------------------------------------------------------------------
     # Firing decisions
@@ -206,7 +222,14 @@ class FaultPlan:
     def to_json(self) -> str:
         """Compact JSON encoding accepted by :meth:`from_json`."""
         payload: dict[str, Any] = {"seed": self.seed}
-        for kind in ("crash", "hang", "degrade", "torn_append", "corrupt_chunk"):
+        for kind in (
+            "crash",
+            "hang",
+            "degrade",
+            "torn_append",
+            "corrupt_chunk",
+            "shard_crash",
+        ):
             spec: FaultSpec = getattr(self, kind)
             if spec.rate > 0.0:
                 payload[kind] = {
@@ -225,7 +248,15 @@ class FaultPlan:
             raise ReproError(f"invalid fault plan JSON: {error}") from error
         if not isinstance(payload, dict):
             raise ReproError(f"fault plan must be a JSON object, got {type(payload).__name__}")
-        known = {"seed", "crash", "hang", "degrade", "torn_append", "corrupt_chunk"}
+        known = {
+            "seed",
+            "crash",
+            "hang",
+            "degrade",
+            "torn_append",
+            "corrupt_chunk",
+            "shard_crash",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ReproError(
@@ -305,3 +336,20 @@ def journal_fault_action(key: str, attempt: int) -> str | None:
     if plan is None:
         return None
     return plan.journal_action(key, attempt)
+
+
+def inject_shard_fault(token: str, attempt: int) -> None:
+    """Shard-process injection point (the CLI's ``--shard-index`` mode).
+
+    *token* identifies the shard run (``"shard:<index>/<shards>"``) and
+    *attempt* is the driver's retry counter (:data:`repro.shard.driver
+    .SHARD_ATTEMPT_ENV`).  Fires :class:`InjectedShardCrash` before any
+    grid work, so a killed shard journals nothing partial beyond what an
+    ordinary kill would leave — and the retry, keyed one attempt higher,
+    runs clean.
+    """
+    plan = get_fault_plan()
+    if plan is not None and plan.should_fire("shard_crash", token, attempt):
+        raise InjectedShardCrash(
+            f"injected shard crash (fault plan, token={token}, attempt={attempt})"
+        )

@@ -1,0 +1,159 @@
+"""Local shard fan-out: run K shards as independent OS processes.
+
+``repro run <EXP> --shards K`` (no ``--shard-index``) lands here: the CLI
+builds one command line per *work slice* — ``repro run <EXP> --shards M
+--shard-index j --cache-dir <root>/shards/slice-j`` — and this driver
+executes the M slices on K concurrent worker threads, each slice in its
+own subprocess with its own cache directory and journal.  After the fan
+-out the CLI merges the slice journals (:func:`repro.store.merge
+.merge_cache`) and replays the experiment from the merged store, which by
+the chunk-key invariant reproduces the single-process run bit for bit.
+
+Straggler handling is by **over-decomposition**, not preemption: the
+default slice count is ``2K`` (the CLI's ``--shard-slices``), so when a
+heavy-tailed unit (a T1R5-style 10^6-population member) pins one worker,
+the remaining workers drain the slice queue instead of idling — the same
+work-reassignment effect as stealing, with no cross-process coordination
+to corrupt.  Each slice still computes its deterministic share of the
+grid, so reassignment can never change results, only who computes them.
+
+A failed slice (crash, injected ``shard_crash`` fault, OOM kill) is
+retried in a fresh subprocess with ``REPRO_SHARD_ATTEMPT`` bumped — the
+deterministic fault-injection contract (:mod:`repro.faults`) keys firing
+on the attempt number, so an injected crash never refires on the retry
+meant to recover from it.  Slices that exhaust their retries are reported,
+not raised over: completed slices stay mergeable, mirroring the
+quarantine philosophy of the in-process schedulers.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "DEFAULT_SLICE_FACTOR",
+    "SHARD_ATTEMPT_ENV",
+    "ShardProcessResult",
+    "run_shard_processes",
+    "shard_cache_dir",
+]
+
+#: Default over-decomposition: slices per worker.  ``2`` keeps the queue
+#: non-empty while any worker still has more than half its fair share left,
+#: without fragmenting the grid so far that planner balance stops mattering.
+DEFAULT_SLICE_FACTOR = 2
+
+#: Environment variable carrying a slice subprocess's retry attempt number
+#: (0 on first execution); read by the CLI's shard mode and forwarded to
+#: the deterministic fault-injection layer.
+SHARD_ATTEMPT_ENV = "REPRO_SHARD_ATTEMPT"
+
+#: Tail bytes of a failed slice's output kept for the report.
+_OUTPUT_TAIL = 4000
+
+
+def shard_cache_dir(root: str | Path, slice_index: int) -> Path:
+    """The per-slice cache directory under *root* (``shards/slice-NNN``)."""
+    return Path(root) / "shards" / f"slice-{slice_index:03d}"
+
+
+@dataclass(frozen=True)
+class ShardProcessResult:
+    """Outcome of one work slice's subprocess executions."""
+
+    slice_index: int
+    cache_dir: Path
+    returncode: int
+    attempts: int
+    duration: float
+    output_tail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0
+
+
+def run_shard_processes(
+    command_for_slice: Callable[[int, Path], Sequence[str]],
+    *,
+    slices: int,
+    workers: int,
+    cache_root: str | Path,
+    max_retries: int = 1,
+    env: Mapping[str, str] | None = None,
+) -> list[ShardProcessResult]:
+    """Execute *slices* work slices on *workers* concurrent subprocesses.
+
+    *command_for_slice(j, cache_dir)* builds slice *j*'s argv (the CLI
+    passes a ``repro run ... --shards M --shard-index j --cache-dir ...``
+    line).  Slices are pulled from a shared queue in index order; each runs
+    as a subprocess with :data:`SHARD_ATTEMPT_ENV` set to its attempt
+    number and is retried up to *max_retries* times on a non-zero exit.
+    Returns one :class:`ShardProcessResult` per slice, in slice order —
+    inspect ``ok`` per slice; this function only raises for invalid
+    arguments, never for slice failures.
+    """
+    if slices < 1:
+        raise ExperimentError(f"slices must be at least 1, got {slices}")
+    if workers < 1:
+        raise ExperimentError(f"workers must be at least 1, got {workers}")
+    if max_retries < 0:
+        raise ExperimentError(f"max_retries must be non-negative, got {max_retries}")
+    results: list[ShardProcessResult | None] = [None] * slices
+    queue = list(range(slices))
+    queue_lock = threading.Lock()
+
+    def next_slice() -> int | None:
+        with queue_lock:
+            return queue.pop(0) if queue else None
+
+    def run_slice(slice_index: int) -> ShardProcessResult:
+        cache_dir = shard_cache_dir(cache_root, slice_index)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        started = time.monotonic()
+        attempt = 0
+        while True:
+            slice_env = dict(os.environ if env is None else env)
+            slice_env[SHARD_ATTEMPT_ENV] = str(attempt)
+            completed = subprocess.run(
+                list(command_for_slice(slice_index, cache_dir)),
+                env=slice_env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            if completed.returncode == 0 or attempt >= max_retries:
+                return ShardProcessResult(
+                    slice_index=slice_index,
+                    cache_dir=cache_dir,
+                    returncode=completed.returncode,
+                    attempts=attempt + 1,
+                    duration=time.monotonic() - started,
+                    output_tail=(completed.stdout or "")[-_OUTPUT_TAIL:],
+                )
+            attempt += 1
+
+    def worker() -> None:
+        while True:
+            slice_index = next_slice()
+            if slice_index is None:
+                return
+            results[slice_index] = run_slice(slice_index)
+
+    threads = [
+        threading.Thread(target=worker, name=f"shard-worker-{i}", daemon=True)
+        for i in range(min(workers, slices))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return [result for result in results if result is not None]

@@ -24,9 +24,11 @@ from repro.store.journal import (
     ChunkJournal,
     JournalIssue,
     JournalVerifyReport,
+    iter_intact_records,
     quarantine_path,
     verify_journal,
 )
+from repro.store.merge import MergeReport, merge_cache
 from repro.store.keys import (
     RESULT_SCHEMA_VERSION,
     chunk_key,
@@ -44,10 +46,13 @@ __all__ = [
     "ExperimentStore",
     "JournalIssue",
     "JournalVerifyReport",
+    "MergeReport",
     "chunk_key",
     "config_hash",
     "ensemble_from_payload",
     "ensemble_to_payload",
+    "iter_intact_records",
+    "merge_cache",
     "quarantine_path",
     "run_key",
     "scheduler_fingerprint",

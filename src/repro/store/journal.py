@@ -48,7 +48,13 @@ from typing import Any, Iterator
 from repro.exceptions import StoreError
 from repro.store.keys import digest
 
-__all__ = ["ChunkJournal", "JournalIssue", "JournalVerifyReport", "verify_journal"]
+__all__ = [
+    "ChunkJournal",
+    "JournalIssue",
+    "JournalVerifyReport",
+    "iter_intact_records",
+    "verify_journal",
+]
 
 #: Suffix of the quarantine sidecar kept next to a journal file.
 QUARANTINE_SUFFIX = ".quarantine.jsonl"
@@ -174,6 +180,29 @@ def verify_journal(path: str | Path) -> JournalVerifyReport:
         torn_tail_bytes=torn_tail,
         quarantined_records=_count_sidecar_records(quarantine_path(path)),
     )
+
+
+def iter_intact_records(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield every intact record of the journal at *path*, in file order.
+
+    The read-only sibling of :class:`ChunkJournal`'s open-time scan: takes
+    no locks, writes nothing, skips complete-but-corrupt lines, and stops
+    at a torn tail — so it is safe against a journal another process is
+    appending to.  A missing journal yields nothing.  Used by consumers
+    that want the raw records rather than an addressable index: journal
+    union (:mod:`repro.store.merge`) and event-rate harvesting
+    (:class:`repro.shard.planner.EventRateHistory`).
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("rb") as handle:
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                return  # torn tail: nothing past it is framed
+            record, reason = _classify_line(raw)
+            if reason is None:
+                yield record
 
 
 class ChunkJournal:

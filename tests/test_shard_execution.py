@@ -1,0 +1,497 @@
+"""Chaos-style acceptance tests for sharded sweep execution.
+
+The gate: for K in {2, 4}, K independent shard schedulers each executing
+only their planned share of the grid — plus a union of their outputs —
+yield results **bitwise-identical** to the single-process run, including
+equal summed ``events_executed`` meters, across ``sweep_batch`` variations
+and all three sweep entry points (fixed, adaptive, threshold search).
+Sharding changes who computes a unit, never what it computes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.statistics import PrecisionTarget
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import run_experiment
+from repro.experiments.scheduler import (
+    SweepScheduler,
+    ThresholdRequest,
+    configure_default_scheduler,
+    get_default_scheduler,
+)
+from repro.experiments.sweep import SweepTask, placeholder_ensemble
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedShardCrash,
+    install_fault_plan,
+)
+from repro.lv.state import LVState
+from repro.shard import run_shard_processes, shard_cache_dir
+from repro.store import ExperimentStore
+from repro.__main__ import main
+
+from test_store import assert_bitwise_equal
+
+
+def _tasks(sd_params, nsd_params):
+    """A heterogeneous grid: mixed mechanisms, sizes, and budgets."""
+    return [
+        SweepTask(sd_params, LVState(40, 24), 120, seed=1, label="a"),
+        SweepTask(nsd_params, LVState(33, 31), 120, seed=2, label="b"),
+        SweepTask(sd_params, LVState(36, 28), 90, seed=3, label="c"),
+        SweepTask(nsd_params, LVState(64, 48), 90, seed=4, label="d"),
+        SweepTask(sd_params, LVState(20, 12), 150, seed=5, label="e"),
+        SweepTask(nsd_params, LVState(24, 20), 150, seed=6, label="f"),
+    ]
+
+
+def _run_sharded(tasks, shards, entry, **config):
+    """Run *entry* on every shard; return per-shard outputs, plans, events."""
+    outputs, owned_sets, events = [], [], 0
+    for shard_index in range(shards):
+        scheduler = SweepScheduler(
+            batch_size=64,
+            shards=shards,
+            shard_index=shard_index,
+            **config,
+        )
+        try:
+            outputs.append(entry(scheduler, tasks))
+            owned_sets.append(set(scheduler.plan_task_shards(tasks).members(shard_index)))
+            events += scheduler.events_executed
+        finally:
+            scheduler.shutdown()
+    return outputs, owned_sets, events
+
+
+class TestShardedSweepBitwise:
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("sweep_batch", [48, 128])
+    def test_union_matches_single_process(
+        self, shards, sweep_batch, sd_params, nsd_params
+    ):
+        tasks = _tasks(sd_params, nsd_params)
+        reference_scheduler = SweepScheduler(batch_size=64, sweep_batch=64)
+        try:
+            reference = reference_scheduler.run_sweep(tasks)
+            reference_events = reference_scheduler.events_executed
+        finally:
+            reference_scheduler.shutdown()
+        outputs, owned_sets, events = _run_sharded(
+            tasks,
+            shards,
+            lambda scheduler, grid: scheduler.run_sweep(grid),
+            sweep_batch=sweep_batch,
+        )
+        # Every task owned by exactly one shard.
+        all_owned = [unit for owned in owned_sets for unit in owned]
+        assert sorted(all_owned) == list(range(len(tasks)))
+        # Owned rows are bitwise-identical to the single-process run —
+        # whatever the sweep_batch — and the work meters add up exactly.
+        for owned, results in zip(owned_sets, outputs):
+            for index in owned:
+                assert_bitwise_equal(results[index], reference[index])
+        assert events == reference_events
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("engine", ["numpy", "auto"])
+    def test_union_matches_across_backend_and_engine(
+        self, shards, engine, sd_params, nsd_params
+    ):
+        # Mixed-backend grid: two units pinned to tau-leaping, the rest
+        # exact — ownership must not disturb either backend's bit stream,
+        # and the resolved engine never participates in the results.
+        tasks = _tasks(sd_params, nsd_params)
+        tasks[1] = replace(tasks[1], backend="tau")
+        tasks[4] = replace(tasks[4], backend="tau")
+        reference_scheduler = SweepScheduler(
+            batch_size=64, sweep_batch=64, engine="numpy"
+        )
+        try:
+            reference = reference_scheduler.run_sweep(tasks)
+            reference_events = reference_scheduler.events_executed
+        finally:
+            reference_scheduler.shutdown()
+        outputs, owned_sets, events = _run_sharded(
+            tasks,
+            shards,
+            lambda scheduler, grid: scheduler.run_sweep(grid),
+            sweep_batch=96,
+            engine=engine,
+        )
+        for owned, results in zip(owned_sets, outputs):
+            for index in owned:
+                assert_bitwise_equal(results[index], reference[index])
+        assert events == reference_events
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_adaptive_union_matches_single_process(
+        self, shards, sd_params, nsd_params
+    ):
+        tasks = _tasks(sd_params, nsd_params)
+        precision = PrecisionTarget(ci_half_width=0.06, max_replicates=400)
+        reference_scheduler = SweepScheduler(
+            batch_size=64, sweep_batch=64, precision=precision
+        )
+        try:
+            reference = reference_scheduler.run_sweep_adaptive(tasks)
+            reference_report = reference_scheduler.last_adaptive_report
+        finally:
+            reference_scheduler.shutdown()
+        for shard_index in range(shards):
+            scheduler = SweepScheduler(
+                batch_size=64,
+                sweep_batch=96,
+                precision=precision,
+                shards=shards,
+                shard_index=shard_index,
+            )
+            try:
+                results = scheduler.run_sweep_adaptive(tasks)
+                owned = set(scheduler.plan_task_shards(tasks).members(shard_index))
+                report = scheduler.last_adaptive_report
+            finally:
+                scheduler.shutdown()
+            for index in owned:
+                assert_bitwise_equal(results[index], reference[index])
+                assert report.replicates[index] == reference_report.replicates[index]
+                assert report.converged[index] == reference_report.converged[index]
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_threshold_union_matches_single_process(self, shards, sd_params):
+        requests = [
+            ThresholdRequest(sd_params, population_size=n, num_runs=60, seed=7)
+            for n in (16, 24, 32, 48)
+        ]
+        reference_scheduler = SweepScheduler(batch_size=64, sweep_batch=64)
+        try:
+            reference = reference_scheduler.find_thresholds(requests)
+        finally:
+            reference_scheduler.shutdown()
+        estimates = [None] * len(requests)
+        for shard_index in range(shards):
+            scheduler = SweepScheduler(
+                batch_size=64,
+                sweep_batch=64,
+                shards=shards,
+                shard_index=shard_index,
+            )
+            try:
+                shard_estimates = scheduler.find_thresholds(requests)
+                owned = scheduler.plan_threshold_shards(requests).members(shard_index)
+            finally:
+                scheduler.shutdown()
+            for index, estimate in enumerate(shard_estimates):
+                if index in owned:
+                    assert estimates[index] is None
+                    estimates[index] = estimate
+                else:
+                    # Placeholder: no search ran, nothing was measured.
+                    assert estimate.threshold_gap is None
+                    assert estimate.probes == {}
+        for estimate, expected in zip(estimates, reference):
+            assert estimate is not None
+            assert estimate.threshold_gap == expected.threshold_gap
+            assert set(estimate.probes) == set(expected.probes)
+
+    def test_plan_is_identical_across_shard_processes(self, sd_params, nsd_params):
+        tasks = _tasks(sd_params, nsd_params)
+        plans = []
+        for shard_index in range(3):
+            scheduler = SweepScheduler(shards=3, shard_index=shard_index)
+            try:
+                plans.append(scheduler.plan_task_shards(tasks))
+            finally:
+                scheduler.shutdown()
+        assert plans[0] == plans[1] == plans[2]
+
+
+class TestPlaceholders:
+    def test_placeholder_preserves_initial_counts(self, sd_params):
+        result = placeholder_ensemble(sd_params, LVState(40, 24))
+        assert result.final_x0.tolist() == [40]
+        assert result.final_x1.tolist() == [24]
+        assert result.total_events.tolist() == [0]
+        assert result.termination_codes.tolist() == [2]
+        assert not bool(result.hit_tie[0])
+
+
+class TestSchedulerValidation:
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            SweepScheduler(shards=0)
+
+    def test_shard_index_must_be_in_range(self):
+        with pytest.raises(ExperimentError):
+            SweepScheduler(shards=2, shard_index=2)
+        with pytest.raises(ExperimentError):
+            SweepScheduler(shards=2, shard_index=-1)
+
+    def test_shard_history_must_be_a_history(self):
+        with pytest.raises(ExperimentError):
+            SweepScheduler(shard_history={"not": "a history"})
+
+    def test_configure_default_scheduler_keeps_and_resets(self):
+        try:
+            scheduler = configure_default_scheduler(shards=3, shard_index=1)
+            assert (scheduler.shards, scheduler.shard_index) == (3, 1)
+            # Unrelated reconfiguration keeps the shard settings.
+            scheduler = configure_default_scheduler(jobs=1)
+            assert (scheduler.shards, scheduler.shard_index) == (3, 1)
+            scheduler = configure_default_scheduler(shards=1, shard_index=0)
+            assert (scheduler.shards, scheduler.shard_index) == (1, 0)
+        finally:
+            configure_default_scheduler(shards=1, shard_index=0, shard_history=None)
+
+
+class TestRegistryShardMode:
+    def test_run_tier_is_skipped_for_shard_runs(self, tmp_path):
+        store = ExperimentStore(tmp_path / "cache")
+        try:
+            configure_default_scheduler(
+                store=store, shards=2, shard_index=0, sweep_batch=256
+            )
+            run_experiment("T1R2", scale="quick", seed=0, store=store)
+            # Chunks journaled, but no run-tier entry: the result holds
+            # placeholder rows for the other shard's units.
+            assert store.stats.run_writes == 0
+            assert not (tmp_path / "cache" / "runs").exists()
+        finally:
+            configure_default_scheduler(
+                store=None, shards=1, shard_index=0, shard_history=None
+            )
+            get_default_scheduler().shutdown()
+            store.close()
+
+
+class TestShardProcessDriver:
+    def test_slices_run_and_report_in_order(self, tmp_path):
+        def command(slice_index, cache_dir):
+            return [
+                sys.executable,
+                "-c",
+                f"open({str(cache_dir / 'ran')!r}, 'w').write('{slice_index}')",
+            ]
+
+        results = run_shard_processes(
+            command, slices=3, workers=2, cache_root=tmp_path
+        )
+        assert [result.slice_index for result in results] == [0, 1, 2]
+        assert all(result.ok and result.attempts == 1 for result in results)
+        for slice_index in range(3):
+            assert (shard_cache_dir(tmp_path, slice_index) / "ran").exists()
+
+    def test_failed_slice_retries_with_bumped_attempt(self, tmp_path):
+        script = "import os, sys; sys.exit(0 if os.environ['REPRO_SHARD_ATTEMPT'] != '0' else 9)"
+
+        def command(slice_index, cache_dir):
+            return [sys.executable, "-c", script]
+
+        results = run_shard_processes(
+            command, slices=2, workers=2, cache_root=tmp_path, max_retries=1
+        )
+        assert all(result.ok and result.attempts == 2 for result in results)
+
+    def test_permanent_failure_is_reported_not_raised(self, tmp_path):
+        def command(slice_index, cache_dir):
+            return [sys.executable, "-c", "import sys; print('boom'); sys.exit(3)"]
+
+        results = run_shard_processes(
+            command, slices=1, workers=1, cache_root=tmp_path, max_retries=1
+        )
+        assert not results[0].ok
+        assert results[0].returncode == 3
+        assert results[0].attempts == 2
+        assert "boom" in results[0].output_tail
+
+    def test_invalid_arguments_are_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            run_shard_processes(lambda i, d: [], slices=0, workers=1, cache_root=tmp_path)
+        with pytest.raises(ExperimentError):
+            run_shard_processes(lambda i, d: [], slices=1, workers=0, cache_root=tmp_path)
+        with pytest.raises(ExperimentError):
+            run_shard_processes(
+                lambda i, d: [], slices=1, workers=1, cache_root=tmp_path, max_retries=-1
+            )
+
+
+class TestShardCliValidation:
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--shard-index", "0"],
+            ["--shard-slices", "4"],
+            ["--shard-history", "somewhere"],
+            ["--shards", "0"],
+            ["--shards", "2", "--shard-index", "2", "--cache-dir", "d"],
+            ["--shards", "2", "--shard-slices", "1"],
+            ["--shards", "2", "--shard-index", "0"],  # no --cache-dir
+            ["--shards", "2", "--no-cache"],
+            ["--shards", "2", "--shard-index", "0", "--cache-dir", "d", "--resume"],
+            ["--shards", "2", "--shard-history", "/nonexistent/path", "--cache-dir", "d"],
+        ],
+    )
+    def test_invalid_shard_flags_exit_with_code_2(self, extra):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "T1R2", *extra])
+        assert excinfo.value.code == 2
+
+    def test_driver_without_cache_dir_exits_with_code_2(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "T1R2", "--shards", "2"])
+        assert excinfo.value.code == 2
+
+
+class TestShardCliEndToEnd:
+    def test_driver_matches_single_process_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        reference_dir = tmp_path / "reference"
+        sharded_dir = tmp_path / "sharded"
+        assert main(
+            ["run", "T1R2", "--scale", "quick", "--cache-dir", str(reference_dir)]
+        ) == 0
+        reference_output = capsys.readouterr().out
+        assert main(
+            [
+                "run",
+                "T1R2",
+                "--scale",
+                "quick",
+                "--shards",
+                "2",
+                "--cache-dir",
+                str(sharded_dir),
+            ]
+        ) == 0
+        sharded_output = capsys.readouterr().out
+        assert "sharding: 4 work slice(s) on 2 concurrent shard process(es)" in sharded_output
+        # The replay served everything from the merged shard journals.
+        assert "0 miss(es)" in sharded_output
+        # Identical result tables...
+        table = lambda text: text[text.index("T1R2") : text.index("verdict")]
+        assert table(sharded_output) == table(reference_output)
+        # ...and identical journaled bits.
+        assert _journal_digest(sharded_dir) == _journal_digest(reference_dir)
+
+    def test_injected_shard_crashes_retry_to_identical_results(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        reference_dir = tmp_path / "reference"
+        sharded_dir = tmp_path / "sharded"
+        assert main(
+            ["run", "T1R2", "--scale", "quick", "--cache-dir", str(reference_dir)]
+        ) == 0
+        capsys.readouterr()
+        # Every slice's first attempt dies before touching its store; the
+        # driver retries with the attempt bumped, where the plan no longer
+        # fires — the distributed analogue of the worker-crash chaos gate.
+        plan = FaultPlan(seed=11, shard_crash=FaultSpec(rate=1.0))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        assert main(
+            [
+                "run",
+                "T1R2",
+                "--scale",
+                "quick",
+                "--shards",
+                "2",
+                "--cache-dir",
+                str(sharded_dir),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "2 attempt(s)" in output
+        assert "FAILED" not in output
+        assert _journal_digest(sharded_dir) == _journal_digest(reference_dir)
+
+    def test_shard_mode_crash_is_the_injected_exception(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_ATTEMPT", raising=False)
+        install_fault_plan(FaultPlan(seed=5, shard_crash=FaultSpec(rate=1.0)))
+        try:
+            with pytest.raises(InjectedShardCrash):
+                main(
+                    [
+                        "run",
+                        "T1R2",
+                        "--scale",
+                        "quick",
+                        "--shards",
+                        "2",
+                        "--shard-index",
+                        "0",
+                        "--cache-dir",
+                        str(tmp_path / "shard"),
+                    ]
+                )
+            # The crash fired before the store opened: no lock left behind.
+            assert not (tmp_path / "shard" / "lock").exists()
+            # A bumped attempt (the driver's retry) sails through.
+            monkeypatch.setenv("REPRO_SHARD_ATTEMPT", "1")
+            assert main(
+                [
+                    "run",
+                    "T1R2",
+                    "--scale",
+                    "quick",
+                    "--shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                    "--cache-dir",
+                    str(tmp_path / "shard"),
+                ]
+            ) == 0
+        finally:
+            install_fault_plan(None)
+
+    def test_merge_cache_command(self, tmp_path, capsys):
+        from repro.store import ChunkJournal
+
+        for name, payload in (("a", {"v": 1}), ("b", {"v": 2})):
+            journal = ChunkJournal(tmp_path / name / "journal.jsonl")
+            journal.append(f"k-{name}", payload)
+            journal.close()
+        assert main(
+            [
+                "merge-cache",
+                str(tmp_path / "dst"),
+                str(tmp_path / "a"),
+                str(tmp_path / "b"),
+            ]
+        ) == 0
+        assert "2 chunk(s) added" in capsys.readouterr().out
+
+    def test_merge_cache_conflict_exits_with_code_1(self, tmp_path, capsys):
+        from repro.store import ChunkJournal
+
+        for name, payload in (("a", {"v": 1}), ("b", {"v": 2})):
+            journal = ChunkJournal(tmp_path / name / "journal.jsonl")
+            journal.append("same-key", payload)
+            journal.close()
+        assert main(
+            [
+                "merge-cache",
+                str(tmp_path / "dst"),
+                str(tmp_path / "a"),
+                str(tmp_path / "b"),
+            ]
+        ) == 1
+        assert "merge conflict" in capsys.readouterr().err
+
+
+def _journal_digest(cache_dir):
+    """Canonical ``{key: payload}`` content of a cache's journal."""
+    contents = {}
+    for line in (cache_dir / "journal.jsonl").read_text().splitlines():
+        record = json.loads(line)
+        contents[record["key"]] = json.dumps(record["payload"], sort_keys=True)
+    return contents
