@@ -139,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "info",
         help="print the capability report (numba availability, kernel cache, "
-        "resolved default engine)",
+        "resolved default engine) and the registered scenario families",
     )
 
     run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
@@ -249,6 +249,15 @@ def _command_info(
     print(f"native kernels:  {'available' if report['native_available'] else 'unavailable'}")
     print(f"kernel cache:    {report['kernel_cache']} ({report['kernel_cache_dir']})")
     print(f"default engine:  {report['default_engine']}")
+    from repro.scenario.registry import list_families
+
+    print("scenarios:")
+    for family in list_families():
+        print(
+            f"  {family.name:<10} {family.num_species} species "
+            f"({', '.join(family.species)}); backends: "
+            f"{', '.join(family.backends)}; engines: {', '.join(family.engines)}"
+        )
     return 0
 
 

@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentResult, ExperimentSpec
-from repro.experiments import figures, table1
+from repro.experiments import figures, scenarios, table1
 
 if TYPE_CHECKING:
     from repro.store.store import ExperimentStore
@@ -116,6 +116,20 @@ def _build_registry() -> dict[str, ExperimentSpec]:
             title="Dominating-chain over-approximation",
             paper_claim="T(S) and J(S) are stochastically dominated by E(N) and B(N) (Lemma 9).",
             runner=figures.run_fig_dominating,
+        ),
+        ExperimentSpec(
+            identifier="SCEN-KOP",
+            title="k-opinion consensus through the generic scenario engine",
+            paper_claim="Plurality win rate increases with the initial lead and "
+            "beats the 1/k baseline (k = 3, 4 generalisation).",
+            runner=scenarios.run_scen_kop,
+        ),
+        ExperimentSpec(
+            identifier="SCEN-CAT",
+            title="Catalyst-modulated competition via the non-mass-action override",
+            paper_claim="Higher competition-to-individual rate ratios speed "
+            "consensus; the ratio is steered by an inert catalyst count.",
+            runner=scenarios.run_scen_cat,
         ),
     ]
     registry = {}

@@ -1289,10 +1289,7 @@ class SweepScheduler(ReplicaScheduler):
         share" a partition rather than a race.
         """
         signatures = [
-            config_signature(
-                task.params, task.initial_state.x0 + task.initial_state.x1
-            )
-            for task in tasks
+            config_signature(task.params, sum(task.counts)) for task in tasks
         ]
         budgets = [task.num_runs for task in tasks]
         return plan_shards(
@@ -1359,7 +1356,7 @@ class SweepScheduler(ReplicaScheduler):
         return [
             result
             if result is not None
-            else placeholder_ensemble(task.params, task.initial_state)
+            else placeholder_ensemble(task.params, task.initial_state, task.scenario)
             for task, result in zip(tasks, results)
         ]
 
@@ -1373,9 +1370,7 @@ class SweepScheduler(ReplicaScheduler):
 
     def _member_key(self, spec: MemberSpec, collect: str) -> str:
         """Content address of one planned member (see :mod:`repro.store.keys`)."""
-        backend = resolve_backend(
-            spec.backend or self.backend, spec.counts[0] + spec.counts[1]
-        )
+        backend = resolve_backend(spec.backend or self.backend, sum(spec.counts))
         return chunk_key(
             params=spec.params,
             counts=spec.counts,
@@ -1385,6 +1380,7 @@ class SweepScheduler(ReplicaScheduler):
             backend=backend,
             tau_epsilon=self.tau_epsilon,
             collect=collect,
+            scenario=spec.scenario,
         )
 
     def _execute_members(
@@ -1526,7 +1522,7 @@ class SweepScheduler(ReplicaScheduler):
         return [
             result
             if result is not None
-            else placeholder_ensemble(task.params, task.initial_state)
+            else placeholder_ensemble(task.params, task.initial_state, task.scenario)
             for task, result in zip(tasks, results)
         ]
 

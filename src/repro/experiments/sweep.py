@@ -66,6 +66,7 @@ from repro.lv.tau import (
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_seeds
+from repro.scenario.spec import DEFAULT_SCENARIO
 
 __all__ = [
     "DEFAULT_SWEEP_BATCH",
@@ -98,7 +99,7 @@ class SweepTask:
     """
 
     params: LVParams
-    initial_state: LVState
+    initial_state: LVState | tuple[int, ...]
     num_runs: int
     seed: SeedLike = None
     max_events: int = DEFAULT_MAX_EVENTS
@@ -115,13 +116,33 @@ class SweepTask:
     #: either way — the engine is purely an execution knob, which is why
     #: store chunk keys exclude it.
     engine: str | None = None
+    #: Registered scenario family the task runs under
+    #: (:mod:`repro.scenario.registry`).  The default ``"lv2"`` keeps the
+    #: two-species lock-step core and an :class:`~repro.lv.state.LVState`
+    #: initial state; other families validate ``initial_state`` as a
+    #: per-species counts tuple and execute on the generic scenario engine.
+    scenario: str = DEFAULT_SCENARIO
 
     def __post_init__(self) -> None:
-        if not isinstance(self.initial_state, LVState):
+        if self.scenario == DEFAULT_SCENARIO:
+            if not isinstance(self.initial_state, LVState):
+                object.__setattr__(
+                    self,
+                    "initial_state",
+                    LVJumpChainSimulator._coerce_state(self.initial_state),
+                )
+        else:
+            from repro.scenario.registry import validate_scenario_state
+
+            counts = (
+                (self.initial_state.x0, self.initial_state.x1)
+                if isinstance(self.initial_state, LVState)
+                else tuple(self.initial_state)
+            )
             object.__setattr__(
                 self,
                 "initial_state",
-                LVJumpChainSimulator._coerce_state(self.initial_state),
+                validate_scenario_state(self.scenario, counts),
             )
         if self.num_runs <= 0:
             raise ExperimentError(
@@ -142,6 +163,13 @@ class SweepTask:
                 f"(task {self.label!r})"
             )
 
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """The initial per-species counts as a plain tuple."""
+        if isinstance(self.initial_state, LVState):
+            return (self.initial_state.x0, self.initial_state.x1)
+        return self.initial_state
+
 
 @dataclass(frozen=True)
 class MemberSpec:
@@ -149,7 +177,7 @@ class MemberSpec:
 
     task_index: int
     params: LVParams
-    counts: tuple[int, int]
+    counts: tuple[int, ...]
     num_replicates: int
     seed: int
     max_events: int
@@ -157,13 +185,20 @@ class MemberSpec:
     backend: str | None = None
     #: The owning task's engine override (``None`` = scheduler default).
     engine: str | None = None
+    #: The owning task's scenario family (species count = ``len(counts)``).
+    scenario: str = DEFAULT_SCENARIO
 
     def to_member(self) -> SweepMember:
         return SweepMember(
             params=self.params,
-            initial_state=LVState(*self.counts),
+            initial_state=(
+                LVState(*self.counts)
+                if self.scenario == DEFAULT_SCENARIO
+                else self.counts
+            ),
             num_replicates=self.num_replicates,
             max_events=self.max_events,
+            scenario=self.scenario,
         )
 
 
@@ -188,12 +223,13 @@ def plan_members(
             MemberSpec(
                 task_index=index,
                 params=task.params,
-                counts=(task.initial_state.x0, task.initial_state.x1),
+                counts=task.counts,
                 num_replicates=size,
                 seed=seed,
                 max_events=task.max_events,
                 backend=task.backend,
                 engine=task.engine,
+                scenario=task.scenario,
             )
             for size, seed in zip(sizes, seeds)
         )
@@ -291,8 +327,7 @@ def execute_mega_batch(
     if not specs:
         raise ExperimentError("cannot execute an empty mega-batch")
     resolved = [
-        resolve_backend(spec.backend or backend, spec.counts[0] + spec.counts[1])
-        for spec in specs
+        resolve_backend(spec.backend or backend, sum(spec.counts)) for spec in specs
     ]
     engines = [resolve_engine(spec.engine or engine) for spec in specs]
     inject_execution_faults(
@@ -357,7 +392,9 @@ def demux_mega_results(
 
 
 def placeholder_ensemble(
-    params: LVParams, initial_state: LVState | tuple[int, int]
+    params: LVParams,
+    initial_state: LVState | tuple[int, ...],
+    scenario: str = DEFAULT_SCENARIO,
 ) -> LVEnsembleResult:
     """A zero-work stand-in for a task owned by a *different* shard.
 
@@ -370,15 +407,28 @@ def placeholder_ensemble(
     journaled — chunk keys are only minted for executed work — so a merged
     store contains exclusively real results.
     """
-    if not isinstance(initial_state, LVState):
-        initial_state = LVJumpChainSimulator._coerce_state(initial_state)
+    if scenario == DEFAULT_SCENARIO:
+        if not isinstance(initial_state, LVState):
+            initial_state = LVJumpChainSimulator._coerce_state(initial_state)
+        counts = (initial_state.x0, initial_state.x1)
+        finals = None
+        initial_counts = None
+    else:
+        counts = (
+            (initial_state.x0, initial_state.x1)
+            if isinstance(initial_state, LVState)
+            else tuple(int(value) for value in initial_state)
+        )
+        initial_state = LVState(counts[0], counts[1])
+        finals = np.array([counts], dtype=np.int64)
+        initial_counts = counts
     zeros = np.zeros(1, dtype=np.int64)
     zeros_2 = np.zeros((1, 2), dtype=np.int64)
     return LVEnsembleResult(
         params=params,
         initial_state=initial_state,
-        final_x0=np.array([initial_state.x0], dtype=np.int64),
-        final_x1=np.array([initial_state.x1], dtype=np.int64),
+        final_x0=np.array([counts[0]], dtype=np.int64),
+        final_x1=np.array([counts[1]], dtype=np.int64),
         total_events=zeros,
         termination_codes=np.full(1, 2, dtype=np.int64),
         births=zeros_2,
@@ -389,13 +439,12 @@ def placeholder_ensemble(
         good_events=zeros,
         noise_individual=zeros,
         noise_competitive=zeros,
-        max_total_population=np.array(
-            [initial_state.x0 + initial_state.x1], dtype=np.int64
-        ),
-        min_gap_seen=np.array(
-            [abs(initial_state.x0 - initial_state.x1)], dtype=np.int64
-        ),
+        max_total_population=np.array([sum(counts)], dtype=np.int64),
+        min_gap_seen=np.array([abs(counts[0] - counts[1])], dtype=np.int64),
         hit_tie=np.zeros(1, dtype=bool),
+        scenario=scenario,
+        finals=finals,
+        initial_counts=initial_counts,
     )
 
 
@@ -491,12 +540,13 @@ class AdaptiveTaskState:
             MemberSpec(
                 task_index=self.index,
                 params=task.params,
-                counts=(task.initial_state.x0, task.initial_state.x1),
+                counts=task.counts,
                 num_replicates=chunk_ladder_size(self.target, self.quantum, rung),
                 seed=self._chunk_seed(rung),
                 max_events=task.max_events,
                 backend=task.backend,
                 engine=task.engine,
+                scenario=task.scenario,
             )
             for rung in range(self.chunks_done, goal)
         ]

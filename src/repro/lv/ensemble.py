@@ -97,6 +97,18 @@ from repro.lv.simulator import (
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_generators, spawn_seeds
 
+# Low-layer rule: import only the import-light spec module here; the scenario
+# registry and the generic engine are imported lazily inside functions.
+from repro.scenario.spec import (
+    DEFAULT_SCENARIO,
+    TERM_ABSORBED,
+    TERM_CONSENSUS,
+    TERM_MAX_EVENTS,
+    TERMINATION_NAMES,
+    lv2_change_tables,
+    lv2_minority_good_table,
+)
+
 __all__ = [
     "LVEnsembleSimulator",
     "LVEnsembleResult",
@@ -106,9 +118,10 @@ __all__ = [
     "SCALAR_FINISH_WIDTH",
 ]
 
-#: Termination codes used in the result arrays.
-_CONSENSUS, _ABSORBED, _MAX_EVENTS = 0, 1, 2
-_TERMINATION_NAMES = ("consensus", "absorbed", "max-events")
+#: Termination codes used in the result arrays (the stack-wide constants of
+#: :mod:`repro.scenario.spec`, re-exported under the historical local names).
+_CONSENSUS, _ABSORBED, _MAX_EVENTS = TERM_CONSENSUS, TERM_ABSORBED, TERM_MAX_EVENTS
+_TERMINATION_NAMES = TERMINATION_NAMES
 
 #: Event indices: births, deaths, interspecific, intraspecific.
 _BIRTH0, _BIRTH1, _DEATH0, _DEATH1, _INTER0, _INTER1, _INTRA0, _INTRA1 = range(8)
@@ -141,29 +154,16 @@ _MIN_COMPACTION_WIDTH = 32
 #: scalar simulator's moves.  Column 8 is the **no-op sentinel**: retired
 #: replicas are steered to event 8 (their selection threshold is ``+inf``),
 #: so their state, histogram column, and every derived accumulator are
-#: untouched without any per-step masking.
-_DX0_TABLE = np.array(
-    [
-        [+1, 0, -1, 0, 0, -1, -1, 0, 0],
-        [+1, 0, -1, 0, -1, -1, -2, 0, 0],
-    ],
-    dtype=np.int64,
-)
-_DX1_TABLE = np.array(
-    [
-        [0, +1, 0, -1, -1, 0, 0, -1, 0],
-        [0, +1, 0, -1, -1, -1, 0, -2, 0],
-    ],
-    dtype=np.int64,
-)
+#: untouched without any per-step masking.  Derived from the two-species
+#: scenario tables (:func:`repro.scenario.spec.lv2_change_tables`), which the
+#: scenario spec tests pin against the historical literals.
+_DX0_TABLE, _DX1_TABLE = lv2_change_tables()
 
 #: good_table[m, e]: event e decreases the current minority's count
 #: (row 1: species 0 is the minority, row 0: species 1 is), following the
 #: scalar simulator's accounting where every interspecific event counts as
 #: good.  Mechanism-independent; column 8 is the retired-replica no-op.
-_GOOD_TABLE = np.zeros((2, 9), dtype=bool)
-_GOOD_TABLE[0, [_DEATH1, _INTRA1, _INTER0, _INTER1]] = True
-_GOOD_TABLE[1, [_DEATH0, _INTRA0, _INTER0, _INTER1]] = True
+_GOOD_TABLE = lv2_minority_good_table()
 
 #: Statistics collection levels of the lock-step core.  ``"full"`` produces
 #: the scalar simulator's complete per-replica accounting; ``"win"`` only
@@ -183,19 +183,41 @@ class SweepMember:
     occupies the next ``num_replicates`` replica slots, and
     :func:`run_sweep_ensemble` demultiplexes the lock-step arrays back into
     one :class:`LVEnsembleResult` per member in the same order.
+
+    *scenario* names the registered family the member runs under
+    (:mod:`repro.scenario.registry`).  The default ``"lv2"`` keeps the
+    specialised two-species lock-step core (``initial_state`` is coerced to
+    :class:`~repro.lv.state.LVState`); any other family routes the member to
+    the generic scenario engine and stores ``initial_state`` as a validated
+    per-species counts tuple.
     """
 
     params: LVParams
-    initial_state: LVState
+    initial_state: LVState | tuple[int, ...]
     num_replicates: int
     max_events: int = DEFAULT_MAX_EVENTS
+    scenario: str = DEFAULT_SCENARIO
 
     def __post_init__(self) -> None:
-        if not isinstance(self.initial_state, LVState):
+        if self.scenario == DEFAULT_SCENARIO:
+            if not isinstance(self.initial_state, LVState):
+                object.__setattr__(
+                    self,
+                    "initial_state",
+                    LVJumpChainSimulator._coerce_state(self.initial_state),
+                )
+        else:
+            from repro.scenario.registry import validate_scenario_state
+
+            counts = (
+                (self.initial_state.x0, self.initial_state.x1)
+                if isinstance(self.initial_state, LVState)
+                else tuple(self.initial_state)
+            )
             object.__setattr__(
                 self,
                 "initial_state",
-                LVJumpChainSimulator._coerce_state(self.initial_state),
+                validate_scenario_state(self.scenario, counts),
             )
         if self.num_replicates <= 0:
             raise InvalidConfigurationError(
@@ -242,6 +264,18 @@ class LVEnsembleResult:
     #: tau-leaping backend (:mod:`repro.lv.tau`) so schedulers can meter
     #: approximate and exact work separately.
     leap_events: np.ndarray | None = None
+    #: Registered scenario family this ensemble ran under.  ``"lv2"``
+    #: ensembles carry the two-species accounting above; generic ensembles
+    #: additionally populate ``finals`` / ``initial_counts``.
+    scenario: str = DEFAULT_SCENARIO
+    #: Full ``(R, S)`` final per-species counts for generic-scenario
+    #: ensembles (``None`` for the two-species default, whose finals are the
+    #: ``final_x0`` / ``final_x1`` columns).  Columns follow the scenario's
+    #: species order; the first two double as ``final_x0`` / ``final_x1``.
+    finals: np.ndarray | None = None
+    #: Initial per-species counts for generic-scenario ensembles (``None``
+    #: for the two-species default, which uses ``initial_state``).
+    initial_counts: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
     # Aggregate views
@@ -253,14 +287,35 @@ class LVEnsembleResult:
     def __len__(self) -> int:
         return self.num_replicates
 
+    def _opinion_counts(self) -> np.ndarray:
+        """``(R, K)`` final counts of the scenario's opinion species."""
+        from repro.scenario.registry import build_scenario
+
+        opinion = build_scenario(self.scenario, self.params).opinion_index
+        return self.finals[:, opinion]
+
     @property
     def reached_consensus(self) -> np.ndarray:
-        """Boolean mask: replica ended with at least one species extinct."""
+        """Boolean mask: replica ended with exactly one opinion surviving.
+
+        For the two-species default this is "at least one species extinct"
+        (the historical definition, which also counts dead heats); generic
+        scenarios read the spec's consensus predicate over the opinion
+        species.
+        """
+        if self.finals is not None:
+            return (self._opinion_counts() > 0).sum(axis=1) <= 1
         return (self.final_x0 == 0) | (self.final_x1 == 0)
 
     @property
     def winners(self) -> np.ndarray:
-        """Winner per replica: 0, 1, or -1 (no winner / no consensus)."""
+        """Winning opinion per replica, or -1 (no winner / no consensus)."""
+        if self.finals is not None:
+            positive = self._opinion_counts() > 0
+            winners = np.full(self.num_replicates, -1, dtype=np.int64)
+            consensus = positive.sum(axis=1) == 1
+            winners[consensus] = positive[consensus].argmax(axis=1)
+            return winners
         winners = np.full(self.num_replicates, -1, dtype=np.int64)
         winners[(self.final_x1 == 0) & (self.final_x0 > 0)] = 0
         winners[(self.final_x0 == 0) & (self.final_x1 > 0)] = 1
@@ -268,7 +323,14 @@ class LVEnsembleResult:
 
     @property
     def majority_consensus(self) -> np.ndarray:
-        """Boolean mask: the initial majority species is the sole survivor."""
+        """Boolean mask: the initial majority opinion is the sole survivor."""
+        if self.finals is not None:
+            from repro.scenario.registry import build_scenario
+
+            opinion = build_scenario(self.scenario, self.params).opinion_index
+            initial = np.asarray(self.initial_counts, dtype=np.int64)[opinion]
+            reference = int(initial.argmax())
+            return self.winners == reference
         majority = self.initial_state.majority_species
         reference = 0 if majority is None else majority
         return self.winners == reference
@@ -281,7 +343,9 @@ class LVEnsembleResult:
 
     @property
     def dead_heat(self) -> np.ndarray:
-        """Boolean mask: both species extinct simultaneously."""
+        """Boolean mask: every opinion extinct simultaneously."""
+        if self.finals is not None:
+            return (self._opinion_counts() == 0).all(axis=1)
         return (self.final_x0 == 0) & (self.final_x1 == 0)
 
     @property
@@ -319,10 +383,15 @@ class LVEnsembleResult:
         if len(results) == 1:
             return first
         for other in results[1:]:
-            if other.params != first.params or other.initial_state != first.initial_state:
+            if (
+                other.params != first.params
+                or other.initial_state != first.initial_state
+                or other.scenario != first.scenario
+                or other.initial_counts != first.initial_counts
+            ):
                 raise InvalidConfigurationError(
-                    "can only concatenate ensembles with identical parameters "
-                    "and initial state"
+                    "can only concatenate ensembles with identical parameters, "
+                    "scenario, and initial state"
                 )
         return cls(
             params=first.params,
@@ -364,6 +433,13 @@ class LVEnsembleResult:
                     ]
                 )
             ),
+            scenario=first.scenario,
+            finals=(
+                None
+                if first.finals is None
+                else np.concatenate([r.finals for r in results])
+            ),
+            initial_counts=first.initial_counts,
         )
 
     # ------------------------------------------------------------------
@@ -376,6 +452,12 @@ class LVEnsembleResult:
         interchangeable with scalar-simulator results everywhere summaries
         are computed (e.g. :func:`repro.consensus.estimator.summarise_runs`).
         """
+        if self.finals is not None:
+            raise InvalidConfigurationError(
+                "LVRunResult projection is specific to the two-species default "
+                f"scenario; ensemble ran scenario {self.scenario!r} — read the "
+                "ensemble arrays (finals, termination_codes) directly"
+            )
         majority = self.initial_state.majority_species
         reference = 0 if majority is None else majority
         results: list[LVRunResult] = []
@@ -699,7 +781,7 @@ def run_sweep_ensemble(
         )
     resolved_engine = resolve_engine(engine)
     if member_seeds is None:
-        seeds = spawn_seeds(rng, len(members))
+        seeds = list(spawn_seeds(rng, len(members)))
     else:
         if len(member_seeds) != len(members):
             raise InvalidConfigurationError(
@@ -708,6 +790,62 @@ def run_sweep_ensemble(
         # One spawn per member: the same derivation a one-member batch applies
         # to its ``rng``, which is what makes fused and solo runs bitwise equal.
         seeds = [spawn_seeds(seed, 1)[0] for seed in member_seeds]
+
+    # Non-default scenario members route to the generic scenario engine with
+    # their already-derived root seeds (same derivation as above, so generic
+    # members keep the fused == solo bitwise contract too); the two-species
+    # default keeps the specialised lock-step core below, untouched.
+    generic_indexes = [
+        i for i, member in enumerate(members) if member.scenario != DEFAULT_SCENARIO
+    ]
+    if generic_indexes:
+        from repro.scenario.engine import run_scenario_members
+
+        generic_results = run_scenario_members(
+            [members[i] for i in generic_indexes],
+            [seeds[i] for i in generic_indexes],
+            collect=collect,
+            engine=resolved_engine,
+        )
+        merged: list[LVEnsembleResult | None] = [None] * len(members)
+        for index, result in zip(generic_indexes, generic_results):
+            merged[index] = result
+        lv2_indexes = [
+            i for i, member in enumerate(members) if member.scenario == DEFAULT_SCENARIO
+        ]
+        if lv2_indexes:
+            lv2_results = _run_lv2_members(
+                [members[i] for i in lv2_indexes],
+                [seeds[i] for i in lv2_indexes],
+                compaction_fraction=compaction_fraction,
+                collect=collect,
+                resolved_engine=resolved_engine,
+            )
+            for index, result in zip(lv2_indexes, lv2_results):
+                merged[index] = result
+        return merged
+    return _run_lv2_members(
+        members,
+        seeds,
+        compaction_fraction=compaction_fraction,
+        collect=collect,
+        resolved_engine=resolved_engine,
+    )
+
+
+def _run_lv2_members(
+    members: Sequence[SweepMember],
+    seeds: Sequence[int],
+    *,
+    compaction_fraction: float | None,
+    collect: str,
+    resolved_engine: str,
+) -> list[LVEnsembleResult]:
+    """The specialised two-species lock-step path of :func:`run_sweep_ensemble`.
+
+    *seeds* are the per-member root seeds (already derived), each spawning
+    the member's step/tail stream pair in :class:`_MemberStreams`.
+    """
     streams = _MemberStreams(seeds)
 
     state = _LockstepState(members)

@@ -116,8 +116,13 @@ _C_NUM_LIVE, _C_STEP, _C_CURSOR = 0, 1, 2
 #: is asserted by the parity tests).
 _SCALAR_FINISH_WIDTH = 8
 
-#: Termination codes, identical to the ensemble module's.
-_CONSENSUS, _ABSORBED, _MAX_EVENTS = 0, 1, 2
+#: Termination codes: the stack-wide constants of :mod:`repro.scenario.spec`
+#: (import-light by design, so no cycle with the lv modules).
+from repro.scenario.spec import (  # noqa: E402
+    TERM_ABSORBED as _ABSORBED,
+    TERM_CONSENSUS as _CONSENSUS,
+    TERM_MAX_EVENTS as _MAX_EVENTS,
+)
 
 #: ``scratch`` slots of the scalar-run kernel.
 (

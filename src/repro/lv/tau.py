@@ -66,11 +66,8 @@ import numpy as np
 
 from repro.exceptions import InvalidConfigurationError, SimulationError
 from repro.lv.ensemble import (
-    _ABSORBED,
-    _CONSENSUS,
     _DX0_TABLE,
     _DX1_TABLE,
-    _MAX_EVENTS,
     COLLECT_MODES,
     LVEnsembleResult,
     SweepMember,
@@ -81,6 +78,15 @@ from repro.lv.params import LVParams
 from repro.lv.simulator import DEFAULT_MAX_EVENTS, LVJumpChainSimulator
 from repro.lv.state import LVState
 from repro.rng import SeedLike, spawn_generators, spawn_seeds
+
+# Termination codes come from the stack-wide scenario spec (the single home
+# of the constants the engines share); the historical local aliases remain.
+from repro.scenario.spec import (
+    DEFAULT_SCENARIO,
+    TERM_ABSORBED as _ABSORBED,
+    TERM_CONSENSUS as _CONSENSUS,
+    TERM_MAX_EVENTS as _MAX_EVENTS,
+)
 
 __all__ = [
     "BACKENDS",
@@ -232,18 +238,34 @@ def run_tau_sweep_ensemble(
         # Same one-spawn-per-member derivation as the exact engine, so a
         # fused member equals the solo run bitwise.
         seeds = [spawn_seeds(seed, 1)[0] for seed in member_seeds]
-    results = []
-    for member, seed in zip(members, seeds):
+    results: list[LVEnsembleResult | None] = [None] * len(members)
+    generic_indexes = [
+        i for i, member in enumerate(members) if member.scenario != DEFAULT_SCENARIO
+    ]
+    if generic_indexes:
+        # Non-default scenarios leap through the generic scenario engine
+        # (same per-member seed derivation, so fused == solo holds there too).
+        from repro.scenario.engine import run_scenario_members_tau
+
+        generic_results = run_scenario_members_tau(
+            [members[i] for i in generic_indexes],
+            [seeds[i] for i in generic_indexes],
+            epsilon=epsilon,
+            collect=collect,
+        )
+        for index, result in zip(generic_indexes, generic_results):
+            results[index] = result
+    for index, (member, seed) in enumerate(zip(members, seeds)):
+        if member.scenario != DEFAULT_SCENARIO:
+            continue
         step_generator, tail_generator = spawn_generators(seed, 2)
-        results.append(
-            _run_member_tau(
-                member,
-                step_generator,
-                tail_generator,
-                epsilon,
-                exact_tail_population,
-                native_tail,
-            )
+        results[index] = _run_member_tau(
+            member,
+            step_generator,
+            tail_generator,
+            epsilon,
+            exact_tail_population,
+            native_tail,
         )
     return results
 

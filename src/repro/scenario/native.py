@@ -1,0 +1,181 @@
+"""Shape-generic native kernel for scenario lock-step execution.
+
+The same architecture as :mod:`repro.lv.native`, generalised from the fixed
+two-species/9-column tables to arbitrary ``(M, S)`` scenario tables: a
+nopython-subset kernel advances a whole replica batch in lock-step — one
+event per alive replica per step, uniforms supplied by the caller in blocks
+through the ``STATUS_REFILL`` protocol — and is JIT-compiled when numba is
+importable, else runs as its own interpreted twin (bit-identical by
+construction: it *is* the same function object, just not compiled).
+
+The kernel's floating-point operand order matches
+:meth:`repro.scenario.spec.Scenario.propensity_rows` element for element, so
+the ``numpy`` and ``numba`` engines of the generic scenario path produce
+bitwise-identical results from the same streams — the same contract the
+specialised two-species engines keep, enforced by the scenario parity tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lv.native import (
+    NATIVE_AVAILABLE,
+    STATUS_DONE,
+    STATUS_REFILL,
+    STATUS_THIN,
+)
+from repro.scenario.spec import TERM_ABSORBED, TERM_CONSENSUS, TERM_MAX_EVENTS
+
+__all__ = [
+    "scenario_lockstep_kernel",
+    "warm_scenario_kernel",
+]
+
+_ABSORBED = TERM_ABSORBED
+_CONSENSUS = TERM_CONSENSUS
+_MAX_EVENTS = TERM_MAX_EVENTS
+
+
+def _scenario_lockstep_py(
+    states,
+    alive,
+    events,
+    codes,
+    good_counts,
+    max_totals,
+    reactants,
+    changes,
+    rates,
+    linear,
+    good_vec,
+    opinion,
+    max_events,
+    collect_stats,
+    uniforms,
+    used,
+    cum,
+    tail_width,
+):
+    """Advance the batch until done, thin, or out of uniforms.
+
+    One step fires one event in every replica alive at the step's start, in
+    ascending replica order; replicas whose total propensity is zero retire
+    as absorbed without consuming a uniform.  Returns a ``STATUS_*`` code;
+    ``used[0]`` reports how many uniforms were consumed.
+    """
+    num_replicas = states.shape[0]
+    num_species = states.shape[1]
+    num_reactions = rates.shape[0]
+    num_opinions = opinion.shape[0]
+    available = uniforms.shape[0]
+    pos = 0
+    while True:
+        n_alive = 0
+        for r in range(num_replicas):
+            if alive[r] != 0:
+                n_alive += 1
+        if n_alive == 0:
+            used[0] = pos
+            return STATUS_DONE
+        if n_alive <= tail_width:
+            used[0] = pos
+            return STATUS_THIN
+        if available - pos < n_alive:
+            used[0] = pos
+            return STATUS_REFILL
+        for r in range(num_replicas):
+            if alive[r] == 0:
+                continue
+            total = 0.0
+            for m in range(num_reactions):
+                a = rates[m]
+                for s in range(num_species):
+                    c = linear[m, s]
+                    if c != 0.0:
+                        a = a + c * float(states[r, s])
+                for s in range(num_species):
+                    order = reactants[m, s]
+                    if order == 1:
+                        a = a * float(states[r, s])
+                    elif order == 2:
+                        x = float(states[r, s])
+                        a = a * (x * (x - 1.0)) * 0.5
+                total = total + a
+                cum[m] = total
+            if total <= 0.0:
+                codes[r] = _ABSORBED
+                alive[r] = 0
+                continue
+            threshold = uniforms[pos] * total
+            pos += 1
+            event = 0
+            for m in range(num_reactions):
+                if cum[m] <= threshold:
+                    event += 1
+            if event >= num_reactions:
+                event = num_reactions - 1
+            for s in range(num_species):
+                delta = changes[event, s]
+                if delta != 0:
+                    states[r, s] += delta
+            events[r] += 1
+            if good_vec[event] != 0:
+                good_counts[r] += 1
+            if collect_stats != 0:
+                total_population = 0
+                for s in range(num_species):
+                    total_population += states[r, s]
+                if total_population > max_totals[r]:
+                    max_totals[r] = total_population
+            positive = 0
+            for k in range(num_opinions):
+                if states[r, opinion[k]] > 0:
+                    positive += 1
+            if positive == 1:
+                codes[r] = _CONSENSUS
+                alive[r] = 0
+            elif positive == 0:
+                codes[r] = _ABSORBED
+                alive[r] = 0
+            elif events[r] >= max_events:
+                codes[r] = _MAX_EVENTS
+                alive[r] = 0
+
+
+if NATIVE_AVAILABLE:
+    from numba import njit  # pragma: no cover - exercised on numba CI legs
+
+    #: The JIT-compiled kernel (or the interpreted twin when numba is absent).
+    scenario_lockstep_kernel = njit(cache=True, fastmath=False)(_scenario_lockstep_py)
+else:
+    scenario_lockstep_kernel = _scenario_lockstep_py
+
+
+def warm_scenario_kernel() -> bool:
+    """Trigger (and cache) the kernel compilation with a tiny throwaway batch.
+
+    Returns whether the native (compiled) kernel is in use.
+    """
+    states = np.array([[3, 2], [2, 3]], dtype=np.int64)
+    scenario_lockstep_kernel(
+        states,
+        np.ones(2, dtype=np.uint8),
+        np.zeros(2, dtype=np.int64),
+        np.zeros(2, dtype=np.int8),
+        np.zeros(2, dtype=np.int64),
+        np.zeros(2, dtype=np.int64),
+        np.array([[1, 0], [0, 1]], dtype=np.int64),
+        np.array([[-1, 0], [0, -1]], dtype=np.int64),
+        np.array([1.0, 1.0], dtype=np.float64),
+        np.zeros((2, 2), dtype=np.float64),
+        np.ones(2, dtype=np.uint8),
+        np.array([0, 1], dtype=np.int64),
+        np.int64(4),
+        np.uint8(1),
+        np.full(16, 0.5, dtype=np.float64),
+        np.zeros(1, dtype=np.int64),
+        np.zeros(2, dtype=np.float64),
+        np.int64(0),
+    )
+    return NATIVE_AVAILABLE

@@ -51,7 +51,11 @@ __all__ = [
 #: Version of the serialised result layout (:mod:`repro.store.serialize`).
 #: Part of every key, so bumping it invalidates the whole store without any
 #: deletion pass: old entries simply stop matching.
-RESULT_SCHEMA_VERSION = 1
+#: Version 2: scenario-engine generalisation — chunk keys fold in the
+#: scenario fingerprint, payloads carry ``scenario``/``initial_counts``/
+#: ``finals`` for generic-scenario ensembles, and ``counts`` may have more
+#: than two species.
+RESULT_SCHEMA_VERSION = 2
 
 
 def canonical_json(payload: Any) -> str:
@@ -80,13 +84,14 @@ def params_payload(params: LVParams) -> dict[str, Any]:
 def chunk_key(
     *,
     params: LVParams,
-    counts: tuple[int, int],
+    counts: tuple[int, ...],
     num_replicates: int,
     seed: int,
     max_events: int,
     backend: str,
     tau_epsilon: float,
     collect: str = "full",
+    scenario: str | None = None,
 ) -> str:
     """Content address of one simulation chunk.
 
@@ -101,16 +106,28 @@ def chunk_key(
     engine would only split one result across two addresses and forfeit
     cache hits when a journal written on a numba host is replayed on a
     numpy-only one (or vice versa).
+
+    *scenario* names the registered scenario family the chunk runs under
+    (``None`` means the two-species default).  The key folds in the
+    **scenario fingerprint** — the content hash of the fully lowered
+    reaction tables for ``(family, params)``
+    (:func:`repro.scenario.registry.scenario_fingerprint`) — rather than
+    just the family name, so any change to how a family lowers parameters
+    into tables invalidates exactly that family's chunks.
     """
+    from repro.scenario.registry import scenario_fingerprint
+    from repro.scenario.spec import DEFAULT_SCENARIO
+
     payload: dict[str, Any] = {
         "schema": RESULT_SCHEMA_VERSION,
         "params": params_payload(params),
-        "counts": [int(counts[0]), int(counts[1])],
+        "counts": [int(count) for count in counts],
         "num_replicates": int(num_replicates),
         "seed": int(seed),
         "max_events": int(max_events),
         "backend": backend,
         "collect": collect,
+        "scenario": scenario_fingerprint(scenario or DEFAULT_SCENARIO, params),
     }
     if backend == "tau":
         payload["tau_epsilon"] = float(tau_epsilon)

@@ -53,7 +53,13 @@ def _array_from_payload(payload: dict[str, Any]) -> np.ndarray:
 
 
 def ensemble_to_payload(result: LVEnsembleResult) -> dict[str, Any]:
-    """JSON-serialisable payload of one ensemble result."""
+    """JSON-serialisable payload of one ensemble result.
+
+    Generic-scenario ensembles additionally record the scenario name, the
+    full ``(R, S)`` ``finals`` array, and the initial counts tuple; the
+    two-species default omits them (absent keys mean ``"lv2"``), keeping
+    default-path payloads byte-compatible modulo the schema number.
+    """
     payload: dict[str, Any] = {
         "schema": RESULT_SCHEMA_VERSION,
         "params": params_payload(result.params),
@@ -64,6 +70,10 @@ def ensemble_to_payload(result: LVEnsembleResult) -> dict[str, Any]:
     }
     if result.leap_events is not None:
         payload["arrays"]["leap_events"] = _array_payload(result.leap_events)
+    if result.finals is not None:
+        payload["scenario"] = result.scenario
+        payload["initial_counts"] = [int(count) for count in result.initial_counts]
+        payload["arrays"]["finals"] = _array_payload(result.finals)
     return payload
 
 
@@ -88,10 +98,17 @@ def ensemble_from_payload(payload: dict[str, Any]) -> LVEnsembleResult:
         arrays = payload["arrays"]
         fields = {name: _array_from_payload(arrays[name]) for name in _ARRAY_FIELDS}
         leap = arrays.get("leap_events")
+        finals = arrays.get("finals")
+        initial_counts = payload.get("initial_counts")
         return LVEnsembleResult(
             params=params,
             initial_state=LVState(*payload["initial_state"]),
             leap_events=None if leap is None else _array_from_payload(leap),
+            scenario=payload.get("scenario", "lv2"),
+            finals=None if finals is None else _array_from_payload(finals),
+            initial_counts=(
+                None if initial_counts is None else tuple(initial_counts)
+            ),
             **fields,
         )
     except (KeyError, TypeError, ValueError) as error:

@@ -74,6 +74,19 @@ class TestParser:
 
 
 class TestCommands:
+    def test_info_lists_registered_scenarios(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "scenarios:" in output
+        for line in (
+            "lv2        2 species (X0, X1)",
+            "opinion3   3 species (X0, X1, X2)",
+            "opinion4   4 species (X0, X1, X2, X3)",
+            "catalysis  3 species (X0, X1, C)",
+        ):
+            assert line in output
+        assert output.count("backends: exact, tau") == 4
+
     def test_list_prints_every_experiment(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out

@@ -33,6 +33,8 @@ EXPECTED_IDS = {
     "FIG-NOISE",
     "FIG-ODE",
     "FIG-DOM",
+    "SCEN-KOP",
+    "SCEN-CAT",
 }
 
 

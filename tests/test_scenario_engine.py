@@ -1,0 +1,211 @@
+"""Tests for the generic scenario execution engine.
+
+The contracts under test mirror the two-species lock-step engine's:
+
+* **engine parity** — the numba kernel path (or its interpreted twin when
+  numba is absent) is bitwise-identical to the vectorized numpy path;
+* **fusion invariance** — a member's result is bitwise-identical whether it
+  runs alone or fused into a mixed lv2/generic mega-batch, on both the
+  exact and tau backends;
+* **determinism** — same seeds, same bits, and ``collect="win"`` never
+  perturbs trajectories;
+* **result semantics** — the generic ``LVEnsembleResult`` extensions
+  (winners, majority consensus, concatenation, store round-trip, chunk-key
+  fingerprinting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidConfigurationError
+from repro.lv.ensemble import LVEnsembleResult, SweepMember, run_sweep_ensemble
+from repro.lv.params import LVParams
+from repro.lv.state import LVState
+from repro.lv.tau import run_tau_sweep_ensemble
+from repro.scenario.engine import run_scenario_members, run_scenario_members_tau
+from repro.scenario.spec import TERM_ABSORBED, TERM_CONSENSUS, TERM_MAX_EVENTS
+from repro.store.keys import chunk_key
+from repro.store.serialize import ensemble_from_payload, ensemble_to_payload
+
+PARAMS = LVParams.self_destructive(beta=1.0, delta=1.0, alpha=1.0)
+CAT_PARAMS = LVParams.self_destructive(beta=0.3, delta=0.3, alpha=0.05)
+
+
+def _members() -> list[SweepMember]:
+    return [
+        SweepMember(PARAMS, (30, 20, 15), 40, max_events=50_000, scenario="opinion3"),
+        SweepMember(PARAMS, (20, 14, 14, 12), 40, max_events=50_000, scenario="opinion4"),
+        SweepMember(CAT_PARAMS, (30, 20, 60), 40, max_events=50_000, scenario="catalysis"),
+    ]
+
+
+def _assert_results_bitwise_equal(left, right):
+    assert np.array_equal(left.finals, right.finals)
+    assert np.array_equal(left.total_events, right.total_events)
+    assert np.array_equal(left.termination_codes, right.termination_codes)
+    assert np.array_equal(left.good_events, right.good_events)
+    assert np.array_equal(left.max_total_population, right.max_total_population)
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("member_index", range(3))
+    def test_numpy_and_native_paths_bitwise_identical(self, member_index):
+        member = _members()[member_index]
+        (numpy_result,) = run_scenario_members([member], [123], engine="numpy")
+        (native_result,) = run_scenario_members([member], [123], engine="numba")
+        _assert_results_bitwise_equal(numpy_result, native_result)
+
+    def test_repeat_runs_are_deterministic(self):
+        members = _members()
+        first = run_scenario_members(members, [5, 6, 7])
+        second = run_scenario_members(members, [5, 6, 7])
+        for left, right in zip(first, second):
+            _assert_results_bitwise_equal(left, right)
+
+    def test_win_collect_matches_full(self):
+        member = _members()[0]
+        (full,) = run_scenario_members([member], [9], collect="full")
+        (win,) = run_scenario_members([member], [9], collect="win")
+        assert np.array_equal(full.finals, win.finals)
+        assert np.array_equal(full.total_events, win.total_events)
+        assert np.array_equal(full.termination_codes, win.termination_codes)
+
+
+class TestFusionInvariance:
+    def test_generic_member_identical_solo_or_fused_with_lv2(self):
+        generic = SweepMember(PARAMS, (25, 18, 17), 30, scenario="opinion3")
+        lv2 = SweepMember(PARAMS, LVState(30, 20), 30)
+        fused = run_sweep_ensemble([lv2, generic, lv2], rng=42)
+        # Same batch-level seed, same batch composition: fully repeatable.
+        refused = run_sweep_ensemble([lv2, generic, lv2], rng=42)
+        for left, right in zip(fused, refused):
+            assert np.array_equal(left.total_events, right.total_events)
+        # Explicit per-member seeds: solo == fused bit for bit.
+        seeds = [101, 202, 303]
+        fused = run_sweep_ensemble([lv2, generic, lv2], member_seeds=seeds)
+        solo_generic = run_sweep_ensemble([generic], member_seeds=[202])
+        _assert_results_bitwise_equal(fused[1], solo_generic[0])
+        solo_lv2 = run_sweep_ensemble([lv2], member_seeds=[303])
+        assert np.array_equal(fused[2].final_x0, solo_lv2[0].final_x0)
+        assert np.array_equal(fused[2].total_events, solo_lv2[0].total_events)
+
+    def test_tau_generic_member_identical_solo_or_fused(self):
+        generic = SweepMember(
+            CAT_PARAMS, (900, 600, 200), 8, max_events=2_000_000, scenario="catalysis"
+        )
+        lv2 = SweepMember(PARAMS, LVState(40, 25), 8)
+        seeds = [11, 22]
+        fused = run_tau_sweep_ensemble([lv2, generic], member_seeds=seeds)
+        solo = run_tau_sweep_ensemble([generic], member_seeds=[22])
+        _assert_results_bitwise_equal(fused[1], solo[0])
+
+    def test_member_order_preserved_in_mixed_batches(self):
+        members = [
+            SweepMember(PARAMS, (25, 18, 17), 5, scenario="opinion3"),
+            SweepMember(PARAMS, LVState(30, 20), 5),
+            SweepMember(CAT_PARAMS, (20, 15, 40), 5, scenario="catalysis"),
+        ]
+        results = run_sweep_ensemble(members, member_seeds=[1, 2, 3])
+        assert results[0].scenario == "opinion3"
+        assert results[0].finals.shape == (5, 3)
+        assert results[1].scenario == "lv2"
+        assert results[1].finals is None
+        assert results[2].scenario == "catalysis"
+        assert results[2].finals.shape == (5, 3)
+
+
+class TestTauBackend:
+    def test_tau_runs_and_leaps_on_large_populations(self):
+        member = SweepMember(
+            PARAMS, (1100, 740, 720), 8, max_events=2_000_000, scenario="opinion3"
+        )
+        (result,) = run_scenario_members_tau([member], [77], epsilon=0.03)
+        assert result.leap_events is not None
+        assert int(result.leap_events.sum()) > 0
+        assert result.reached_consensus.all()
+
+    def test_tau_is_deterministic(self):
+        member = SweepMember(
+            CAT_PARAMS, (800, 500, 300), 6, max_events=2_000_000, scenario="catalysis"
+        )
+        (first,) = run_scenario_members_tau([member], [3], epsilon=0.03)
+        (second,) = run_scenario_members_tau([member], [3], epsilon=0.03)
+        _assert_results_bitwise_equal(first, second)
+
+    def test_small_populations_resolved_by_exact_tail(self):
+        # Opinion populations below the tau tail threshold: every replica is
+        # handed to the shared exact tail and must still terminate cleanly.
+        member = SweepMember(PARAMS, (40, 30, 20), 12, scenario="opinion3")
+        (result,) = run_scenario_members_tau([member], [13], epsilon=0.03)
+        codes = result.termination_codes
+        assert set(np.unique(codes)) <= {TERM_CONSENSUS, TERM_ABSORBED, TERM_MAX_EVENTS}
+        assert result.reached_consensus.any()
+
+
+class TestResultSemantics:
+    def test_winners_and_majority_consensus(self):
+        member = SweepMember(PARAMS, (40, 20, 15), 30, scenario="opinion3")
+        (result,) = run_scenario_members([member], [55])
+        winners = result.winners
+        consensus = result.reached_consensus
+        assert ((winners >= -1) & (winners < 3)).all()
+        assert np.array_equal(winners >= 0, consensus & ~result.dead_heat)
+        # Majority consensus references opinion 0 (the initial plurality).
+        assert np.array_equal(result.majority_consensus, winners == 0)
+
+    def test_concatenate_generic_results(self):
+        member = SweepMember(PARAMS, (30, 20, 15), 10, scenario="opinion3")
+        (left,) = run_scenario_members([member], [1])
+        (right,) = run_scenario_members([member], [2])
+        merged = LVEnsembleResult.concatenate([left, right])
+        assert merged.num_replicates == 20
+        assert np.array_equal(merged.finals, np.concatenate([left.finals, right.finals]))
+        assert merged.scenario == "opinion3"
+        assert merged.initial_counts == (30, 20, 15)
+
+    def test_concatenate_rejects_mismatched_scenarios(self):
+        (opinion,) = run_scenario_members(
+            [SweepMember(PARAMS, (30, 20, 15), 4, scenario="opinion3")], [1]
+        )
+        (catalysis,) = run_scenario_members(
+            [SweepMember(CAT_PARAMS, (30, 20, 15), 4, scenario="catalysis")], [1]
+        )
+        with pytest.raises(InvalidConfigurationError):
+            LVEnsembleResult.concatenate([opinion, catalysis])
+
+    def test_to_run_results_rejected_for_generic_scenarios(self):
+        (result,) = run_scenario_members(
+            [SweepMember(PARAMS, (30, 20, 15), 4, scenario="opinion3")], [1]
+        )
+        with pytest.raises(InvalidConfigurationError):
+            result.to_run_results()
+
+    def test_store_round_trip_is_bitwise(self):
+        member = SweepMember(CAT_PARAMS, (30, 20, 60), 12, scenario="catalysis")
+        (result,) = run_scenario_members([member], [99])
+        restored = ensemble_from_payload(ensemble_to_payload(result))
+        assert restored.scenario == "catalysis"
+        assert restored.initial_counts == (30, 20, 60)
+        _assert_results_bitwise_equal(result, restored)
+        assert np.array_equal(result.good_events, restored.good_events)
+
+    def test_chunk_keys_fold_in_the_scenario(self):
+        common = dict(
+            params=PARAMS,
+            counts=(30, 20, 15),
+            num_replicates=10,
+            seed=7,
+            max_events=1000,
+            backend="exact",
+            tau_epsilon=0.03,
+        )
+        assert chunk_key(scenario="opinion3", **common) != chunk_key(
+            scenario="catalysis", **common
+        )
+        # None means the default family — same key as naming it explicitly.
+        two_species = dict(common, counts=(30, 20))
+        assert chunk_key(scenario=None, **two_species) == chunk_key(
+            scenario="lv2", **two_species
+        )
