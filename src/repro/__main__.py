@@ -76,6 +76,14 @@ replicate budgets.
     conflict-checked (same chunk key with different bytes is a hard
     error), and idempotent — re-merging or overlapping sources skip
     already-present identical chunks.
+
+``python -m repro lint``
+    Run the determinism-contract linter (:mod:`repro.contracts`) over the
+    configured source tree: RNG discipline, iteration-order determinism,
+    store-key purity, and the njit nopython subset, enforced statically
+    from the AST.  Exits 0 exactly when every finding is covered by a
+    justified ``# repro: noqa-RC###: <why>`` waiver; ``--format json``
+    emits the machine-readable report CI archives on failure.
 """
 
 from __future__ import annotations
@@ -211,6 +219,43 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="source",
         help="shard cache directories (or journal files) to union in",
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check the determinism contracts (RNG discipline, "
+        "iteration order, store-key purity, njit nopython subset); exits "
+        "non-zero on any unwaived finding",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="path",
+        help="files or directories to lint (default: the [tool.repro.contracts] "
+        "paths, i.e. src/repro)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="report_format",
+        help="report format: human-readable text (default) or the versioned "
+        "JSON document CI archives",
+    )
+    lint_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the report to this file (the exit code is unchanged)",
+    )
+    lint_parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="project root holding pyproject.toml (default: the nearest "
+        "ancestor of the working directory with one)",
     )
 
     verify_parser = subparsers.add_parser(
@@ -857,6 +902,29 @@ def _command_verify_cache(
     return 0
 
 
+def _command_lint(
+    _parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> int:
+    """Run the determinism-contract linter (exit 0 iff no active findings)."""
+    from repro.contracts import LintError, lint_paths, render_json, render_text
+
+    try:
+        result = lint_paths(
+            arguments.paths or None,
+            root=arguments.root,
+        )
+    except LintError as error:
+        print(f"lint failed: {error}", file=sys.stderr)
+        return 2
+    render = render_json if arguments.report_format == "json" else render_text
+    report = render(result)
+    if arguments.output is not None:
+        arguments.output.parent.mkdir(parents=True, exist_ok=True)
+        arguments.output.write_text(report)
+    print(report, end="")
+    return result.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -868,6 +936,7 @@ def main(argv: list[str] | None = None) -> int:
         "estimate": _command_estimate,
         "merge-cache": _command_merge_cache,
         "verify-cache": _command_verify_cache,
+        "lint": _command_lint,
     }
     try:
         return handlers[arguments.command](parser, arguments)

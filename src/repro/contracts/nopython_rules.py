@@ -1,0 +1,346 @@
+"""RC4xx — nopython-subset rules for the native kernels.
+
+The JIT kernels in :mod:`repro.lv.native` and :mod:`repro.scenario.native`
+are their own interpreted twins: one function object, njit-compiled when
+numba imports, run as plain Python otherwise, bitwise-identical either way.
+That identity only holds while the kernels stay inside a vetted construct
+subset — scalar arithmetic in a fixed operand order, ``range`` loops, flat
+array indexing, module-level integer constants — where compiled and
+interpreted semantics probably coincide.  RC401 enforces the subset
+statically; RC402 pins the njit options that parity depends on
+(``cache=True`` so pool workers load instead of recompiling, and
+``fastmath``/``parallel`` permanently off because both reorder
+floating-point arithmetic).
+
+Kernels are discovered two ways, and the union is checked: statically (a
+function passed to an ``njit(...)`` application, including through an alias
+like ``_jit = numba.njit(...)``), and by name from the configured
+``kernel-functions`` list — so the numba-free fallback branch that binds
+the plain function can never hide a kernel from the checker.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.contracts.astutil import ModuleInfo, dotted_name, iter_functions
+from repro.contracts.config import ContractsConfig
+from repro.contracts.rules import Finding
+
+__all__ = ["check_nopython"]
+
+#: Builtins callable inside a kernel.
+_ALLOWED_CALLS = frozenset({"range", "len", "int", "float", "bool", "abs", "min", "max"})
+
+#: Attribute reads allowed inside a kernel (array geometry only).
+_ALLOWED_ATTRIBUTES = frozenset({"shape", "size", "ndim"})
+
+#: Node types a kernel body may contain.  Everything else — comprehensions,
+#: dict/set/list displays, with/try/raise/assert, lambdas, f-strings,
+#: starred args, nested defs, yields — is outside the vetted subset.
+_ALLOWED_NODES: tuple[type[ast.AST], ...] = (
+    ast.arguments,
+    ast.arg,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.For,
+    ast.While,
+    ast.If,
+    ast.Return,
+    ast.Expr,
+    ast.Break,
+    ast.Continue,
+    ast.Pass,
+    ast.BoolOp,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Compare,
+    ast.Call,
+    ast.IfExp,
+    ast.Constant,
+    ast.Subscript,
+    ast.Slice,
+    ast.Name,
+    ast.Attribute,
+    ast.Tuple,
+    ast.operator,
+    ast.cmpop,
+    ast.boolop,
+    ast.unaryop,
+    ast.expr_context,
+)
+
+
+def _module_constants(tree: ast.Module) -> set[str]:
+    """Module-level names a kernel may read.
+
+    Literal constants (including tuple-unpack of literals and ``range``
+    unpacks like the scratch-slot enums) and names bound by imports or
+    simple aliasing — the patterns the kernel modules use for termination
+    codes and status enums.  Anything else (mutable module state, computed
+    values) stays forbidden inside kernels.
+    """
+    constants: set[str] = set()
+
+    def literal_like(value: ast.expr) -> bool:
+        if isinstance(value, ast.Constant):
+            return True
+        if isinstance(value, ast.Name):
+            return True
+        if isinstance(value, ast.Tuple):
+            return all(literal_like(element) for element in value.elts)
+        if isinstance(value, ast.Call):
+            return (
+                isinstance(value.func, ast.Name)
+                and value.func.id == "range"
+                and all(isinstance(arg, ast.Constant) for arg in value.args)
+            )
+        return False
+
+    def collect_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            constants.add(target.id)
+        elif isinstance(target, ast.Tuple):
+            for element in target.elts:
+                collect_target(element)
+
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and literal_like(node.value):
+            for target in node.targets:
+                collect_target(target)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if literal_like(node.value):
+                collect_target(node.target)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                constants.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                constants.add((alias.asname or alias.name).split(".")[0])
+    return constants
+
+
+def _njit_sites(tree: ast.Module) -> list[tuple[ast.AST, dict[str, ast.expr]]]:
+    """Every njit application site with its option keywords.
+
+    Covers ``njit(...)`` option calls (direct or via ``numba.``) and the
+    bare-decorator form ``@njit`` / ``@numba.njit``, which passes no options
+    at all — and therefore no ``cache=True``.
+    """
+    sites: list[tuple[ast.AST, dict[str, ast.expr]]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is not None and dotted.split(".")[-1] == "njit":
+                keywords = {
+                    keyword.arg: keyword.value
+                    for keyword in node.keywords
+                    if keyword.arg is not None
+                }
+                sites.append((node, keywords))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                if isinstance(decorator, ast.Call):
+                    continue  # the Call branch above sees it
+                dotted = dotted_name(decorator)
+                if dotted is not None and dotted.split(".")[-1] == "njit":
+                    sites.append((decorator, {}))
+    return sites
+
+
+def _detected_kernels(tree: ast.Module) -> set[str]:
+    """Function names that receive an njit application in *tree*.
+
+    Handles the three binding shapes the repo uses::
+
+        @njit(cache=True)           # decorator
+        def kernel(...): ...
+
+        kernel = njit(cache=True)(kernel_py)          # direct application
+        _jit = numba.njit(cache=True); k = _jit(py)   # through an alias
+    """
+    kernels: set[str] = set()
+    aliases: set[str] = set()
+
+    def is_njit(expression: ast.expr) -> bool:
+        dotted = dotted_name(expression)
+        return dotted is not None and dotted.split(".")[-1] == "njit"
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                target = decorator.func if isinstance(decorator, ast.Call) else decorator
+                if is_njit(target):
+                    kernels.add(node.name)
+        elif isinstance(node, ast.Assign):
+            value = node.value
+            if isinstance(value, ast.Call) and is_njit(value.func):
+                # alias binding: _jit = numba.njit(...)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        applies_njit = (
+            isinstance(node.func, ast.Call) and is_njit(node.func.func)
+        ) or (isinstance(node.func, ast.Name) and node.func.id in aliases)
+        if applies_njit:
+            for argument in node.args:
+                if isinstance(argument, ast.Name):
+                    kernels.add(argument.id)
+    return kernels
+
+
+def _check_njit_options(module: ModuleInfo) -> list[Finding]:
+    """RC402: every njit(...) call must pin the parity-critical options."""
+    findings: list[Finding] = []
+    for site, keywords in _njit_sites(module.tree):
+        problems: list[str] = []
+        cache = keywords.get("cache")
+        if not (isinstance(cache, ast.Constant) and cache.value is True):
+            problems.append(
+                "must pass cache=True (workers load the compiled kernel "
+                "from disk instead of recompiling)"
+            )
+        for forbidden in ("fastmath", "parallel"):
+            value = keywords.get(forbidden)
+            if value is not None and not (
+                isinstance(value, ast.Constant) and value.value in (False, None)
+            ):
+                problems.append(
+                    f"must not enable {forbidden}= (reorders floating-point "
+                    "arithmetic and breaks bitwise kernel/twin parity)"
+                )
+        for problem in problems:
+            findings.append(
+                Finding(
+                    "RC402",
+                    module.relpath,
+                    getattr(site, "lineno", 1),
+                    getattr(site, "col_offset", 0),
+                    f"njit options: {problem}",
+                )
+            )
+    return findings
+
+
+def _check_kernel_body(
+    module: ModuleInfo,
+    qualname: str,
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+    constants: set[str],
+) -> list[Finding]:
+    """RC401: walk one kernel body against the construct whitelist."""
+    findings: list[Finding] = []
+
+    def report(node: ast.AST, why: str) -> None:
+        findings.append(
+            Finding(
+                "RC401",
+                module.relpath,
+                getattr(node, "lineno", function.lineno),
+                getattr(node, "col_offset", function.col_offset),
+                f"kernel {qualname}: {why}",
+                symbol=qualname,
+            )
+        )
+
+    # Only the body statements are subset-checked: the decorator expression
+    # (the njit application itself) and any annotations live outside the
+    # compiled code.
+    body = list(function.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]  # the docstring is not part of the compiled body
+
+    local_names = {argument.arg for argument in function.args.args}
+    local_names.update(argument.arg for argument in function.args.posonlyargs)
+    local_names.update(argument.arg for argument in function.args.kwonlyargs)
+    body_nodes: list[ast.AST] = []
+    for statement in body:
+        body_nodes.extend(ast.walk(statement))
+    for node in body_nodes:
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local_names.add(node.id)
+
+    for node in body_nodes:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            report(node, "nested functions/lambdas are outside the vetted subset")
+            continue
+        if not isinstance(node, _ALLOWED_NODES):
+            report(
+                node,
+                f"construct {type(node).__name__} is outside the vetted "
+                "nopython subset",
+            )
+            continue
+        if isinstance(node, ast.Call):
+            if not (isinstance(node.func, ast.Name) and node.func.id in _ALLOWED_CALLS):
+                callee = dotted_name(node.func) or type(node.func).__name__
+                report(
+                    node,
+                    f"call to {callee!r}; kernels may only call "
+                    f"{', '.join(sorted(_ALLOWED_CALLS))}",
+                )
+            elif node.keywords:
+                report(node, "keyword arguments are outside the vetted subset")
+        elif isinstance(node, ast.Attribute):
+            if node.attr not in _ALLOWED_ATTRIBUTES or not isinstance(
+                node.ctx, ast.Load
+            ):
+                report(
+                    node,
+                    f"attribute access .{node.attr}; kernels may only read "
+                    f"{', '.join(sorted(_ALLOWED_ATTRIBUTES))}",
+                )
+        elif isinstance(node, ast.For):
+            iterator = node.iter
+            if not (
+                isinstance(iterator, ast.Call)
+                and isinstance(iterator.func, ast.Name)
+                and iterator.func.id == "range"
+            ):
+                report(node, "for-loops in kernels must iterate range(...)")
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if (
+                node.id not in local_names
+                and node.id not in constants
+                and node.id not in _ALLOWED_CALLS
+                and node.id not in ("True", "False", "None")
+            ):
+                report(
+                    node,
+                    f"reads global {node.id!r}, which is not a module-level "
+                    "constant; kernels may only read declared constants",
+                )
+        elif isinstance(node, ast.Expr) and not (
+            isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            report(node, "expression statements (side effects) are not allowed")
+    return findings
+
+
+def check_nopython(module: ModuleInfo, config: ContractsConfig) -> list[Finding]:
+    """All RC4xx findings for one module (kernel modules only)."""
+    if not module.in_any(config.kernel_modules):
+        return []
+    findings = _check_njit_options(module)
+    constants = _module_constants(module.tree)
+    functions = dict(iter_functions(module.tree))
+    kernel_names = _detected_kernels(module.tree) | (
+        set(config.kernel_functions) & set(functions)
+    )
+    for qualname in sorted(kernel_names):
+        function = functions.get(qualname)
+        if function is not None:
+            findings.extend(
+                _check_kernel_body(module, qualname, function, constants)
+            )
+    return findings

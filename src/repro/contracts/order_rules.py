@@ -1,0 +1,147 @@
+"""RC2xx — iteration-order determinism rules.
+
+Directory scans return entries in filesystem order, set iteration order
+varies with hash randomisation and insertion history, and ``json.dumps``
+without ``sort_keys`` serialises dict insertion order.  None of these may
+reach results, store bytes, or planning decisions: RC201 flags unsorted
+directory-scan consumption anywhere in the tree, RC202/RC203 flag set
+iteration and unsorted JSON encoding inside the order-critical modules
+(the store and the shard planner).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.contracts.astutil import ModuleInfo, dotted_name, parent_map
+from repro.contracts.config import ContractsConfig
+from repro.contracts.rules import Finding
+
+__all__ = ["check_order"]
+
+#: Fully dotted scan callables (module-qualified form).
+_SCAN_DOTTED = frozenset(
+    {
+        "glob.glob",
+        "glob.iglob",
+        "os.listdir",
+        "os.scandir",
+    }
+)
+
+#: Bare names that are scans when imported with ``from ... import``.
+_SCAN_BARE = frozenset({"iglob", "listdir", "scandir"})
+
+#: Method names that scan a directory on any receiver (pathlib.Path).
+_SCAN_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+
+def _is_scan_call(node: ast.Call) -> str | None:
+    """The scan callable's display name when *node* is a directory scan."""
+    dotted = dotted_name(node.func)
+    if dotted in _SCAN_DOTTED:
+        return dotted
+    if isinstance(node.func, ast.Name) and node.func.id in _SCAN_BARE:
+        return node.func.id
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _SCAN_METHODS:
+        # ``glob.glob`` was handled above; every other ``<expr>.glob/rglob/
+        # iterdir`` is a pathlib-style scan.
+        if dotted is None or dotted not in _SCAN_DOTTED:
+            return f"<path>.{node.func.attr}"
+    return None
+
+
+def _sorted_wrapped(node: ast.Call, parents: dict[int, ast.AST]) -> bool:
+    """Whether the scan call's results flow through ``sorted(...)``.
+
+    Walks upward through transparent comprehension machinery, so both
+    ``sorted(p.glob(...))`` and ``sorted(f(x) for x in glob.glob(...))``
+    qualify.  Assigning the raw scan to a variable and sorting later does
+    not — the checker is deliberately conservative (waive with
+    justification when the indirection is genuinely sorted).
+    """
+    current: ast.AST = node
+    while True:
+        parent = parents.get(id(current))
+        if parent is None:
+            return False
+        if isinstance(
+            parent, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.comprehension)
+        ):
+            current = parent
+            continue
+        if isinstance(parent, ast.Call):
+            callee = parent.func
+            if isinstance(callee, ast.Name) and callee.id == "sorted":
+                return True
+        return False
+
+
+def _iterates_set(iterable: ast.expr) -> bool:
+    """Whether *iterable* is literally a set (display, comp, or set() call)."""
+    if isinstance(iterable, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(iterable, ast.Call) and isinstance(iterable.func, ast.Name):
+        return iterable.func.id in ("set", "frozenset")
+    return False
+
+
+def check_order(module: ModuleInfo, config: ContractsConfig) -> list[Finding]:
+    """All RC2xx findings for one module."""
+    findings: list[Finding] = []
+    parents = parent_map(module.tree)
+    order_critical = module.in_any(config.order_critical_paths)
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            scan = _is_scan_call(node)
+            if scan is not None and not _sorted_wrapped(node, parents):
+                findings.append(
+                    Finding(
+                        "RC201",
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"{scan}() returns entries in filesystem order; wrap "
+                        "the scan in sorted(...) so iteration order is "
+                        "host-independent",
+                    )
+                )
+            elif (
+                order_critical
+                and dotted_name(node.func) in ("json.dumps", "json.dump")
+                and not any(
+                    keyword.arg == "sort_keys"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in node.keywords
+                )
+            ):
+                findings.append(
+                    Finding(
+                        "RC203",
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        "json encoding in an order-critical module must pass "
+                        "sort_keys=True, or the bytes depend on dict "
+                        "construction order",
+                    )
+                )
+        elif order_critical and isinstance(
+            node, (ast.For, ast.AsyncFor, ast.comprehension)
+        ):
+            iterable = node.iter
+            if _iterates_set(iterable):
+                findings.append(
+                    Finding(
+                        "RC202",
+                        module.relpath,
+                        iterable.lineno,
+                        iterable.col_offset,
+                        "iterating a set in an order-critical module; sort "
+                        "it (sorted(...)) so iteration order is stable "
+                        "across processes and hash seeds",
+                    )
+                )
+    return findings

@@ -1,0 +1,152 @@
+"""The declared RNG consumption-order registry (rule RC104's ground truth).
+
+The sweep engine's bitwise contract — fused == solo, independent of
+``jobs`` / ``sweep_batch`` / packing / engine — holds because every draw
+from a member's **step** and **tail** streams happens at a declared place in
+a declared order (see the consumption-order prose in
+:mod:`repro.lv.ensemble` and DESIGN.md).  This module is the machine-checked
+half of that prose: every function that draws from, forwards, or spawns a
+member stream must be listed here, in its documented position in the
+consumption order.  The linter (rule ``RC104``) flags any stream-touching
+function missing from this registry, and any registry entry whose function
+no longer touches streams (``RC105``), so the registry and the code cannot
+drift apart silently.
+
+Adding an entry is a *contract change*: it belongs in the same review as
+the prose update in DESIGN.md, which is exactly the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StreamConsumer", "CONSUMPTION_ORDER_REGISTRY", "registered_consumers"]
+
+
+@dataclass(frozen=True)
+class StreamConsumer:
+    """One declared draw/forward site in the stream consumption order."""
+
+    #: Qualified name inside its module (``Class.method`` or ``function``).
+    qualname: str
+    #: ``"step"``, ``"tail"``, or ``"both"``.
+    stream: str
+    #: Where this sits in the member's consumption order.
+    role: str
+
+
+#: module name -> declared consumers, in consumption order.
+CONSUMPTION_ORDER_REGISTRY: dict[str, tuple[StreamConsumer, ...]] = {
+    "repro.lv.ensemble": (
+        StreamConsumer(
+            "_MemberStreams.__init__",
+            "both",
+            "spawns each member's (step, tail) generator pair from the "
+            "member seed — step first, tail second, members in order",
+        ),
+        StreamConsumer(
+            "_MemberStreams.draw",
+            "step",
+            "the only reader of the step stream on the numpy path: blocked "
+            "uniform draws, partition-invariant by Generator.random",
+        ),
+        StreamConsumer(
+            "_advance_lockstep",
+            "tail",
+            "hands the untouched tail generator to the scalar finisher "
+            "when a member's active set goes thin",
+        ),
+        StreamConsumer(
+            "_advance_lockstep_native",
+            "both",
+            "per-member native driver dispatch: step stream for kernel "
+            "refills, tail stream for the scalar tail, members in order",
+        ),
+        StreamConsumer(
+            "_advance_member_native",
+            "both",
+            "draws whole step-stream blocks on kernel REFILL and forwards "
+            "the tail stream on the thin handoff",
+        ),
+        StreamConsumer(
+            "_finish_member_tail_native",
+            "tail",
+            "native scalar tail: one run per surviving replica in "
+            "ascending original-replica order",
+        ),
+        StreamConsumer(
+            "_finish_member_tail",
+            "tail",
+            "scalar-simulator tail: one run per surviving replica in "
+            "ascending original-replica order",
+        ),
+        StreamConsumer(
+            "_finish_member_tail_lean",
+            "tail",
+            "win-collect tail twin: identical draws to _finish_member_tail, "
+            "accounting skipped",
+        ),
+    ),
+    "repro.lv.tau": (
+        StreamConsumer(
+            "run_tau_sweep_ensemble",
+            "both",
+            "spawns each member's (step, tail) generator pair from the "
+            "member seed and dispatches the per-member tau advance in "
+            "member order",
+        ),
+        StreamConsumer(
+            "_run_member_tau",
+            "both",
+            "tau leaps draw Poisson firings and exact-step uniforms from "
+            "the step stream; the exact endgame below the crossover hands "
+            "the tail stream to the scalar path",
+        ),
+        StreamConsumer(
+            "_finish_exact_tail",
+            "tail",
+            "exact-SSA endgame for parked replicas, ascending original-"
+            "replica order, via the shared scalar-tail merge",
+        ),
+    ),
+    "repro.scenario.engine": (
+        StreamConsumer(
+            "run_scenario_members",
+            "both",
+            "spawns each member's (step, tail) pair from the caller-derived "
+            "root seed and dispatches the per-member advance in member order",
+        ),
+        StreamConsumer(
+            "_advance_member_numpy",
+            "both",
+            "interpreted generic path: blocked step-stream uniforms, tail "
+            "stream handed to the scalar tail",
+        ),
+        StreamConsumer(
+            "_advance_member_native",
+            "both",
+            "native generic path: step-stream blocks on kernel REFILL, "
+            "tail stream on the thin handoff",
+        ),
+        StreamConsumer(
+            "_finish_member_tail",
+            "tail",
+            "generic scalar tail: one jump-chain run per surviving replica "
+            "in ascending original-replica order",
+        ),
+        StreamConsumer(
+            "_run_member_tau",
+            "both",
+            "generic tau path: Poisson firings from the step stream, "
+            "scalar endgame from the tail stream",
+        ),
+    ),
+}
+
+
+def registered_consumers(module: str) -> dict[str, StreamConsumer]:
+    """The declared consumers of *module*, keyed by qualified name."""
+    return {
+        consumer.qualname: consumer
+        for consumer in CONSUMPTION_ORDER_REGISTRY.get(module, ())
+    }

@@ -1,0 +1,85 @@
+"""Text and JSON rendering of lint results.
+
+The JSON document is a stable machine-readable schema (``schema`` field,
+bumped on incompatible change) that CI consumes and uploads as an artifact
+on failure; the text form is the human-facing log output.  Both render the
+same findings, including waived ones (with their justifications), so a
+reviewer can audit every suppression without reading source.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.contracts.engine import LintResult
+from repro.contracts.rules import RULES
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text", "result_payload"]
+
+#: Version of the JSON report layout.
+JSON_SCHEMA_VERSION = 1
+
+
+def result_payload(result: LintResult) -> dict[str, Any]:
+    """The JSON-serialisable report document for *result*."""
+    by_rule: dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    return {
+        "schema": JSON_SCHEMA_VERSION,
+        "tool": "repro.contracts",
+        "root": result.root,
+        "files_scanned": result.files_scanned,
+        "exit_code": result.exit_code,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "rule_class": finding.rule.rule_class,
+                "title": finding.rule.title,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col + 1,
+                "message": finding.message,
+                "symbol": finding.symbol,
+                "waived": finding.waived,
+                "justification": finding.justification,
+            }
+            for finding in result.findings
+        ],
+        "summary": {
+            "total": len(result.findings),
+            "active": len(result.active),
+            "waived": len(result.waived),
+            "by_rule": by_rule,
+        },
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """The JSON report as a string (sorted keys, trailing newline)."""
+    return json.dumps(result_payload(result), sort_keys=True, indent=2) + "\n"
+
+
+def render_text(result: LintResult) -> str:
+    """The human-facing report."""
+    lines: list[str] = []
+    for finding in result.findings:
+        marker = "waived" if finding.waived else "error"
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} [{marker}] {finding.message}"
+        )
+        if finding.waived and finding.justification:
+            lines.append(f"    waiver: {finding.justification}")
+    active = result.active
+    if active:
+        lines.append("")
+        lines.append("rule catalog (violated rules):")
+        for rule_id in sorted({finding.rule_id for finding in active}):
+            lines.append(f"  {rule_id}: {RULES[rule_id].title}")
+    lines.append("")
+    lines.append(
+        f"{result.files_scanned} file(s) scanned: "
+        f"{len(active)} active finding(s), {len(result.waived)} waived"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,80 @@
+"""Per-line waivers: ``# repro: noqa-RC###: justification``.
+
+A waiver suppresses the named rule(s) on its own line only, and the
+justification is **mandatory** — the linter's acceptance bar is "zero
+unjustified waivers", so an empty justification is itself a finding
+(:data:`~repro.contracts.rules.RC901`), and a waiver that matches no finding
+is flagged as stale (:data:`~repro.contracts.rules.RC902`).
+
+Syntax (one comment, one or more comma-separated rule IDs)::
+
+    payload = build()  # repro: noqa-RC203: column order is the payload here
+
+Waivers are extracted from the token stream, not the AST, so they work on
+any line — including lines inside expressions that span multiple physical
+lines (the waiver applies to the physical line the violating node starts
+on).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Waiver", "parse_waivers"]
+
+_WAIVER_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa-(?P<ids>RC\d{3}(?:\s*,\s*RC\d{3})*)"
+    r"(?::\s*(?P<justification>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Waiver:
+    """One waiver comment: which rules it suppresses on which line."""
+
+    path: str
+    line: int
+    col: int
+    rule_ids: tuple[str, ...]
+    justification: str
+    #: Rule IDs this waiver actually suppressed (filled in by the engine).
+    used_for: set[str] = field(default_factory=set)
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+def parse_waivers(source: str, path: str) -> dict[int, Waiver]:
+    """Extract all waiver comments of *source*, keyed by physical line.
+
+    Tolerates source that fails to tokenize completely (the caller already
+    reports syntax errors from the AST parse); waivers found before the
+    tokenizer gave up are still returned.
+    """
+    waivers: dict[int, Waiver] = {}
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _WAIVER_PATTERN.search(token.string)
+            if match is None:
+                continue
+            identifiers = tuple(
+                part.strip() for part in match.group("ids").split(",")
+            )
+            line = token.start[0]
+            waivers[line] = Waiver(
+                path=path,
+                line=line,
+                col=token.start[1],
+                rule_ids=identifiers,
+                justification=(match.group("justification") or "").strip(),
+            )
+    except tokenize.TokenError:  # pragma: no cover - syntax-error fallback
+        pass
+    return waivers

@@ -655,10 +655,10 @@ def kernel_cache_info() -> dict[str, Any]:
     code instead of recompiling.
     """
     cache_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "__pycache__")
-    entries = sorted(
+    entries = [
         os.path.basename(path)
-        for path in glob.glob(os.path.join(cache_dir, "native*.nb*"))
-    )
+        for path in sorted(glob.glob(os.path.join(cache_dir, "native*.nb*")))
+    ]
     return {
         "cache_dir": cache_dir,
         "entries": entries,

@@ -123,9 +123,9 @@ def interleave_seeds(seeds: Sequence[int], labels: Iterable[str]) -> dict[str, i
     A small convenience for experiment runners that precompute a seed per
     configuration label.
     """
-    labels = list(labels)
-    if len(labels) != len(seeds):
+    label_list = list(labels)
+    if len(label_list) != len(seeds):
         raise ValueError(
-            f"got {len(seeds)} seeds for {len(labels)} labels; lengths must match"
+            f"got {len(seeds)} seeds for {len(label_list)} labels; lengths must match"
         )
-    return dict(zip(labels, seeds))
+    return dict(zip(label_list, seeds))

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import StoreError
 from repro.lv.ensemble import LVEnsembleResult
@@ -44,11 +45,11 @@ _ARRAY_FIELDS = (
 )
 
 
-def _array_payload(array: np.ndarray) -> dict[str, Any]:
+def _array_payload(array: npt.NDArray[Any]) -> dict[str, Any]:
     return {"dtype": str(array.dtype), "data": array.tolist()}
 
 
-def _array_from_payload(payload: dict[str, Any]) -> np.ndarray:
+def _array_from_payload(payload: dict[str, Any]) -> npt.NDArray[Any]:
     return np.array(payload["data"], dtype=np.dtype(payload["dtype"]))
 
 
@@ -72,7 +73,9 @@ def ensemble_to_payload(result: LVEnsembleResult) -> dict[str, Any]:
         payload["arrays"]["leap_events"] = _array_payload(result.leap_events)
     if result.finals is not None:
         payload["scenario"] = result.scenario
-        payload["initial_counts"] = [int(count) for count in result.initial_counts]
+        payload["initial_counts"] = [
+            int(count) for count in (result.initial_counts or ())
+        ]
         payload["arrays"]["finals"] = _array_payload(result.finals)
     return payload
 

@@ -274,7 +274,9 @@ class ExperimentStore:
         temporary = path.with_suffix(".json.tmp")
         # No sort_keys: row dictionaries carry the table's column order, which
         # must survive the round trip so resumed runs render identically.
-        temporary.write_text(json.dumps(result.to_dict(), indent=2))
+        temporary.write_text(
+            json.dumps(result.to_dict(), indent=2)  # repro: noqa-RC203: rows keep column order
+        )
         os.replace(temporary, path)
         self.stats.run_writes += 1
 

@@ -348,3 +348,30 @@ class TestCompiledKernels:
     def test_engines_enumerate_numba(self):
         assert "numba" in ENGINES
         assert capability_report()["native_available"]
+
+
+class TestKernelCacheInfo:
+    """Deterministic cache reporting regardless of filesystem scan order."""
+
+    def test_entries_are_sorted_under_shuffled_glob(self, monkeypatch):
+        # glob.glob returns entries in filesystem order; kernel_cache_info
+        # must sort the scan so its report is host-independent.
+        shuffled = [
+            "/cache/native-3.nbc",
+            "/cache/native-1.nbi",
+            "/cache/native-2.nbc",
+        ]
+        monkeypatch.setattr(native.glob, "glob", lambda pattern: list(shuffled))
+        info = native.kernel_cache_info()
+        assert info["entries"] == [
+            "native-1.nbi",
+            "native-2.nbc",
+            "native-3.nbc",
+        ]
+        assert info["cached"]
+
+    def test_empty_cache_reports_uncached(self, monkeypatch):
+        monkeypatch.setattr(native.glob, "glob", lambda pattern: [])
+        info = native.kernel_cache_info()
+        assert info["entries"] == []
+        assert not info["cached"]
